@@ -1,0 +1,68 @@
+// Device-corner ablation: how the REAP gain moves with the MTJ operating
+// point (read-current ratio -> P_RD) and with process variation.
+//
+// Expected shape: the MTTF *gain* of REAP is roughly P_RD-independent (it
+// is set by the accumulation distribution N, not by p), while the absolute
+// failure rates scale as p^2; variation inflates the effective P_RD via the
+// weak-cell tail.
+//
+// Flags: --instructions=N --warmup=N --workload=name
+#include <cstdio>
+
+#include "reap/common/cli.hpp"
+#include "reap/common/rng.hpp"
+#include "reap/common/table.hpp"
+#include "reap/core/experiment.hpp"
+#include "reap/mtj/read_disturb.hpp"
+#include "reap/mtj/variation.hpp"
+#include "reap/trace/spec2006.hpp"
+
+using namespace reap;
+using common::TextTable;
+
+int main(int argc, char** argv) {
+  common::CliArgs args(argc, argv);
+  const std::uint64_t instructions = args.get_u64("instructions", 1'000'000);
+  const std::uint64_t warmup = args.get_u64("warmup", 100'000);
+  const std::string workload = args.get_string("workload", "perlbench");
+
+  const auto profile = trace::spec2006_profile(workload);
+  if (!profile) {
+    std::fprintf(stderr, "unknown workload: %s\n", workload.c_str());
+    return 1;
+  }
+
+  std::puts("=== Ablation: device operating point (I_read / I_C0 sweep) ===");
+  std::printf("workload: %s\n", workload.c_str());
+  TextTable t({"I_read/I_C0", "P_RD", "conv fail-sum", "reap fail-sum",
+               "MTTF gain (x)"});
+  for (const double ratio : {0.55, 0.60, 0.65, 0.693, 0.75, 0.80}) {
+    core::ExperimentConfig cfg;
+    cfg.workload = *profile;
+    cfg.instructions = instructions;
+    cfg.warmup_instructions = warmup;
+    cfg.mtj = mtj::with_read_ratio(ratio);
+    const auto c = core::compare_policies(
+        cfg, core::PolicyKind::conventional_parallel, core::PolicyKind::reap);
+    t.add_row({TextTable::fixed(ratio, 3), TextTable::sci(c.base.p_rd),
+               TextTable::sci(c.base.mttf.failure_prob_sum),
+               TextTable::sci(c.other.mttf.failure_prob_sum),
+               TextTable::fixed(c.mttf_gain, 1)});
+  }
+  std::fputs(t.render().c_str(), stdout);
+
+  std::puts("\n=== Process variation: effective P_RD vs Delta sigma ===");
+  TextTable v({"delta sigma", "mean P_RD", "P99.9 cell P_RD",
+               "vs nominal (x)"});
+  const double nominal = mtj::read_disturb_probability(mtj::paper_default());
+  for (const double sigma : {0.0, 2.0, 4.0, 6.0, 8.0}) {
+    mtj::VariationModel vm(mtj::paper_default(), {.delta_sigma = sigma});
+    common::Rng rng(7);
+    const double mean = vm.mean_p_rd(rng, 100000);
+    const auto q = vm.p_rd_quantiles(rng, 100000, {0.999});
+    v.add_row({TextTable::fixed(sigma, 1), TextTable::sci(mean),
+               TextTable::sci(q[0]), TextTable::fixed(mean / nominal, 1)});
+  }
+  std::fputs(v.render().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,84 @@
+// ECC-strength ablation: can a stronger code substitute for REAP?
+//
+// Runs the conventional cache with t = 1 (SEC-DED) and t = 2/3 (BCH), plus
+// REAP with t = 1, on a few workloads. Also prints the storage/decoder cost
+// each code pays. Expected shape: DEC narrows the gap but keeps the
+// accumulation scaling (failure ~ N^(t+1) p^(t+1)), while REAP removes the
+// N dependence entirely at far lower cost.
+//
+// Flags: --instructions=N --warmup=N --workloads=a,b,c
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "reap/common/cli.hpp"
+#include "reap/common/table.hpp"
+#include "reap/core/experiment.hpp"
+#include "reap/ecc/ecc_cost.hpp"
+#include "reap/trace/spec2006.hpp"
+
+using namespace reap;
+using common::TextTable;
+
+int main(int argc, char** argv) {
+  common::CliArgs args(argc, argv);
+  const std::uint64_t instructions = args.get_u64("instructions", 1'500'000);
+  const std::uint64_t warmup = args.get_u64("warmup", 150'000);
+  const std::string workload = args.get_string("workload", "h264ref");
+
+  std::puts("=== Ablation: ECC strength vs REAP ===");
+
+  // Code cost table first.
+  TextTable costs({"code", "parity bits", "storage ovh", "decoder gates",
+                   "decode energy (pJ)", "decode latency (ns)"});
+  const auto gt = ecc::gate_tech_32nm();
+  for (unsigned t = 1; t <= 3; ++t) {
+    const auto code = core::make_line_code(512, t);
+    const auto cost = ecc::estimate_decoder_cost(*code, gt);
+    costs.add_row(
+        {code->name(), std::to_string(code->parity_bits()),
+         TextTable::fixed(100.0 * static_cast<double>(code->parity_bits()) /
+                              512.0,
+                          1) +
+             " %",
+         std::to_string(cost.gates),
+         TextTable::fixed(common::in_picojoules(cost.energy_per_decode), 3),
+         TextTable::fixed(common::in_nanoseconds(cost.latency), 3)});
+  }
+  std::fputs(costs.render().c_str(), stdout);
+
+  const auto profile = trace::spec2006_profile(workload);
+  if (!profile) {
+    std::fprintf(stderr, "unknown workload: %s\n", workload.c_str());
+    return 1;
+  }
+
+  std::printf("\n--- workload: %s ---\n", workload.c_str());
+  core::ExperimentConfig cfg;
+  cfg.workload = *profile;
+  cfg.instructions = instructions;
+  cfg.warmup_instructions = warmup;
+  cfg.policy = core::PolicyKind::conventional_parallel;
+  cfg.ecc_t = 1;
+  const auto base = core::run_experiment(cfg);
+
+  TextTable t({"configuration", "fail-prob sum", "MTTF vs conv+SECDED (x)"});
+  auto add = [&](const std::string& label, const core::ExperimentResult& r) {
+    t.add_row({label, TextTable::sci(r.mttf.failure_prob_sum),
+               TextTable::fixed(reliability::mttf_ratio(r.mttf, base.mttf),
+                                1)});
+  };
+  add("conventional + SEC-DED (t=1)", base);
+  for (unsigned tc = 2; tc <= 3; ++tc) {
+    cfg.ecc_t = tc;
+    cfg.policy = core::PolicyKind::conventional_parallel;
+    add("conventional + BCH t=" + std::to_string(tc), core::run_experiment(cfg));
+  }
+  cfg.ecc_t = 1;
+  cfg.policy = core::PolicyKind::reap;
+  add("REAP + SEC-DED (t=1)", core::run_experiment(cfg));
+  cfg.ecc_t = 2;
+  add("REAP + BCH t=2", core::run_experiment(cfg));
+  std::fputs(t.render().c_str(), stdout);
+  return 0;
+}

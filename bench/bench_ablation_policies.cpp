@@ -1,0 +1,81 @@
+// Policy-space ablation: the full reliability / energy / performance
+// triangle across all four read-path policies (Sec. IV discusses the two
+// alternatives to REAP; Sec. II the restore-based related work).
+//
+// Expected shape: serial matches REAP's reliability but pays latency;
+// restore matches it but pays enormous write energy (plus write-failure
+// risk); REAP pays only the small decode-energy premium.
+//
+// Flags: --instructions=N --warmup=N --workloads=a,b,c
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "reap/common/cli.hpp"
+#include "reap/common/table.hpp"
+#include "reap/core/experiment.hpp"
+#include "reap/trace/spec2006.hpp"
+
+using namespace reap;
+using common::TextTable;
+
+namespace {
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const auto comma = s.find(',', pos);
+    const auto end = comma == std::string::npos ? s.size() : comma;
+    if (end > pos) out.push_back(s.substr(pos, end - pos));
+    pos = end + 1;
+  }
+  return out;
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::CliArgs args(argc, argv);
+  const std::uint64_t instructions = args.get_u64("instructions", 1'500'000);
+  const std::uint64_t warmup = args.get_u64("warmup", 150'000);
+  std::vector<std::string> workloads = {"perlbench", "mcf", "h264ref"};
+  if (args.has("workloads"))
+    workloads = split_csv(args.get_string("workloads", ""));
+
+  std::puts("=== Ablation: read-path policy space ===");
+  for (const auto& name : workloads) {
+    const auto profile = trace::spec2006_profile(name);
+    if (!profile) {
+      std::fprintf(stderr, "unknown workload: %s\n", name.c_str());
+      return 1;
+    }
+    std::printf("\n--- %s ---\n", name.c_str());
+    TextTable t({"policy", "MTTF vs conv (x)", "energy vs conv (%)",
+                 "IPC vs conv (%)", "L2 hit cycles", "max concealed"});
+
+    core::ExperimentConfig cfg;
+    cfg.workload = *profile;
+    cfg.instructions = instructions;
+    cfg.warmup_instructions = warmup;
+    cfg.policy = core::PolicyKind::conventional_parallel;
+    const auto base = core::run_experiment(cfg);
+
+    for (const auto kind : core::all_policies()) {
+      cfg.policy = kind;
+      const auto r =
+          kind == core::PolicyKind::conventional_parallel
+              ? base
+              : core::run_experiment(cfg);
+      const double mttf_x = reliability::mttf_ratio(r.mttf, base.mttf);
+      const double energy_pct = 100.0 * r.energy.dynamic_total_j() /
+                                base.energy.dynamic_total_j();
+      const double ipc_pct = 100.0 * r.ipc / base.ipc;
+      t.add_row({core::to_string(kind), TextTable::fixed(mttf_x, 1),
+                 TextTable::fixed(energy_pct, 1),
+                 TextTable::fixed(ipc_pct, 1),
+                 std::to_string(r.l2_hit_cycles),
+                 std::to_string(r.max_concealed)});
+    }
+    std::fputs(t.render().c_str(), stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Scrub-period ablation (extension): piggyback scrubbing interpolates
+// between the conventional cache (scrub_every -> inf) and REAP
+// (scrub_every = 1, every access checks every way). Sweeps the period and
+// reports the reliability/energy frontier, showing that only the REAP
+// endpoint removes accumulation completely while partial scrubbing buys
+// diminishing protection per decode.
+//
+// Flags: --instructions=N --warmup=N --workload=name
+#include <cstdio>
+
+#include "reap/common/cli.hpp"
+#include "reap/common/table.hpp"
+#include "reap/core/experiment.hpp"
+#include "reap/trace/spec2006.hpp"
+
+using namespace reap;
+using common::TextTable;
+
+int main(int argc, char** argv) {
+  common::CliArgs args(argc, argv);
+  const std::uint64_t instructions = args.get_u64("instructions", 1'000'000);
+  const std::uint64_t warmup = args.get_u64("warmup", 100'000);
+  const std::string workload = args.get_string("workload", "h264ref");
+
+  const auto profile = trace::spec2006_profile(workload);
+  if (!profile) {
+    std::fprintf(stderr, "unknown workload: %s\n", workload.c_str());
+    return 1;
+  }
+
+  std::puts("=== Ablation: piggyback scrub period (extension) ===");
+  std::printf("workload: %s\n", workload.c_str());
+
+  core::ExperimentConfig cfg;
+  cfg.workload = *profile;
+  cfg.instructions = instructions;
+  cfg.warmup_instructions = warmup;
+  cfg.policy = core::PolicyKind::conventional_parallel;
+  const auto base = core::run_experiment(cfg);
+
+  TextTable t({"configuration", "MTTF vs conv (x)", "energy vs conv (%)",
+               "ECC decodes"});
+  auto add = [&](const std::string& label, const core::ExperimentResult& r) {
+    t.add_row({label,
+               TextTable::fixed(reliability::mttf_ratio(r.mttf, base.mttf), 1),
+               TextTable::fixed(100.0 * r.energy.dynamic_total_j() /
+                                    base.energy.dynamic_total_j(),
+                                2),
+               std::to_string(r.events.ecc_decodes)});
+  };
+  add("conventional", base);
+  for (const std::uint64_t every : {256ull, 64ull, 16ull, 4ull, 1ull}) {
+    cfg.policy = core::PolicyKind::scrub_piggyback;
+    cfg.scrub_every = every;
+    add("scrub every " + std::to_string(every), core::run_experiment(cfg));
+  }
+  cfg.policy = core::PolicyKind::reap;
+  add("reap", core::run_experiment(cfg));
+  std::fputs(t.render().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,136 @@
+// Microbenchmarks (google-benchmark): throughput of the substrates the
+// evaluation rests on -- ECC codecs, the reliability math, the cache
+// simulator, and trace generation.
+#include <benchmark/benchmark.h>
+
+#include "reap/common/rng.hpp"
+#include "reap/core/experiment.hpp"
+#include "reap/ecc/bch.hpp"
+#include "reap/ecc/hamming.hpp"
+#include "reap/ecc/secded.hpp"
+#include "reap/reliability/binomial.hpp"
+#include "reap/sim/cpu.hpp"
+#include "reap/trace/spec2006.hpp"
+
+using namespace reap;
+
+namespace {
+
+common::BitVec random_data(std::size_t n, std::uint64_t seed) {
+  common::Rng rng(seed);
+  common::BitVec v(n);
+  for (std::size_t i = 0; i < n; ++i)
+    if (rng.chance(0.5)) v.set(i);
+  return v;
+}
+
+void BM_SecDedEncode512(benchmark::State& state) {
+  ecc::SecDedCode code(512);
+  const auto data = random_data(512, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(code.encode(data));
+  }
+}
+BENCHMARK(BM_SecDedEncode512);
+
+void BM_SecDedDecodeClean512(benchmark::State& state) {
+  ecc::SecDedCode code(512);
+  const auto cw = code.encode(random_data(512, 2));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(code.decode(cw));
+  }
+}
+BENCHMARK(BM_SecDedDecodeClean512);
+
+void BM_SecDedDecodeCorrect512(benchmark::State& state) {
+  ecc::SecDedCode code(512);
+  auto cw = code.encode(random_data(512, 3));
+  cw.flip(100);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(code.decode(cw));
+  }
+}
+BENCHMARK(BM_SecDedDecodeCorrect512);
+
+void BM_BchDecodeDouble512(benchmark::State& state) {
+  ecc::BchCode code(512, 2);
+  auto cw = code.encode(random_data(512, 4));
+  cw.flip(5);
+  cw.flip(300);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(code.decode(cw));
+  }
+}
+BENCHMARK(BM_BchDecodeDouble512);
+
+void BM_BinomialTailEq3(benchmark::State& state) {
+  std::uint64_t n = 100;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        reliability::p_uncorrectable_block_acc(512, n, 1e-8));
+    n = n == 100 ? 5000 : 100;
+  }
+}
+BENCHMARK(BM_BinomialTailEq3);
+
+void BM_UncorrectableModelCachedSingle(benchmark::State& state) {
+  reliability::UncorrectableModel model(1e-8, 1, 512);
+  std::uint64_t ones = 17;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.single(ones));
+    ones = (ones * 31 + 7) % 512;
+  }
+}
+BENCHMARK(BM_UncorrectableModelCachedSingle);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  auto profile = *trace::spec2006_profile("perlbench");
+  trace::WorkloadTraceSource src(profile);
+  trace::MemOp op;
+  for (auto _ : state) {
+    src.next(op);
+    benchmark::DoNotOptimize(op);
+  }
+}
+BENCHMARK(BM_TraceGeneration);
+
+void BM_HierarchySimulation(benchmark::State& state) {
+  // Steady-state instructions/second through the full hierarchy with the
+  // REAP policy attached (the heaviest hook).
+  auto profile = *trace::spec2006_profile("perlbench");
+  trace::WorkloadTraceSource src(profile);
+  sim::HierarchyConfig hcfg;
+  sim::MemoryHierarchy hier(hcfg, 1);
+  reliability::UncorrectableModel model(1e-8, 1, 512);
+  reliability::FailureLedger ledger;
+  core::PolicyContext ctx;
+  ctx.model = &model;
+  ctx.ledger = &ledger;
+  ctx.ways = 8;
+  const auto policy =
+      core::ReadPathPolicy::make(core::PolicyKind::reap, ctx);
+  hier.set_l2_hooks(policy.get());
+  sim::TraceCpu cpu(src, hier);
+  cpu.run(100'000);  // warm
+  for (auto _ : state) {
+    cpu.run(1'000);
+  }
+  state.SetItemsProcessed(state.iterations() * 1'000);
+}
+BENCHMARK(BM_HierarchySimulation);
+
+void BM_FullExperimentSmall(benchmark::State& state) {
+  auto profile = *trace::spec2006_profile("gcc");
+  for (auto _ : state) {
+    core::ExperimentConfig cfg;
+    cfg.workload = profile;
+    cfg.instructions = 50'000;
+    cfg.warmup_instructions = 10'000;
+    benchmark::DoNotOptimize(core::run_experiment(cfg));
+  }
+}
+BENCHMARK(BM_FullExperimentSmall)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// Custom workload: build a WorkloadProfile from scratch instead of using
+// the bundled SPEC-style ones -- the API a user reaches for to model their
+// own application's locality.
+//
+// The example models a database-like mix: a hot index (zipf), a large scan
+// (stream), and pointer-heavy row lookups (chase), with CLI knobs.
+//
+//   ./custom_workload [--hot_kb=256] [--scan_mb=8] [--zipf=1.1]
+//                     [--stores=0.15] [--instructions=1000000]
+#include <cstdio>
+
+#include "reap/common/cli.hpp"
+#include "reap/core/experiment.hpp"
+
+using namespace reap;
+
+int main(int argc, char** argv) {
+  common::CliArgs args(argc, argv);
+  const std::uint64_t hot_kb = args.get_u64("hot_kb", 256);
+  const std::uint64_t scan_mb = args.get_u64("scan_mb", 8);
+  const double zipf_s = args.get_double("zipf", 1.1);
+  const double stores = args.get_double("stores", 0.15);
+  const std::uint64_t instructions = args.get_u64("instructions", 1'000'000);
+
+  trace::WorkloadProfile p;
+  p.name = "custom-db";
+  p.loads_per_inst = 0.30;
+  p.stores_per_inst = stores;
+  p.code_bytes = 256 * 1024;
+  p.jump_prob = 0.03;
+  p.values = {.mean_density = 0.38, .stddev_density = 0.1};
+  p.seed = 0xDB;
+
+  trace::PatternSpec hot;
+  hot.kind = trace::PatternSpec::Kind::zipf;
+  hot.weight = 0.5;
+  hot.region_bytes = hot_kb * 1024;
+  hot.zipf_s = zipf_s;
+
+  trace::PatternSpec scan;
+  scan.kind = trace::PatternSpec::Kind::stream;
+  scan.weight = 0.3;
+  scan.region_bytes = scan_mb * 1024 * 1024;
+  scan.stride_bytes = 64;
+
+  trace::PatternSpec rows;
+  rows.kind = trace::PatternSpec::Kind::chase;
+  rows.weight = 0.2;
+  rows.region_bytes = 4 * 1024 * 1024;
+
+  p.patterns = {hot, scan, rows};
+
+  core::ExperimentConfig cfg;
+  cfg.workload = p;
+  cfg.instructions = instructions;
+  cfg.warmup_instructions = instructions / 10;
+
+  const auto cmp = core::compare_policies(
+      cfg, core::PolicyKind::conventional_parallel, core::PolicyKind::reap);
+
+  std::printf(
+      "custom workload: hot=%lluKB zipf(s=%.2f), scan=%lluMB, chase=4MB, "
+      "stores/inst=%.2f\n",
+      static_cast<unsigned long long>(hot_kb), zipf_s,
+      static_cast<unsigned long long>(scan_mb), stores);
+  std::printf("L2 read hit rate:  %.1f %%\n",
+              100.0 * cmp.base.hier.l2.read_hit_rate());
+  std::printf("max concealed:     %llu\n",
+              static_cast<unsigned long long>(cmp.base.max_concealed));
+  std::printf("REAP MTTF gain:    %.1fx\n", cmp.mttf_gain);
+  std::printf("energy overhead:   %.2f %%\n", cmp.energy_overhead_pct);
+
+  std::puts(
+      "\ntry: larger --hot_kb concentrates more long-lived lines in L2\n"
+      "(bigger accumulation, bigger REAP gain); a bigger --scan_mb thrashes\n"
+      "L2 and shrinks the gain toward the mcf regime.");
+  return 0;
+}

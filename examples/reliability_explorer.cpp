@@ -1,0 +1,71 @@
+// Reliability explorer: interact with the paper's analytic model without
+// running any simulation.
+//
+// Sweeps the three block-correctness formulas (Eqs. 2/3/6) over the
+// device operating point and the accumulation count, and prints MTJ
+// device sensitivity tables (Eq. 1).
+//
+//   ./reliability_explorer [--ones=100] [--t=1]
+#include <cstdio>
+
+#include "reap/common/cli.hpp"
+#include "reap/common/table.hpp"
+#include "reap/mtj/mtj_params.hpp"
+#include "reap/mtj/read_disturb.hpp"
+#include "reap/reliability/binomial.hpp"
+
+using namespace reap;
+using common::TextTable;
+
+int main(int argc, char** argv) {
+  common::CliArgs args(argc, argv);
+  const std::uint64_t ones = args.get_u64("ones", 100);
+  const unsigned t = static_cast<unsigned>(args.get_u64("t", 1));
+
+  std::puts("=== MTJ device sensitivity (Eq. 1) ===");
+  TextTable dev({"I_read/I_C0", "Delta=50", "Delta=60", "Delta=70"});
+  for (const double ratio : {0.5, 0.6, 0.693, 0.8, 0.9}) {
+    std::vector<std::string> row = {TextTable::fixed(ratio, 3)};
+    for (const double delta : {50.0, 60.0, 70.0}) {
+      auto p = mtj::with_read_ratio(ratio);
+      p.delta = delta;
+      row.push_back(TextTable::sci(mtj::read_disturb_probability(p)));
+    }
+    dev.add_row(row);
+  }
+  std::fputs(dev.render().c_str(), stdout);
+
+  std::printf(
+      "\n=== Block failure probability (n=%llu ones, t=%u) ===\n"
+      "rows: P_RD; columns: N reads between checks\n",
+      static_cast<unsigned long long>(ones), t);
+  const std::vector<std::uint64_t> n_reads = {1, 10, 100, 1000, 10000};
+  {
+    std::vector<std::string> hdr = {"P_RD \\ N"};
+    for (const auto n : n_reads) hdr.push_back(std::to_string(n));
+    TextTable conv(hdr);
+    TextTable reap(hdr);
+    for (const double p : {1e-10, 1e-9, 1e-8, 1e-7, 1e-6}) {
+      std::vector<std::string> crow = {TextTable::sci(p)};
+      std::vector<std::string> rrow = {TextTable::sci(p)};
+      for (const auto n : n_reads) {
+        crow.push_back(TextTable::sci(
+            reliability::p_uncorrectable_block_acc(ones, n, p, t)));
+        rrow.push_back(TextTable::sci(
+            reliability::p_uncorrectable_block_reap(ones, n, p, t)));
+      }
+      conv.add_row(crow);
+      reap.add_row(rrow);
+    }
+    std::puts("\nconventional accumulation (Eq. 3):");
+    std::fputs(conv.render().c_str(), stdout);
+    std::puts("\nREAP per-read checking (Eq. 6):");
+    std::fputs(reap.render().c_str(), stdout);
+  }
+
+  std::puts(
+      "\nNote the structure: Eq. (3) grows ~quadratically in N (for t=1)\n"
+      "while Eq. (6) grows only linearly -- the gap is the REAP gain, and\n"
+      "it widens without bound as reads accumulate.");
+  return 0;
+}

@@ -1,0 +1,79 @@
+#include "reap/common/bitvec.hpp"
+
+#include <algorithm>
+
+namespace reap::common {
+
+BitVec BitVec::from_bytes(std::span<const std::uint8_t> bytes) {
+  BitVec v(bytes.size() * 8);
+  for (std::size_t j = 0; j < bytes.size(); ++j) {
+    v.words_[j / 8] |= std::uint64_t{bytes[j]} << ((j % 8) * 8);
+  }
+  return v;
+}
+
+BitVec BitVec::from_string(const std::string& bits) {
+  BitVec v(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    REAP_EXPECTS(bits[i] == '0' || bits[i] == '1');
+    if (bits[i] == '1') v.set(i);
+  }
+  return v;
+}
+
+void BitVec::clear() { std::fill(words_.begin(), words_.end(), 0); }
+
+void BitVec::fill_ones() {
+  std::fill(words_.begin(), words_.end(), ~std::uint64_t{0});
+  mask_tail();
+}
+
+std::size_t BitVec::count_ones() const {
+  std::size_t n = 0;
+  for (std::uint64_t w : words_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+BitVec& BitVec::operator^=(const BitVec& other) {
+  REAP_EXPECTS(nbits_ == other.nbits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
+  return *this;
+}
+
+std::vector<std::uint8_t> BitVec::to_bytes() const {
+  std::vector<std::uint8_t> out((nbits_ + 7) / 8, 0);
+  for (std::size_t j = 0; j < out.size(); ++j) {
+    out[j] = static_cast<std::uint8_t>(words_[j / 8] >> ((j % 8) * 8));
+  }
+  return out;
+}
+
+std::string BitVec::to_string() const {
+  std::string s(nbits_, '0');
+  for (std::size_t i = 0; i < nbits_; ++i)
+    if (test(i)) s[i] = '1';
+  return s;
+}
+
+std::vector<std::size_t> BitVec::one_positions() const {
+  std::vector<std::size_t> out;
+  out.reserve(count_ones());
+  for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+    std::uint64_t w = words_[wi];
+    while (w != 0) {
+      const int b = std::countr_zero(w);
+      out.push_back(wi * 64 + static_cast<std::size_t>(b));
+      w &= w - 1;
+    }
+  }
+  return out;
+}
+
+void BitVec::mask_tail() {
+  const std::size_t rem = nbits_ & 63;
+  if (rem != 0 && !words_.empty()) {
+    words_.back() &= (std::uint64_t{1} << rem) - 1;
+  }
+}
+
+}  // namespace reap::common

@@ -1,0 +1,71 @@
+#include "reap/common/cli.hpp"
+
+#include <cstdlib>
+
+namespace reap::common {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      arg = arg.substr(2);
+      const auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        kv_[arg] = "true";
+      } else {
+        kv_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      }
+    } else {
+      positional_.push_back(arg);
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& key) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return false;
+  consumed_[key] = true;
+  return true;
+}
+
+std::string CliArgs::get_string(const std::string& key,
+                                const std::string& fallback) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return fallback;
+  consumed_[key] = true;
+  return it->second;
+}
+
+std::uint64_t CliArgs::get_u64(const std::string& key,
+                               std::uint64_t fallback) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return fallback;
+  consumed_[key] = true;
+  return std::strtoull(it->second.c_str(), nullptr, 0);
+}
+
+double CliArgs::get_double(const std::string& key, double fallback) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return fallback;
+  consumed_[key] = true;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool CliArgs::get_bool(const std::string& key, bool fallback) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return fallback;
+  consumed_[key] = true;
+  return it->second == "true" || it->second == "1" || it->second == "yes" ||
+         it->second == "on";
+}
+
+std::vector<std::string> CliArgs::unconsumed() const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : kv_) {
+    (void)v;
+    if (!consumed_.count(k)) out.push_back(k);
+  }
+  return out;
+}
+
+}  // namespace reap::common

@@ -1,0 +1,35 @@
+#include "reap/common/csv.hpp"
+
+#include "reap/common/assert.hpp"
+
+namespace reap::common {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path), ncols_(header.size()) {
+  REAP_EXPECTS(ncols_ > 0);
+  if (out_) add_row(header);
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  REAP_EXPECTS(cells.size() == ncols_);
+  if (!out_) return;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string quoted = "\"";
+  for (char ch : cell) {
+    if (ch == '"') quoted += '"';
+    quoted += ch;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace reap::common

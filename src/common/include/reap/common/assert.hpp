@@ -1,0 +1,38 @@
+// Contract macros in the Core Guidelines I.6/I.8 style.
+//
+// REAP_EXPECTS(cond)  -- precondition check
+// REAP_ENSURES(cond)  -- postcondition check
+// REAP_ASSERT(cond)   -- internal invariant
+//
+// All three abort with a source location on violation. They are active in
+// all build types: the simulator is a research tool where a silently wrong
+// answer is worse than a crash, and the checks are off the per-access hot
+// path (hot-path loops use plain assert-free code validated by tests).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace reap::detail {
+
+[[noreturn]] inline void contract_violation(const char* kind, const char* expr,
+                                            const char* file, int line) {
+  std::fprintf(stderr, "reap: %s violated: (%s) at %s:%d\n", kind, expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace reap::detail
+
+#define REAP_EXPECTS(cond)                                                 \
+  ((cond) ? static_cast<void>(0)                                           \
+          : ::reap::detail::contract_violation("precondition", #cond,      \
+                                               __FILE__, __LINE__))
+#define REAP_ENSURES(cond)                                                 \
+  ((cond) ? static_cast<void>(0)                                           \
+          : ::reap::detail::contract_violation("postcondition", #cond,     \
+                                               __FILE__, __LINE__))
+#define REAP_ASSERT(cond)                                                  \
+  ((cond) ? static_cast<void>(0)                                           \
+          : ::reap::detail::contract_violation("invariant", #cond,         \
+                                               __FILE__, __LINE__))

@@ -1,0 +1,89 @@
+// Dynamic bit vector sized at construction, backed by 64-bit words.
+//
+// Used as the payload container for cache lines and as the codeword type for
+// the ECC codecs. The popcount (`count_ones`) is the `n` of the paper's
+// Eqs. (2)/(3)/(6): read disturbance is unidirectional and only cells holding
+// logic '1' can flip.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "reap/common/assert.hpp"
+
+namespace reap::common {
+
+class BitVec {
+ public:
+  BitVec() = default;
+
+  // Constructs an all-zero vector of `nbits` bits.
+  explicit BitVec(std::size_t nbits)
+      : nbits_(nbits), words_((nbits + 63) / 64, 0) {}
+
+  // Constructs from raw bytes, bit i of byte j becomes bit j*8+i.
+  static BitVec from_bytes(std::span<const std::uint8_t> bytes);
+
+  // Constructs from a string of '0'/'1' characters, index 0 first.
+  static BitVec from_string(const std::string& bits);
+
+  std::size_t size() const { return nbits_; }
+  bool empty() const { return nbits_ == 0; }
+
+  bool test(std::size_t i) const {
+    REAP_EXPECTS(i < nbits_);
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+
+  void set(std::size_t i, bool v = true) {
+    REAP_EXPECTS(i < nbits_);
+    const std::uint64_t mask = std::uint64_t{1} << (i & 63);
+    if (v)
+      words_[i >> 6] |= mask;
+    else
+      words_[i >> 6] &= ~mask;
+  }
+
+  void reset(std::size_t i) { set(i, false); }
+
+  void flip(std::size_t i) {
+    REAP_EXPECTS(i < nbits_);
+    words_[i >> 6] ^= std::uint64_t{1} << (i & 63);
+  }
+
+  void clear();         // all bits to 0
+  void fill_ones();     // all bits to 1
+
+  // Number of '1' bits -- the binomial trial count per read in Eq. (2).
+  std::size_t count_ones() const;
+
+  // XOR-accumulate `other` into *this (sizes must match). The Hamming
+  // distance of two codewords is (a ^ b).count_ones().
+  BitVec& operator^=(const BitVec& other);
+  friend BitVec operator^(BitVec a, const BitVec& b) { return a ^= b; }
+
+  bool operator==(const BitVec& other) const = default;
+
+  // Word-level access for fast popcount-style consumers.
+  std::span<const std::uint64_t> words() const { return words_; }
+
+  // Serializes to bytes (little-endian bit order within bytes).
+  std::vector<std::uint8_t> to_bytes() const;
+
+  std::string to_string() const;
+
+  // Indices of set bits in increasing order.
+  std::vector<std::size_t> one_positions() const;
+
+ private:
+  void mask_tail();  // clears bits past nbits_ in the last word
+
+  std::size_t nbits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace reap::common

@@ -1,0 +1,40 @@
+// Tiny --key=value command-line parser shared by benches and examples.
+//
+// Usage:
+//   CliArgs args(argc, argv);
+//   auto n = args.get_u64("instructions", 5'000'000);
+//   auto wl = args.get_string("workload", "perlbench");
+//   if (args.has("help")) { ... }
+// Unknown keys are collected so binaries can warn about typos.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace reap::common {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+  std::string get_string(const std::string& key, const std::string& fallback) const;
+  std::uint64_t get_u64(const std::string& key, std::uint64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  // Keys given on the command line that were never queried via get_*/has.
+  std::vector<std::string> unconsumed() const;
+
+  // Positional (non --key) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> kv_;
+  mutable std::map<std::string, bool> consumed_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace reap::common

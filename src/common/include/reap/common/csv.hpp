@@ -1,0 +1,27 @@
+// Minimal CSV writer so bench output can be re-plotted externally.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace reap::common {
+
+class CsvWriter {
+ public:
+  // Opens `path` for writing and emits the header row. `ok()` reports
+  // whether the stream is usable; writes on a failed stream are no-ops.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  bool ok() const { return static_cast<bool>(out_); }
+
+  void add_row(const std::vector<std::string>& cells);
+
+ private:
+  static std::string escape(const std::string& cell);
+
+  std::ofstream out_;
+  std::size_t ncols_;
+};
+
+}  // namespace reap::common

@@ -1,0 +1,38 @@
+// Numerically-stable probability arithmetic for rare events.
+//
+// The paper's failure probabilities live around 1e-13 .. 1e-9 per access and
+// are summed over millions of accesses; naive (1-p)^n arithmetic underflows
+// or loses all precision. Everything here works with log1p/expm1 identities:
+//
+//   log((1-p)^n)                 = n * log1p(-p)
+//   P(at most one failure in n)  via log-sum-exp of the two binomial terms
+//   1 - exp(x)                   = -expm1(x)
+//
+// These primitives implement the paper's Eqs. (2), (3) and (6) in
+// reliability/binomial.hpp; here are only the generic building blocks.
+#pragma once
+
+#include <cstdint>
+
+namespace reap::common {
+
+// log(a + b) given la = log(a), lb = log(b); handles -inf operands.
+double log_sum_exp(double la, double lb);
+
+// log(1 - exp(lx)) for lx <= 0; stable for lx near 0 and for very negative lx.
+double log1m_exp(double lx);
+
+// log C(n, k) via lgamma.
+double log_binomial_coeff(std::uint64_t n, std::uint64_t k);
+
+// log of the binomial pmf: C(n,k) p^k (1-p)^(n-k), p in [0,1].
+double log_binomial_pmf(std::uint64_t n, std::uint64_t k, double p);
+
+// log P(X <= t) for X ~ Binomial(n, p), summing t+1 pmf terms in log space.
+// Intended for small t (ECC correction capability, typically <= 3).
+double log_binomial_cdf_upto(std::uint64_t n, std::uint64_t t, double p);
+
+// P(X > t) = 1 - P(X <= t), computed as -expm1(log_cdf); full double range.
+double binomial_tail_above(std::uint64_t n, std::uint64_t t, double p);
+
+}  // namespace reap::common

@@ -1,0 +1,81 @@
+// Deterministic, seedable random number generation for simulation.
+//
+// xoshiro256** core (public-domain algorithm by Blackman & Vigna) plus the
+// distributions the trace generators and Monte Carlo engine need. All
+// simulator randomness flows through Rng so experiments are reproducible
+// from a single seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "reap/common/assert.hpp"
+
+namespace reap::common {
+
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  std::uint64_t next();
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+  result_type operator()() { return next(); }
+
+  // Uniform in [0, 1).
+  double uniform();
+
+  // Uniform integer in [0, bound) using Lemire's multiply-shift rejection.
+  std::uint64_t below(std::uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  // Bernoulli trial with success probability p.
+  bool chance(double p);
+
+  // Standard normal via Box-Muller (cached second value).
+  double normal();
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  // Geometric: number of failures before first success, p in (0, 1].
+  std::uint64_t geometric(double p);
+
+  // Samples an index from unnormalized weights.
+  std::size_t weighted(const std::vector<double>& weights);
+
+ private:
+  std::uint64_t s_[4] = {};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+// Zipf-distributed ranks in [0, n): P(k) ~ 1/(k+1)^s. Uses the rejection
+// sampler of Jason Crease / Hormann which is O(1) per draw, suitable for the
+// hot-set trace primitives where n can be large.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s);
+
+  std::size_t operator()(Rng& rng) const;
+
+  std::size_t n() const { return n_; }
+  double s() const { return s_; }
+
+ private:
+  double h(double x) const;
+  double h_inv(double x) const;
+
+  std::size_t n_;
+  double s_;
+  double h_x1_;
+  double h_n_;
+  double c_;  // normalizing shift
+};
+
+}  // namespace reap::common

@@ -1,0 +1,39 @@
+// Small statistics helpers shared by benches and the evaluator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace reap::common {
+
+// Streaming mean/variance (Welford) with min/max tracking.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::uint64_t count() const { return n_; }
+  double mean() const;
+  double variance() const;  // population variance
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return mean() * static_cast<double>(n_); }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Arithmetic mean of a vector (0 for empty input).
+double arithmetic_mean(const std::vector<double>& xs);
+
+// Geometric mean; all inputs must be > 0.
+double geometric_mean(const std::vector<double>& xs);
+
+// p-th percentile (0..100) by linear interpolation on a sorted copy.
+double percentile(std::vector<double> xs, double p);
+
+}  // namespace reap::common

@@ -1,0 +1,32 @@
+// ASCII table rendering for bench output.
+//
+// The bench binaries print the same rows/series the paper's tables and
+// figures report; TextTable keeps that output aligned and diff-friendly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace reap::common {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with %.4g.
+  static std::string num(double v);
+  // Fixed-point with `digits` decimals.
+  static std::string fixed(double v, int digits);
+  // Scientific with 2 significant decimals (e.g. 1.30e-09).
+  static std::string sci(double v);
+
+  std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace reap::common

@@ -1,0 +1,66 @@
+// Strong unit types for the circuit-model interfaces (nvsim, ecc cost).
+//
+// Plain doubles with named wrappers: enough type-safety to stop joules and
+// seconds being swapped at an interface (Core Guidelines I.4) without
+// dragging in a units library. Arithmetic is intentionally minimal -- scale
+// by dimensionless factors and add same-typed quantities.
+#pragma once
+
+#include <compare>
+
+namespace reap::common {
+
+template <class Tag>
+struct Quantity {
+  double value = 0.0;
+
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(double v) : value(v) {}
+
+  constexpr auto operator<=>(const Quantity&) const = default;
+
+  constexpr Quantity operator+(Quantity o) const { return Quantity{value + o.value}; }
+  constexpr Quantity operator-(Quantity o) const { return Quantity{value - o.value}; }
+  constexpr Quantity operator*(double k) const { return Quantity{value * k}; }
+  constexpr Quantity operator/(double k) const { return Quantity{value / k}; }
+  constexpr double operator/(Quantity o) const { return value / o.value; }
+  constexpr Quantity& operator+=(Quantity o) { value += o.value; return *this; }
+  constexpr Quantity& operator-=(Quantity o) { value -= o.value; return *this; }
+  constexpr Quantity& operator*=(double k) { value *= k; return *this; }
+};
+
+template <class Tag>
+constexpr Quantity<Tag> operator*(double k, Quantity<Tag> q) {
+  return q * k;
+}
+
+struct EnergyTag {};
+struct TimeTag {};
+struct AreaTag {};
+struct PowerTag {};
+struct CurrentTag {};
+
+using Joules = Quantity<EnergyTag>;      // energy
+using Seconds = Quantity<TimeTag>;       // time
+using SquareMm = Quantity<AreaTag>;      // silicon area
+using Watts = Quantity<PowerTag>;        // power
+using Amperes = Quantity<CurrentTag>;    // current
+
+// Readable constructors for the magnitudes this domain uses.
+constexpr Joules picojoules(double v) { return Joules{v * 1e-12}; }
+constexpr Joules nanojoules(double v) { return Joules{v * 1e-9}; }
+constexpr Seconds nanoseconds(double v) { return Seconds{v * 1e-9}; }
+constexpr Seconds picoseconds(double v) { return Seconds{v * 1e-12}; }
+constexpr Watts milliwatts(double v) { return Watts{v * 1e-3}; }
+constexpr Amperes microamps(double v) { return Amperes{v * 1e-6}; }
+
+constexpr double in_picojoules(Joules e) { return e.value * 1e12; }
+constexpr double in_nanoseconds(Seconds t) { return t.value * 1e9; }
+constexpr double in_milliwatts(Watts p) { return p.value * 1e3; }
+constexpr double in_microamps(Amperes i) { return i.value * 1e6; }
+
+// Energy over time gives power; time times power gives energy.
+constexpr Watts operator/(Joules e, Seconds t) { return Watts{e.value / t.value}; }
+constexpr Joules operator*(Watts p, Seconds t) { return Joules{p.value * t.value}; }
+
+}  // namespace reap::common

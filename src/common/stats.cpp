@@ -1,0 +1,69 @@
+#include "reap/common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "reap/common/assert.hpp"
+
+namespace reap::common {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const { return n_ == 0 ? 0.0 : mean_; }
+
+double RunningStats::variance() const {
+  return n_ == 0 ? 0.0 : m2_ / static_cast<double>(n_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  REAP_EXPECTS(n_ > 0);
+  return min_;
+}
+
+double RunningStats::max() const {
+  REAP_EXPECTS(n_ > 0);
+  return max_;
+}
+
+double arithmetic_mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double geometric_mean(const std::vector<double>& xs) {
+  REAP_EXPECTS(!xs.empty());
+  double acc = 0.0;
+  for (double x : xs) {
+    REAP_EXPECTS(x > 0.0);
+    acc += std::log(x);
+  }
+  return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+double percentile(std::vector<double> xs, double p) {
+  REAP_EXPECTS(!xs.empty());
+  REAP_EXPECTS(p >= 0.0 && p <= 100.0);
+  std::sort(xs.begin(), xs.end());
+  const double idx = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(idx));
+  const std::size_t hi = static_cast<std::size_t>(std::ceil(idx));
+  const double frac = idx - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+}  // namespace reap::common

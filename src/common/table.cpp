@@ -1,0 +1,72 @@
+#include "reap/common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "reap/common/assert.hpp"
+
+namespace reap::common {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  REAP_EXPECTS(!headers_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  REAP_EXPECTS(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::num(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.4g", v);
+  return buf;
+}
+
+std::string TextTable::fixed(double v, int digits) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+  return buf;
+}
+
+std::string TextTable::sci(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.2e", v);
+  return buf;
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line += "| ";
+      line += row[c];
+      line.append(widths[c] - row[c].size() + 1, ' ');
+    }
+    line += "|\n";
+    return line;
+  };
+  auto rule = [&]() {
+    std::string line;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      line += "+";
+      line.append(widths[c] + 2, '-');
+    }
+    line += "+\n";
+    return line;
+  };
+
+  std::string out = rule() + emit_row(headers_) + rule();
+  for (const auto& row : rows_) out += emit_row(row);
+  out += rule();
+  return out;
+}
+
+}  // namespace reap::common

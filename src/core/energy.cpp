@@ -1,0 +1,21 @@
+#include "reap/core/energy.hpp"
+
+namespace reap::core {
+
+EnergyBreakdown compute_energy(const EnergyEvents& events,
+                               const nvsim::AccessEnergies& unit) {
+  EnergyBreakdown e;
+  auto mul = [](common::Joules j, std::uint64_t n) {
+    return j.value * static_cast<double>(n);
+  };
+  e.data_read_j = mul(unit.way_data_read, events.way_data_reads);
+  e.data_write_j = mul(unit.way_data_write, events.way_data_writes);
+  e.tag_j = mul(unit.tag_read, events.tag_reads) +
+            mul(unit.tag_write, events.tag_writes);
+  e.periphery_j = mul(unit.periphery, events.lookups);
+  e.ecc_decode_j = mul(unit.ecc_decode, events.ecc_decodes);
+  e.ecc_encode_j = mul(unit.ecc_encode, events.ecc_encodes);
+  return e;
+}
+
+}  // namespace reap::core

@@ -1,0 +1,152 @@
+#include "reap/core/experiment.hpp"
+
+#include <cmath>
+
+#include "reap/common/assert.hpp"
+#include "reap/ecc/bch.hpp"
+#include "reap/ecc/secded.hpp"
+#include "reap/mtj/read_disturb.hpp"
+#include "reap/mtj/write_model.hpp"
+#include "reap/trace/datavalue.hpp"
+
+namespace reap::core {
+
+std::unique_ptr<ecc::Code> make_line_code(std::size_t data_bits, unsigned t) {
+  REAP_EXPECTS(t >= 1);
+  if (t == 1) return std::make_unique<ecc::SecDedCode>(data_bits);
+  return std::make_unique<ecc::BchCode>(data_bits, t);
+}
+
+std::uint32_t l2_hit_cycles_for(PolicyKind kind,
+                                const nvsim::ReadPathTiming& timing,
+                                double clock_ghz) {
+  // Fixed pipeline overhead (request queue, controller, bus turnaround)
+  // on top of the array path.
+  constexpr std::uint32_t kControllerCycles = 6;
+  const double period_ns = 1.0 / clock_ghz;
+
+  double path_ns = 0.0;
+  switch (kind) {
+    case PolicyKind::conventional_parallel:
+      path_ns = common::in_nanoseconds(timing.conventional_total);
+      break;
+    case PolicyKind::reap:
+      path_ns = common::in_nanoseconds(timing.reap_total);
+      break;
+    case PolicyKind::serial_tag_then_data:
+      path_ns = common::in_nanoseconds(timing.tag_path + timing.data_path +
+                                       timing.ecc_decode + timing.mux);
+      break;
+    case PolicyKind::disruptive_restore:
+      // Conventional path plus the restore write occupying the array.
+      path_ns = common::in_nanoseconds(timing.conventional_total) * 2.0;
+      break;
+    case PolicyKind::scrub_piggyback:
+      // Scrub decodes happen off the return path; latency is conventional.
+      path_ns = common::in_nanoseconds(timing.conventional_total);
+      break;
+  }
+  return kControllerCycles +
+         static_cast<std::uint32_t>(std::ceil(path_ns / period_ns));
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& cfg) {
+  REAP_EXPECTS(cfg.instructions > 0);
+  REAP_EXPECTS(!cfg.workload.patterns.empty());
+
+  const std::size_t block_bits = cfg.hierarchy.l2.block_bytes * 8;
+  const auto line_code = make_line_code(block_bits, cfg.ecc_t);
+
+  // Device operating point.
+  const double p_rd = mtj::read_disturb_probability(cfg.mtj);
+  const double p_wf = mtj::write_failure_probability(cfg.mtj);
+
+  // Circuit model for energies and the policy-dependent read-path latency.
+  nvsim::CacheGeometry geom;
+  geom.capacity_bytes = cfg.hierarchy.l2.capacity_bytes;
+  geom.ways = cfg.hierarchy.l2.ways;
+  geom.block_bytes = cfg.hierarchy.l2.block_bytes;
+  geom.data_cell = nvsim::CellType::stt_mram;
+  const nvsim::CacheModel circuit(geom, cfg.tech, *line_code, &cfg.mtj);
+
+  // Reliability machinery.
+  reliability::UncorrectableModel model(p_rd, cfg.ecc_t, block_bits);
+  reliability::FailureLedger ledger;
+
+  PolicyContext ctx;
+  ctx.model = &model;
+  ctx.ledger = &ledger;
+  ctx.ways = cfg.hierarchy.l2.ways;
+  ctx.write_fail_per_cell = p_wf;
+  ctx.codeword_bits = line_code->codeword_bits();
+  ctx.check_on_dirty_eviction = cfg.check_on_dirty_eviction;
+  ctx.scrub_every = cfg.scrub_every;
+  const auto policy = ReadPathPolicy::make(cfg.policy, ctx);
+
+  // Hierarchy + workload.
+  sim::HierarchyConfig hcfg = cfg.hierarchy;
+  sim::MemoryHierarchy hier(hcfg, cfg.seed);
+  hier.set_l2_hooks(policy.get());
+  const std::uint32_t hit_cycles =
+      l2_hit_cycles_for(cfg.policy, circuit.timing(), cfg.clock_ghz);
+  hier.set_l2_hit_cycles(hit_cycles);
+
+  trace::DataValueModel values(cfg.workload.values, block_bits,
+                               cfg.workload.seed ^ 0xABCD);
+  hier.set_l2_ones_model(
+      [&values](std::uint64_t addr) { return values.ones_for(addr); });
+
+  trace::WorkloadTraceSource source(cfg.workload);
+  sim::TraceCpu cpu(source, hier, cfg.clock_ghz);
+
+  // Warmup: populate caches, then reset all accounting.
+  if (cfg.warmup_instructions > 0) {
+    cpu.run(cfg.warmup_instructions);
+    hier.reset_stats();
+    ledger.reset();
+    policy->reset_events();
+    cpu.reset_counters();
+  }
+
+  cpu.run(cfg.instructions);
+
+  ExperimentResult r;
+  r.workload = cfg.workload.name;
+  r.policy = cfg.policy;
+  r.instructions = cpu.instructions();
+  r.cycles = cpu.cycles();
+  r.ipc = cpu.ipc();
+  r.sim_seconds = cpu.seconds();
+  r.l2_hit_cycles = hit_cycles;
+  r.hier = hier.stats();
+  r.mttf = reliability::compute_mttf(ledger.total_failure_prob(),
+                                     cpu.seconds());
+  r.checks = ledger.checks();
+  r.max_concealed = ledger.max_concealed();
+  r.concealed = ledger.histogram();
+  r.events = policy->events();
+  r.energy = compute_energy(r.events, circuit.energies());
+  r.p_rd = p_rd;
+  return r;
+}
+
+PolicyComparison compare_policies(const ExperimentConfig& cfg,
+                                  PolicyKind base, PolicyKind other) {
+  ExperimentConfig base_cfg = cfg;
+  base_cfg.policy = base;
+  ExperimentConfig other_cfg = cfg;
+  other_cfg.policy = other;
+
+  PolicyComparison c;
+  c.base = run_experiment(base_cfg);
+  c.other = run_experiment(other_cfg);
+  c.mttf_gain = reliability::mttf_ratio(c.other.mttf, c.base.mttf);
+  const double eb = c.base.energy.dynamic_total_j();
+  const double eo = c.other.energy.dynamic_total_j();
+  c.energy_ratio = eb > 0.0 ? eo / eb : 1.0;
+  c.energy_overhead_pct = (c.energy_ratio - 1.0) * 100.0;
+  c.speedup = c.base.ipc > 0.0 ? c.other.ipc / c.base.ipc : 1.0;
+  return c;
+}
+
+}  // namespace reap::core

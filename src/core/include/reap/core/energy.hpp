@@ -1,0 +1,26 @@
+// Converts L2 event counts into joules using the nvsim per-event energies.
+#pragma once
+
+#include "reap/core/read_path.hpp"
+#include "reap/nvsim/cache_model.hpp"
+
+namespace reap::core {
+
+struct EnergyBreakdown {
+  double data_read_j = 0.0;
+  double data_write_j = 0.0;
+  double tag_j = 0.0;
+  double periphery_j = 0.0;
+  double ecc_decode_j = 0.0;
+  double ecc_encode_j = 0.0;
+
+  double dynamic_total_j() const {
+    return data_read_j + data_write_j + tag_j + periphery_j + ecc_decode_j +
+           ecc_encode_j;
+  }
+};
+
+EnergyBreakdown compute_energy(const EnergyEvents& events,
+                               const nvsim::AccessEnergies& unit);
+
+}  // namespace reap::core

@@ -1,0 +1,83 @@
+// Concrete read-path policies; see read_path.hpp for the taxonomy.
+#pragma once
+
+#include "reap/core/read_path.hpp"
+
+namespace reap::core {
+
+// Fig. 2: parallel access, single ECC decoder after the way MUX.
+class ConventionalParallelPolicy final : public ReadPathPolicy {
+ public:
+  explicit ConventionalParallelPolicy(const PolicyContext& ctx)
+      : ReadPathPolicy(ctx) {}
+  PolicyKind kind() const override { return PolicyKind::conventional_parallel; }
+  void on_read_lookup(std::span<sim::CacheLine> ways, int hit_way) override;
+
+ protected:
+  double check_failure(const sim::CacheLine& line) const override;
+};
+
+// Fig. 4: parallel access, k ECC decoders before the way MUX (the paper's
+// proposal).
+class ReapPolicy final : public ReadPathPolicy {
+ public:
+  explicit ReapPolicy(const PolicyContext& ctx) : ReadPathPolicy(ctx) {}
+  PolicyKind kind() const override { return PolicyKind::reap; }
+  void on_read_lookup(std::span<sim::CacheLine> ways, int hit_way) override;
+
+ protected:
+  double check_failure(const sim::CacheLine& line) const override;
+};
+
+// Sec. IV approach (1): read the data way only after the tag compare.
+class SerialTagThenDataPolicy final : public ReadPathPolicy {
+ public:
+  explicit SerialTagThenDataPolicy(const PolicyContext& ctx)
+      : ReadPathPolicy(ctx) {}
+  PolicyKind kind() const override { return PolicyKind::serial_tag_then_data; }
+  void on_read_lookup(std::span<sim::CacheLine> ways, int hit_way) override;
+
+ protected:
+  double check_failure(const sim::CacheLine& line) const override;
+};
+
+// Refs [14][15]: parallel access with a restore write after every read of
+// every way. Removes accumulation without extra decoders, but each restore
+// can fail as a write and burns write energy -- the trade-off the paper
+// criticizes.
+class DisruptiveRestorePolicy final : public ReadPathPolicy {
+ public:
+  explicit DisruptiveRestorePolicy(const PolicyContext& ctx);
+  PolicyKind kind() const override { return PolicyKind::disruptive_restore; }
+  void on_read_lookup(std::span<sim::CacheLine> ways, int hit_way) override;
+
+  double restore_failure_prob() const { return p_restore_fail_; }
+
+ protected:
+  double check_failure(const sim::CacheLine& line) const override;
+
+ private:
+  double p_restore_fail_;  // P(> t write failures in one restored codeword)
+};
+
+// Extension: conventional read path + periodic piggyback scrubbing. Every
+// scrub_every-th read lookup behaves like a REAP access for its set (all
+// ways checked and scrubbed); all other lookups are plain conventional.
+// Interpolates between the two designs at proportional decode energy.
+class ScrubPiggybackPolicy final : public ReadPathPolicy {
+ public:
+  explicit ScrubPiggybackPolicy(const PolicyContext& ctx);
+  PolicyKind kind() const override { return PolicyKind::scrub_piggyback; }
+  void on_read_lookup(std::span<sim::CacheLine> ways, int hit_way) override;
+
+  std::uint64_t scrubs_performed() const { return scrubs_; }
+
+ protected:
+  double check_failure(const sim::CacheLine& line) const override;
+
+ private:
+  std::uint64_t countdown_;
+  std::uint64_t scrubs_ = 0;
+};
+
+}  // namespace reap::core

@@ -1,0 +1,187 @@
+#include "reap/core/policies.hpp"
+
+#include "reap/common/assert.hpp"
+
+namespace reap::core {
+
+// ---------------------------------------------------------------- conventional
+
+void ConventionalParallelPolicy::on_read_lookup(
+    std::span<sim::CacheLine> ways, int hit_way) {
+  ++events_.lookups;
+  ++events_.tag_reads;
+  // Fast-access mode: every way's data is read in parallel with the tag
+  // compare, hit or miss.
+  events_.way_data_reads += ways.size();
+
+  for (int w = 0; w < static_cast<int>(ways.size()); ++w) {
+    sim::CacheLine& line = ways[w];
+    if (!line.valid) continue;
+    if (w == hit_way) {
+      // The requested way goes through the single ECC decoder. Its failure
+      // probability reflects the disturbance accumulated over the concealed
+      // reads since its last check, plus this read (Eq. 3's N).
+      ++events_.ecc_decodes;
+      const std::uint64_t concealed = line.reads_since_check;
+      ctx_.ledger->record_check(
+          concealed, ctx_.model->conventional(line.ones, concealed + 1));
+      line.reads_since_check = 0;  // checked (and scrubbed) now
+    } else {
+      // Concealed read: data sensed and discarded unchecked.
+      ++line.reads_since_check;
+    }
+  }
+}
+
+double ConventionalParallelPolicy::check_failure(
+    const sim::CacheLine& line) const {
+  return ctx_.model->conventional(line.ones, line.reads_since_check + 1);
+}
+
+// ------------------------------------------------------------------------ reap
+
+void ReapPolicy::on_read_lookup(std::span<sim::CacheLine> ways, int hit_way) {
+  ++events_.lookups;
+  ++events_.tag_reads;
+  events_.way_data_reads += ways.size();
+  // One decoder per way: all of them fire on every read access (Fig. 4).
+  events_.ecc_decodes += ways.size();
+
+  for (int w = 0; w < static_cast<int>(ways.size()); ++w) {
+    sim::CacheLine& line = ways[w];
+    if (!line.valid) continue;
+    if (w == hit_way) {
+      // Every read since the last delivery was individually checked and
+      // scrubbed; correct delivery requires all N per-read checks to have
+      // passed (Eq. 6).
+      const std::uint64_t concealed = line.reads_since_check;
+      ctx_.ledger->record_check(concealed,
+                                ctx_.model->reap(line.ones, concealed + 1));
+      line.reads_since_check = 0;
+    } else {
+      // Still counted so Eq. (6)'s N is known at the next real read; the
+      // physical scrub is what distinguishes this from the conventional
+      // counter (the formula, not the bookkeeping, changes).
+      ++line.reads_since_check;
+    }
+  }
+}
+
+double ReapPolicy::check_failure(const sim::CacheLine& line) const {
+  return ctx_.model->reap(line.ones, line.reads_since_check + 1);
+}
+
+// ---------------------------------------------------------------------- serial
+
+void SerialTagThenDataPolicy::on_read_lookup(std::span<sim::CacheLine> ways,
+                                             int hit_way) {
+  ++events_.lookups;
+  ++events_.tag_reads;
+  if (hit_way < 0) return;  // miss costs only the tag compare
+
+  // Only the matching way is ever read, after the compare: no concealed
+  // reads exist anywhere, so every check sees N = 1.
+  sim::CacheLine& line = ways[hit_way];
+  ++events_.way_data_reads;
+  ++events_.ecc_decodes;
+  REAP_ASSERT(line.reads_since_check == 0);
+  ctx_.ledger->record_check(0, ctx_.model->single(line.ones));
+}
+
+double SerialTagThenDataPolicy::check_failure(
+    const sim::CacheLine& line) const {
+  return ctx_.model->single(line.ones);
+}
+
+// --------------------------------------------------------------------- restore
+
+DisruptiveRestorePolicy::DisruptiveRestorePolicy(const PolicyContext& ctx)
+    : ReadPathPolicy(ctx) {
+  REAP_EXPECTS(ctx.write_fail_per_cell >= 0.0 &&
+               ctx.write_fail_per_cell < 1.0);
+  // A restore rewrites the whole codeword; the line fails when more write
+  // errors land than the code corrects.
+  p_restore_fail_ = reliability::p_uncorrectable(
+      ctx.codeword_bits, ctx.model->t(), ctx.write_fail_per_cell);
+}
+
+void DisruptiveRestorePolicy::on_read_lookup(std::span<sim::CacheLine> ways,
+                                             int hit_way) {
+  ++events_.lookups;
+  ++events_.tag_reads;
+  events_.way_data_reads += ways.size();
+
+  for (int w = 0; w < static_cast<int>(ways.size()); ++w) {
+    sim::CacheLine& line = ways[w];
+    if (!line.valid) continue;
+    // Restore-after-read: the sensed value (captured before the disturbance
+    // manifests) is immediately written back, so no accumulation survives
+    // -- but the restore write itself can fail.
+    ++events_.way_data_writes;
+    if (w == hit_way) {
+      ++events_.ecc_decodes;
+      ctx_.ledger->record_check(line.reads_since_check,
+                                ctx_.model->single(line.ones) +
+                                    p_restore_fail_);
+    } else {
+      ctx_.ledger->record_unattributed(p_restore_fail_);
+    }
+    line.reads_since_check = 0;
+  }
+}
+
+double DisruptiveRestorePolicy::check_failure(
+    const sim::CacheLine& line) const {
+  return ctx_.model->single(line.ones);
+}
+
+// ----------------------------------------------------------------- scrub
+
+ScrubPiggybackPolicy::ScrubPiggybackPolicy(const PolicyContext& ctx)
+    : ReadPathPolicy(ctx), countdown_(ctx.scrub_every) {
+  REAP_EXPECTS(ctx.scrub_every >= 1);
+}
+
+void ScrubPiggybackPolicy::on_read_lookup(std::span<sim::CacheLine> ways,
+                                          int hit_way) {
+  ++events_.lookups;
+  ++events_.tag_reads;
+  events_.way_data_reads += ways.size();
+
+  const bool scrub_now = --countdown_ == 0;
+  if (scrub_now) {
+    countdown_ = ctx_.scrub_every;
+    ++scrubs_;
+  }
+
+  for (int w = 0; w < static_cast<int>(ways.size()); ++w) {
+    sim::CacheLine& line = ways[w];
+    if (scrub_now) ++events_.ecc_decodes;  // decoder fires even on invalid ways
+    if (!line.valid) continue;
+    if (w == hit_way) {
+      // The requested way is always checked (conventional behaviour). Its
+      // window accumulated since the last check or scrub (Eq. 3).
+      if (!scrub_now) ++events_.ecc_decodes;
+      const std::uint64_t concealed = line.reads_since_check;
+      ctx_.ledger->record_check(
+          concealed, ctx_.model->conventional(line.ones, concealed + 1));
+      line.reads_since_check = 0;
+    } else if (scrub_now) {
+      // Scrubbed concealed way: its window ends here with a full check, so
+      // the accumulated risk is realized now instead of at the next real
+      // read (same Eq. 3 window, just closed early).
+      ctx_.ledger->record_check(
+          line.reads_since_check,
+          ctx_.model->conventional(line.ones, line.reads_since_check + 1));
+      line.reads_since_check = 0;
+    } else {
+      ++line.reads_since_check;
+    }
+  }
+}
+
+double ScrubPiggybackPolicy::check_failure(const sim::CacheLine& line) const {
+  return ctx_.model->conventional(line.ones, line.reads_since_check + 1);
+}
+
+}  // namespace reap::core

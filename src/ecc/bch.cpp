@@ -1,0 +1,206 @@
+#include "reap/ecc/bch.hpp"
+
+#include <algorithm>
+
+#include "reap/common/assert.hpp"
+
+namespace reap::ecc {
+
+namespace {
+
+// lcm accumulation over GF(2) polynomials represented as bool vectors
+// (index = power of x).
+std::vector<bool> poly_mul(const std::vector<bool>& a,
+                           const std::vector<bool>& b) {
+  std::vector<bool> out(a.size() + b.size() - 1, false);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!a[i]) continue;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      if (b[j]) out[i + j] = !out[i + j];
+    }
+  }
+  return out;
+}
+
+std::vector<bool> mask_to_poly(std::uint64_t mask) {
+  std::vector<bool> p;
+  while (mask) {
+    p.push_back(mask & 1);
+    mask >>= 1;
+  }
+  return p;
+}
+
+unsigned pick_field_m(std::size_t data_bits, unsigned t) {
+  for (unsigned m = 3; m <= 14; ++m) {
+    const std::size_t n_full = (std::size_t{1} << m) - 1;
+    const std::size_t max_parity = static_cast<std::size_t>(m) * t;
+    if (n_full >= data_bits + max_parity) return m;
+  }
+  REAP_EXPECTS(false && "data width too large for supported BCH fields");
+  return 0;
+}
+
+}  // namespace
+
+BchCode::BchCode(std::size_t data_bits, unsigned t)
+    : data_bits_(data_bits), t_(t), gf_(pick_field_m(data_bits, t)) {
+  REAP_EXPECTS(data_bits >= 1);
+  REAP_EXPECTS(t >= 1 && t <= 8);
+
+  // g(x) = lcm of minimal polys of alpha^(2i-1), i = 1..t. Distinct cosets
+  // are multiplied once (lcm of coprime irreducibles is the product).
+  std::vector<std::uint64_t> seen;
+  std::vector<bool> g = {true};  // 1
+  for (unsigned i = 1; i <= t_; ++i) {
+    const std::uint64_t mp = gf_.minimal_polynomial(2 * i - 1);
+    if (std::find(seen.begin(), seen.end(), mp) != seen.end()) continue;
+    seen.push_back(mp);
+    g = poly_mul(g, mask_to_poly(mp));
+  }
+  generator_ = g;
+  parity_bits_ = generator_.size() - 1;
+  REAP_ENSURES(parity_bits_ >= t_);
+  REAP_ENSURES(data_bits_ + parity_bits_ <= gf_.order());
+}
+
+std::string BchCode::name() const {
+  return "bch(" + std::to_string(codeword_bits()) + "," +
+         std::to_string(data_bits_) + ",t=" + std::to_string(t_) + ")";
+}
+
+std::size_t BchCode::degree_of_index(std::size_t i) const {
+  if (i < data_bits_) return parity_bits_ + (data_bits_ - 1 - i);
+  return parity_bits_ - 1 - (i - data_bits_);
+}
+
+std::size_t BchCode::index_of_degree(std::size_t deg) const {
+  if (deg >= parity_bits_) return data_bits_ - 1 - (deg - parity_bits_);
+  return data_bits_ + (parity_bits_ - 1 - deg);
+}
+
+BitVec BchCode::encode(const BitVec& data) const {
+  REAP_EXPECTS(data.size() == data_bits_);
+
+  // Long division of x^parity * d(x) by g(x) over GF(2). Work over a dense
+  // bool buffer indexed by degree.
+  const std::size_t top_deg = parity_bits_ + data_bits_ - 1;
+  std::vector<bool> rem(top_deg + 1, false);
+  for (std::size_t i = 0; i < data_bits_; ++i)
+    if (data.test(i)) rem[degree_of_index(i)] = true;
+
+  for (std::size_t deg = top_deg + 1; deg-- > parity_bits_;) {
+    if (!rem[deg]) continue;
+    const std::size_t shift = deg - parity_bits_;
+    for (std::size_t gi = 0; gi < generator_.size(); ++gi) {
+      if (generator_[gi]) rem[gi + shift] = !rem[gi + shift];
+    }
+  }
+
+  BitVec cw(codeword_bits());
+  for (std::size_t i = 0; i < data_bits_; ++i)
+    if (data.test(i)) cw.set(i);
+  for (std::size_t j = 0; j < parity_bits_; ++j)
+    if (rem[parity_bits_ - 1 - j]) cw.set(data_bits_ + j);
+  return cw;
+}
+
+DecodeResult BchCode::decode(const BitVec& codeword) const {
+  REAP_EXPECTS(codeword.size() == codeword_bits());
+  DecodeResult r;
+  r.codeword = codeword;
+  r.data = BitVec(data_bits_);
+
+  // Syndromes S_i = r(alpha^i), i = 1..2t.
+  std::vector<std::uint32_t> synd(2 * t_ + 1, 0);  // 1-based
+  bool any_nonzero = false;
+  const auto ones = codeword.one_positions();
+  for (unsigned i = 1; i <= 2 * t_; ++i) {
+    std::uint32_t s = 0;
+    for (const std::size_t idx : ones) {
+      const std::size_t deg = degree_of_index(idx);
+      s = GaloisField::add(
+          s, gf_.alpha_pow(static_cast<std::int64_t>(deg) * i));
+    }
+    synd[i] = s;
+    any_nonzero |= (s != 0);
+  }
+
+  if (!any_nonzero) {
+    r.status = DecodeStatus::clean;
+    for (std::size_t i = 0; i < data_bits_; ++i)
+      if (codeword.test(i)) r.data.set(i);
+    return r;
+  }
+
+  // Berlekamp-Massey over GF(2^m): find the error locator sigma(x).
+  std::vector<std::uint32_t> sigma = {1};
+  std::vector<std::uint32_t> prev_b = {1};
+  unsigned L = 0;
+  unsigned shift = 1;
+  std::uint32_t b = 1;
+  for (unsigned n = 0; n < 2 * t_; ++n) {
+    std::uint32_t d = synd[n + 1];
+    for (unsigned i = 1; i <= L && i < sigma.size(); ++i) {
+      if (n + 1 >= i + 1)  // S index n+1-i >= 1
+        d = GaloisField::add(d, gf_.mul(sigma[i], synd[n + 1 - i]));
+    }
+    if (d == 0) {
+      ++shift;
+      continue;
+    }
+    const std::uint32_t coef = gf_.div(d, b);
+    std::vector<std::uint32_t> next = sigma;
+    if (next.size() < prev_b.size() + shift)
+      next.resize(prev_b.size() + shift, 0);
+    for (std::size_t i = 0; i < prev_b.size(); ++i) {
+      next[i + shift] =
+          GaloisField::add(next[i + shift], gf_.mul(coef, prev_b[i]));
+    }
+    if (2 * L <= n) {
+      prev_b = sigma;
+      b = d;
+      L = n + 1 - L;
+      shift = 1;
+    } else {
+      ++shift;
+    }
+    sigma = std::move(next);
+  }
+
+  // Trim trailing zeros; if deg(sigma) != L or L > t the error pattern is
+  // beyond the decoder, declare failure.
+  while (sigma.size() > 1 && sigma.back() == 0) sigma.pop_back();
+  const unsigned deg_sigma = static_cast<unsigned>(sigma.size() - 1);
+  if (deg_sigma != L || L > t_) {
+    r.status = DecodeStatus::detected_uncorrectable;
+    return r;
+  }
+
+  // Chien search restricted to degrees that exist in the shortened code.
+  std::vector<std::size_t> error_indices;
+  const std::size_t n_short = codeword_bits();
+  for (std::size_t deg = 0; deg < n_short; ++deg) {
+    // Root X^-1 = alpha^-deg  <=>  sigma(alpha^-deg) == 0.
+    const std::uint32_t x = gf_.alpha_pow(-static_cast<std::int64_t>(deg));
+    if (gf_.eval_poly(sigma, x) == 0) {
+      error_indices.push_back(index_of_degree(deg));
+      if (error_indices.size() > L) break;
+    }
+  }
+
+  if (error_indices.size() != L) {
+    // Roots outside the shortened range (or repeated): uncorrectable.
+    r.status = DecodeStatus::detected_uncorrectable;
+    return r;
+  }
+
+  for (const std::size_t idx : error_indices) r.codeword.flip(idx);
+  r.status = DecodeStatus::corrected;
+  r.corrected_bits = L;
+  for (std::size_t i = 0; i < data_bits_; ++i)
+    if (r.codeword.test(i)) r.data.set(i);
+  return r;
+}
+
+}  // namespace reap::ecc

@@ -1,0 +1,100 @@
+#include "reap/ecc/ecc_cost.hpp"
+
+#include <cmath>
+
+#include "reap/common/assert.hpp"
+#include "reap/ecc/bch.hpp"
+
+namespace reap::ecc {
+
+GateTech gate_tech_45nm() {
+  GateTech t;
+  t.node_name = "45nm";
+  t.energy_per_gate = common::Joules{0.7e-15};
+  t.area_per_gate = common::SquareMm{0.5e-6};
+  t.delay_per_level = common::picoseconds(25.0);
+  t.leakage_w_per_gate = 6e-9;
+  return t;
+}
+
+GateTech gate_tech_32nm() { return GateTech{}; }
+
+GateTech gate_tech_22nm() {
+  GateTech t;
+  t.node_name = "22nm";
+  t.energy_per_gate = common::Joules{0.19e-15};
+  t.area_per_gate = common::SquareMm{0.13e-6};
+  t.delay_per_level = common::picoseconds(13.0);
+  t.leakage_w_per_gate = 3e-9;
+  return t;
+}
+
+namespace {
+
+std::size_t ceil_log2(std::size_t x) {
+  std::size_t l = 0;
+  while ((std::size_t{1} << l) < x) ++l;
+  return l;
+}
+
+DecoderCost finish(std::size_t gates, std::size_t depth, const GateTech& tech) {
+  DecoderCost c;
+  c.gates = gates;
+  c.logic_depth = depth;
+  const double g = static_cast<double>(gates);
+  c.energy_per_decode = tech.energy_per_gate * g;
+  c.area = common::SquareMm{tech.area_per_gate.value * g};
+  c.latency = tech.delay_per_level * static_cast<double>(depth);
+  c.leakage = common::Watts{tech.leakage_w_per_gate * g};
+  return c;
+}
+
+}  // namespace
+
+DecoderCost estimate_decoder_cost(const Code& code, const GateTech& tech) {
+  const std::size_t n = code.codeword_bits();
+  const std::size_t r = code.parity_bits();
+  const std::size_t t = code.correctable_bits();
+
+  std::size_t gates = 0;
+  std::size_t depth = 0;
+
+  if (const auto* bch = dynamic_cast<const BchCode*>(&code)) {
+    const std::size_t m = bch->field_m();
+    const std::size_t m2 = m * m;
+    // 2t syndrome evaluators, each an n-term GF(2^m) Horner chain that
+    // hardware parallelizes into an XOR tree of constant-multiplier outputs.
+    gates += 2 * t * n * (m2 / 2);
+    // BM iterations (unrolled): (2t)^2 GF multiplies.
+    gates += (2 * t) * (2 * t) * m2;
+    // Chien search evaluator bank: t constant multipliers per position.
+    gates += n * t * (m2 / 2);
+    depth = ceil_log2(n) + 2 * t * (ceil_log2(m) + 2) + ceil_log2(n);
+  } else if (t >= 1) {
+    // Hamming / SEC-DED: r syndrome XOR trees over ~n/2 inputs each, then an
+    // r-to-n position decoder (~2 gate-equivalents per output with shared
+    // predecoding) and n correction XORs.
+    gates += r * (n / 2);  // syndrome trees
+    gates += n * 2;        // position decode
+    gates += n;            // correction XOR
+    depth = ceil_log2(n / 2 + 1) + ceil_log2(r + 1) + 1;
+  } else {
+    // Parity: one XOR tree.
+    gates += n;
+    depth = ceil_log2(n);
+  }
+
+  return finish(gates, depth, tech);
+}
+
+DecoderCost estimate_encoder_cost(const Code& code, const GateTech& tech) {
+  const std::size_t k = code.data_bits();
+  const std::size_t r = code.parity_bits();
+  // Encoder: r parity trees over ~k/2 data bits each (BCH's LFSR unrolls to
+  // a comparable XOR network per parity bit).
+  const std::size_t gates = r * (k / 2);
+  const std::size_t depth = ceil_log2(k / 2 + 1);
+  return finish(gates, depth, tech);
+}
+
+}  // namespace reap::ecc

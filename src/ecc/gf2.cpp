@@ -1,0 +1,81 @@
+#include "reap/ecc/gf2.hpp"
+
+#include <array>
+
+namespace reap::ecc {
+
+namespace {
+// Primitive polynomials (bit mask includes the x^m term), indexed by m.
+constexpr std::array<std::uint32_t, 15> kPrimPoly = {
+    0,      0,      0,
+    0b1011,          // m=3:  x^3 + x + 1
+    0b10011,         // m=4:  x^4 + x + 1
+    0b100101,        // m=5:  x^5 + x^2 + 1
+    0b1000011,       // m=6:  x^6 + x + 1
+    0b10001001,      // m=7:  x^7 + x^3 + 1
+    0b100011101,     // m=8:  x^8 + x^4 + x^3 + x^2 + 1
+    0b1000010001,    // m=9:  x^9 + x^4 + 1
+    0b10000001001,   // m=10: x^10 + x^3 + 1
+    0b100000000101,  // m=11: x^11 + x^2 + 1
+    0b1000001010011, // m=12: x^12 + x^6 + x^4 + x + 1
+    0b10000000011011,// m=13: x^13 + x^4 + x^3 + x + 1
+    0b100010001000011// m=14: x^14 + x^10 + x^6 + x + 1
+};
+}  // namespace
+
+GaloisField::GaloisField(unsigned m) : m_(m) {
+  REAP_EXPECTS(m >= 3 && m <= 14);
+  size_ = std::uint32_t{1} << m;
+  prim_poly_ = kPrimPoly[m];
+  exp_.resize(order());
+  log_.resize(size_);
+  std::uint32_t x = 1;
+  for (std::uint32_t i = 0; i < order(); ++i) {
+    exp_[i] = x;
+    log_[x] = i;
+    x <<= 1;
+    if (x & size_) x ^= prim_poly_;
+  }
+  REAP_ENSURES(x == 1);  // alpha^order == 1 confirms primitivity
+}
+
+std::uint32_t GaloisField::eval_poly(const std::vector<std::uint32_t>& poly,
+                                     std::uint32_t x) const {
+  std::uint32_t acc = 0;
+  for (std::size_t i = poly.size(); i-- > 0;) {
+    acc = add(mul(acc, x), poly[i]);
+  }
+  return acc;
+}
+
+std::uint64_t GaloisField::minimal_polynomial(std::uint32_t e) const {
+  // Collect the cyclotomic coset {e, 2e, 4e, ...} mod order, then expand
+  // prod (x - alpha^c). Coefficients of the product land in GF(2).
+  std::vector<std::uint32_t> coset;
+  std::uint32_t c = e % order();
+  do {
+    coset.push_back(c);
+    c = static_cast<std::uint32_t>((std::uint64_t{c} * 2) % order());
+  } while (c != e % order());
+
+  // poly over GF(2^m): start with 1, multiply by (x + alpha^c).
+  std::vector<std::uint32_t> poly = {1};
+  for (std::uint32_t ci : coset) {
+    const std::uint32_t root = alpha_pow(ci);
+    std::vector<std::uint32_t> next(poly.size() + 1, 0);
+    for (std::size_t i = 0; i < poly.size(); ++i) {
+      next[i + 1] ^= poly[i];            // x * poly
+      next[i] ^= mul(poly[i], root);     // root * poly
+    }
+    poly = std::move(next);
+  }
+
+  std::uint64_t mask = 0;
+  for (std::size_t i = 0; i < poly.size(); ++i) {
+    REAP_ASSERT(poly[i] == 0 || poly[i] == 1);  // must collapse to GF(2)
+    if (poly[i]) mask |= std::uint64_t{1} << i;
+  }
+  return mask;
+}
+
+}  // namespace reap::ecc

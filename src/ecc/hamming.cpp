@@ -1,0 +1,90 @@
+#include "reap/ecc/hamming.hpp"
+
+#include <bit>
+
+#include "reap/common/assert.hpp"
+
+namespace reap::ecc {
+
+std::size_t HammingCode::parity_bits_for(std::size_t data_bits) {
+  std::size_t r = 0;
+  while ((std::size_t{1} << r) < data_bits + r + 1) ++r;
+  return r;
+}
+
+HammingCode::HammingCode(std::size_t data_bits)
+    : data_bits_(data_bits), parity_bits_(parity_bits_for(data_bits)) {
+  REAP_EXPECTS(data_bits >= 1);
+  const std::size_t n = data_bits_ + parity_bits_;
+  data_position_.reserve(data_bits_);
+  parity_position_.resize(parity_bits_);
+  pos_to_index_.assign(n + 1, 0);
+
+  std::size_t next_data = 0;
+  for (std::size_t pos = 1; pos <= n; ++pos) {
+    if (std::has_single_bit(pos)) {
+      const std::size_t j =
+          static_cast<std::size_t>(std::countr_zero(pos));
+      parity_position_[j] = pos;
+      pos_to_index_[pos] = data_bits_ + j;
+    } else {
+      data_position_.push_back(pos);
+      pos_to_index_[pos] = next_data++;
+    }
+  }
+  REAP_ENSURES(next_data == data_bits_);
+}
+
+std::string HammingCode::name() const {
+  return "hamming(" + std::to_string(codeword_bits()) + "," +
+         std::to_string(data_bits_) + ")";
+}
+
+BitVec HammingCode::encode(const BitVec& data) const {
+  REAP_EXPECTS(data.size() == data_bits_);
+  BitVec cw(codeword_bits());
+  std::size_t syndrome = 0;
+  for (std::size_t i = 0; i < data_bits_; ++i) {
+    if (data.test(i)) {
+      cw.set(i);
+      syndrome ^= data_position_[i];
+    }
+  }
+  for (std::size_t j = 0; j < parity_bits_; ++j) {
+    if (syndrome & (std::size_t{1} << j)) cw.set(data_bits_ + j);
+  }
+  return cw;
+}
+
+DecodeResult HammingCode::decode(const BitVec& codeword) const {
+  REAP_EXPECTS(codeword.size() == codeword_bits());
+  DecodeResult r;
+  r.codeword = codeword;
+
+  std::size_t syndrome = 0;
+  for (std::size_t i = 0; i < data_bits_; ++i)
+    if (codeword.test(i)) syndrome ^= data_position_[i];
+  for (std::size_t j = 0; j < parity_bits_; ++j)
+    if (codeword.test(data_bits_ + j)) syndrome ^= parity_position_[j];
+
+  if (syndrome == 0) {
+    r.status = DecodeStatus::clean;
+  } else if (syndrome <= codeword_bits()) {
+    r.codeword.flip(pos_to_index_[syndrome]);
+    r.status = DecodeStatus::corrected;
+    r.corrected_bits = 1;
+  } else {
+    // Syndrome names a position outside the codeword: only reachable with
+    // >= 2 errors, which a pure SEC code detects here only by luck.
+    r.status = DecodeStatus::detected_uncorrectable;
+  }
+
+  r.data = BitVec(data_bits_);
+  if (r.status != DecodeStatus::detected_uncorrectable) {
+    for (std::size_t i = 0; i < data_bits_; ++i)
+      if (r.codeword.test(i)) r.data.set(i);
+  }
+  return r;
+}
+
+}  // namespace reap::ecc

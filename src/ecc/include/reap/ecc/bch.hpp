@@ -1,0 +1,53 @@
+// Binary primitive BCH codec, shortened to the requested data width.
+//
+// Used by the stronger-ECC ablation: the paper argues REAP-cache removes
+// accumulation outright; the alternative of just deploying a t=2/t=3 code
+// keeps accumulation and pays more parity + decoder cost. BchCode lets the
+// bench quantify that trade-off with a real codec.
+//
+// Construction: field GF(2^m) with n_full = 2^m - 1; generator polynomial
+// g(x) = lcm of minimal polynomials of alpha^1, alpha^3, ..., alpha^(2t-1);
+// systematic encoding via polynomial division; decoding via syndrome
+// computation, Berlekamp-Massey, and Chien search. Shortening pins the top
+// (k_full - data_bits) message coefficients to zero.
+#pragma once
+
+#include <vector>
+
+#include "reap/ecc/code.hpp"
+#include "reap/ecc/gf2.hpp"
+
+namespace reap::ecc {
+
+class BchCode final : public Code {
+ public:
+  // Picks the smallest field GF(2^m) that fits data_bits + m*t parity bits.
+  BchCode(std::size_t data_bits, unsigned t);
+
+  std::string name() const override;
+  std::size_t data_bits() const override { return data_bits_; }
+  std::size_t parity_bits() const override { return parity_bits_; }
+  std::size_t correctable_bits() const override { return t_; }
+  std::size_t detectable_bits() const override { return t_; }
+
+  BitVec encode(const BitVec& data) const override;
+  DecodeResult decode(const BitVec& codeword) const override;
+
+  unsigned field_m() const { return gf_.m(); }
+  std::size_t full_length() const { return gf_.order(); }
+
+ private:
+  // Degree (exponent of x) for systematic codeword index i: data bit i is
+  // the coefficient of x^(parity + data_bits - 1 - i); parity bit j is the
+  // coefficient of x^(parity - 1 - j).
+  std::size_t degree_of_index(std::size_t i) const;
+  std::size_t index_of_degree(std::size_t deg) const;
+
+  std::size_t data_bits_;
+  unsigned t_;
+  GaloisField gf_;
+  std::vector<bool> generator_;  // generator_[i] = coeff of x^i in g(x)
+  std::size_t parity_bits_;      // deg(g)
+};
+
+}  // namespace reap::ecc

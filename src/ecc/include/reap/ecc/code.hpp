@@ -1,0 +1,66 @@
+// Error-correcting code interface.
+//
+// Codecs are systematic over BitVec payloads: `encode` produces a codeword
+// whose first data_bits() bits are the data verbatim, followed by
+// parity_bits() check bits. `decode` takes a (possibly corrupted) codeword
+// and reports what the hardware decoder would: clean, corrected, or
+// detected-uncorrectable. A decoder cannot know about miscorrections --
+// tests compare against ground truth to characterize those.
+//
+// The paper's baseline protection is a single-error-correcting code per
+// 512-bit cache line ("ECC decoder unit is capable of delivering the correct
+// data iff at most one data cell is erroneous", Sec. III-B), i.e. the
+// SecDedCode here with data_bits = 512.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "reap/common/bitvec.hpp"
+
+namespace reap::ecc {
+
+using common::BitVec;
+
+enum class DecodeStatus {
+  clean,                  // no error detected
+  corrected,              // error(s) detected and corrected
+  detected_uncorrectable, // error detected, beyond correction capability
+};
+
+struct DecodeResult {
+  DecodeStatus status = DecodeStatus::clean;
+  BitVec data;                  // best-effort data (valid for clean/corrected)
+  BitVec codeword;              // corrected codeword (clean/corrected)
+  unsigned corrected_bits = 0;  // number of bit corrections applied
+};
+
+class Code {
+ public:
+  virtual ~Code() = default;
+
+  Code(const Code&) = delete;
+  Code& operator=(const Code&) = delete;
+
+  virtual std::string name() const = 0;
+  virtual std::size_t data_bits() const = 0;
+  virtual std::size_t parity_bits() const = 0;
+  std::size_t codeword_bits() const { return data_bits() + parity_bits(); }
+
+  // Guaranteed correction capability t (bit errors per codeword).
+  virtual std::size_t correctable_bits() const = 0;
+  // Guaranteed detection capability (>= correctable_bits()).
+  virtual std::size_t detectable_bits() const = 0;
+
+  // data.size() must equal data_bits().
+  virtual BitVec encode(const BitVec& data) const = 0;
+
+  // codeword.size() must equal codeword_bits().
+  virtual DecodeResult decode(const BitVec& codeword) const = 0;
+
+ protected:
+  Code() = default;
+};
+
+}  // namespace reap::ecc

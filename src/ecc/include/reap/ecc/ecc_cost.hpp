@@ -1,0 +1,52 @@
+// Decoder hardware cost estimates: gate count, energy, area, latency.
+//
+// The paper's overhead story rests on the ECC decoder being ~0.1% of cache
+// area and <1% of cache energy, so replicating it k times costs <1% area and
+// ~2.7% dynamic energy. This model derives those shares from first-order
+// gate counts:
+//   Hamming/SEC-DED syndrome: r parity trees, each XORing ~n/2 codeword bits
+//   corrector: n-way decoder (AND) + n XOR
+//   BCH: 2t syndrome evaluators (n GF multiply-accumulate each, ~m^2 gates
+//        per MAC), Berlekamp-Massey (~(2t)^2 m^2), Chien (n m^2 / cycle-share)
+// Gate energy/area/delay scale with the technology node supplied by nvsim.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "reap/common/units.hpp"
+#include "reap/ecc/code.hpp"
+
+namespace reap::ecc {
+
+// Per-gate parameters for a technology node (2-input NAND equivalents).
+// Area assumes high-density datapath layout (XOR arrays pack well below
+// random-logic standard-cell density).
+struct GateTech {
+  std::string node_name = "32nm";
+  common::Joules energy_per_gate = common::Joules{0.36e-15};   // 0.36 fJ
+  common::SquareMm area_per_gate = common::SquareMm{0.25e-6};  // 0.25 um^2
+  common::Seconds delay_per_level = common::picoseconds(18.0);
+  double leakage_w_per_gate = 4e-9;
+};
+
+GateTech gate_tech_45nm();
+GateTech gate_tech_32nm();
+GateTech gate_tech_22nm();
+
+struct DecoderCost {
+  std::size_t gates = 0;          // NAND2-equivalent count
+  std::size_t logic_depth = 0;    // levels on the critical path
+  common::Joules energy_per_decode{0.0};
+  common::SquareMm area{0.0};
+  common::Seconds latency{0.0};
+  common::Watts leakage{0.0};
+};
+
+// Cost of one decoder instance for `code` in `tech`.
+DecoderCost estimate_decoder_cost(const Code& code, const GateTech& tech);
+
+// Cost of the (cheaper) encoder, used on the write path.
+DecoderCost estimate_encoder_cost(const Code& code, const GateTech& tech);
+
+}  // namespace reap::ecc

@@ -1,0 +1,73 @@
+// GF(2^m) arithmetic with log/antilog tables, m in [3, 14].
+//
+// Substrate for the BCH codec: elements are represented as unsigned
+// polynomial bit masks; multiplication/division go through discrete-log
+// tables built from a fixed primitive polynomial per field size.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "reap/common/assert.hpp"
+
+namespace reap::ecc {
+
+class GaloisField {
+ public:
+  explicit GaloisField(unsigned m);
+
+  unsigned m() const { return m_; }
+  std::uint32_t size() const { return size_; }        // 2^m
+  std::uint32_t order() const { return size_ - 1; }   // multiplicative order
+  std::uint32_t primitive_poly() const { return prim_poly_; }
+
+  // alpha^i for any integer exponent (reduced mod order).
+  std::uint32_t alpha_pow(std::int64_t i) const {
+    std::int64_t e = i % static_cast<std::int64_t>(order());
+    if (e < 0) e += order();
+    return exp_[static_cast<std::size_t>(e)];
+  }
+
+  // Discrete log; x must be nonzero.
+  std::uint32_t log(std::uint32_t x) const {
+    REAP_EXPECTS(x != 0 && x < size_);
+    return log_[x];
+  }
+
+  std::uint32_t mul(std::uint32_t a, std::uint32_t b) const {
+    if (a == 0 || b == 0) return 0;
+    const std::uint32_t s = log_[a] + log_[b];
+    return exp_[s >= order() ? s - order() : s];
+  }
+
+  std::uint32_t div(std::uint32_t a, std::uint32_t b) const {
+    REAP_EXPECTS(b != 0);
+    if (a == 0) return 0;
+    const std::int64_t s = static_cast<std::int64_t>(log_[a]) - log_[b];
+    return alpha_pow(s);
+  }
+
+  std::uint32_t inv(std::uint32_t a) const {
+    REAP_EXPECTS(a != 0);
+    return alpha_pow(-static_cast<std::int64_t>(log_[a]));
+  }
+
+  // Addition in characteristic 2 is XOR; provided for readability.
+  static std::uint32_t add(std::uint32_t a, std::uint32_t b) { return a ^ b; }
+
+  // Evaluates poly(x) where poly[i] is the coefficient of x^i.
+  std::uint32_t eval_poly(const std::vector<std::uint32_t>& poly,
+                          std::uint32_t x) const;
+
+  // Minimal polynomial of alpha^e as a GF(2) bit mask (bit i = coeff of x^i).
+  std::uint64_t minimal_polynomial(std::uint32_t e) const;
+
+ private:
+  unsigned m_;
+  std::uint32_t size_;
+  std::uint32_t prim_poly_;
+  std::vector<std::uint32_t> exp_;  // exp_[i] = alpha^i, i in [0, order)
+  std::vector<std::uint32_t> log_;  // log_[x], x in [1, size)
+};
+
+}  // namespace reap::ecc

@@ -1,0 +1,43 @@
+// Hamming single-error-correcting (SEC) code for arbitrary data width.
+//
+// Classic construction: codeword positions are numbered 1..n, parity bits
+// sit at power-of-two positions, and the syndrome (XOR of the position
+// numbers of all set bits) directly names the erroneous position. Exposed
+// systematically: the public codeword layout is [data | parity]; the
+// position shuffling is internal.
+#pragma once
+
+#include <vector>
+
+#include "reap/ecc/code.hpp"
+
+namespace reap::ecc {
+
+class HammingCode final : public Code {
+ public:
+  explicit HammingCode(std::size_t data_bits);
+
+  std::string name() const override;
+  std::size_t data_bits() const override { return data_bits_; }
+  std::size_t parity_bits() const override { return parity_bits_; }
+  std::size_t correctable_bits() const override { return 1; }
+  std::size_t detectable_bits() const override { return 1; }
+
+  BitVec encode(const BitVec& data) const override;
+  DecodeResult decode(const BitVec& codeword) const override;
+
+  // Number of parity bits the construction needs for `data_bits`.
+  static std::size_t parity_bits_for(std::size_t data_bits);
+
+ private:
+  // Internal position (1-based Hamming position) for each systematic
+  // codeword index, and the reverse map.
+  std::size_t data_bits_;
+  std::size_t parity_bits_;
+  std::vector<std::size_t> data_position_;    // data i   -> hamming position
+  std::vector<std::size_t> parity_position_;  // parity j -> hamming position
+  std::vector<std::size_t> pos_to_index_;     // hamming position -> systematic
+                                              // index (data_bits_+j for parity)
+};
+
+}  // namespace reap::ecc

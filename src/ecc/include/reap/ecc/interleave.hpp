@@ -1,0 +1,40 @@
+// Interleaved code wrapper: splits the data into `ways` equal chunks, each
+// protected by its own inner codeword. A t-correcting inner code then
+// corrects up to t errors *per chunk*, which raises burst tolerance for the
+// same redundancy class -- a classic DRAM/SRAM trick included in the ECC
+// ablation sweep. Chunk codewords are concatenated: [cw0 | cw1 | ...].
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "reap/ecc/code.hpp"
+
+namespace reap::ecc {
+
+class InterleavedCode final : public Code {
+ public:
+  // `make_inner` builds the per-chunk code given the chunk's data width.
+  // data_bits must divide evenly by ways.
+  InterleavedCode(std::size_t data_bits, std::size_t ways,
+                  const std::function<std::unique_ptr<Code>(std::size_t)>& make_inner);
+
+  std::string name() const override;
+  std::size_t data_bits() const override { return data_bits_; }
+  std::size_t parity_bits() const override;
+  std::size_t correctable_bits() const override;
+  std::size_t detectable_bits() const override;
+
+  BitVec encode(const BitVec& data) const override;
+  DecodeResult decode(const BitVec& codeword) const override;
+
+  std::size_t ways() const { return inners_.size(); }
+
+ private:
+  std::size_t data_bits_;
+  std::size_t chunk_bits_;
+  std::vector<std::unique_ptr<Code>> inners_;
+};
+
+}  // namespace reap::ecc

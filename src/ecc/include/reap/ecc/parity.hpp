@@ -1,0 +1,26 @@
+// Single even-parity bit: detects any odd number of errors, corrects none.
+// The weakest protection level in the ablation sweep.
+#pragma once
+
+#include "reap/ecc/code.hpp"
+
+namespace reap::ecc {
+
+class ParityCode final : public Code {
+ public:
+  explicit ParityCode(std::size_t data_bits);
+
+  std::string name() const override;
+  std::size_t data_bits() const override { return data_bits_; }
+  std::size_t parity_bits() const override { return 1; }
+  std::size_t correctable_bits() const override { return 0; }
+  std::size_t detectable_bits() const override { return 1; }
+
+  BitVec encode(const BitVec& data) const override;
+  DecodeResult decode(const BitVec& codeword) const override;
+
+ private:
+  std::size_t data_bits_;
+};
+
+}  // namespace reap::ecc

@@ -1,0 +1,36 @@
+// SEC-DED: extended Hamming (Hsiao-class) code.
+//
+// Hamming SEC plus one overall parity bit. Decode logic:
+//   syndrome == 0, overall parity even  -> clean
+//   syndrome != 0, overall parity odd   -> single error, corrected
+//   syndrome != 0, overall parity even  -> double error, detected
+//   syndrome == 0, overall parity odd   -> overall parity bit flipped
+//
+// This is the paper's per-line protection: with data_bits = 512 it corrects
+// one disturbed cell per cache line and detects two (the uncorrectable case
+// whose probability Eqs. (3)/(6) track).
+#pragma once
+
+#include "reap/ecc/code.hpp"
+#include "reap/ecc/hamming.hpp"
+
+namespace reap::ecc {
+
+class SecDedCode final : public Code {
+ public:
+  explicit SecDedCode(std::size_t data_bits);
+
+  std::string name() const override;
+  std::size_t data_bits() const override { return inner_.data_bits(); }
+  std::size_t parity_bits() const override { return inner_.parity_bits() + 1; }
+  std::size_t correctable_bits() const override { return 1; }
+  std::size_t detectable_bits() const override { return 2; }
+
+  BitVec encode(const BitVec& data) const override;
+  DecodeResult decode(const BitVec& codeword) const override;
+
+ private:
+  HammingCode inner_;
+};
+
+}  // namespace reap::ecc

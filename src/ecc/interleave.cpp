@@ -1,0 +1,91 @@
+#include "reap/ecc/interleave.hpp"
+
+#include "reap/common/assert.hpp"
+
+namespace reap::ecc {
+
+InterleavedCode::InterleavedCode(
+    std::size_t data_bits, std::size_t ways,
+    const std::function<std::unique_ptr<Code>(std::size_t)>& make_inner)
+    : data_bits_(data_bits), chunk_bits_(data_bits / ways) {
+  REAP_EXPECTS(ways >= 1);
+  REAP_EXPECTS(data_bits % ways == 0);
+  inners_.reserve(ways);
+  for (std::size_t w = 0; w < ways; ++w) {
+    inners_.push_back(make_inner(chunk_bits_));
+    REAP_EXPECTS(inners_.back() != nullptr);
+    REAP_EXPECTS(inners_.back()->data_bits() == chunk_bits_);
+  }
+}
+
+std::string InterleavedCode::name() const {
+  return "interleave(" + std::to_string(inners_.size()) + "x " +
+         inners_.front()->name() + ")";
+}
+
+std::size_t InterleavedCode::parity_bits() const {
+  std::size_t total = 0;
+  for (const auto& c : inners_) total += c->parity_bits();
+  return total;
+}
+
+std::size_t InterleavedCode::correctable_bits() const {
+  // Guaranteed capability for arbitrary error placement is the per-chunk t
+  // (all errors could land in one chunk).
+  return inners_.front()->correctable_bits();
+}
+
+std::size_t InterleavedCode::detectable_bits() const {
+  return inners_.front()->detectable_bits();
+}
+
+BitVec InterleavedCode::encode(const BitVec& data) const {
+  REAP_EXPECTS(data.size() == data_bits_);
+  BitVec cw(codeword_bits());
+  std::size_t out = 0;
+  for (std::size_t w = 0; w < inners_.size(); ++w) {
+    BitVec chunk(chunk_bits_);
+    for (std::size_t i = 0; i < chunk_bits_; ++i)
+      if (data.test(w * chunk_bits_ + i)) chunk.set(i);
+    const BitVec inner_cw = inners_[w]->encode(chunk);
+    for (std::size_t i = 0; i < inner_cw.size(); ++i, ++out)
+      if (inner_cw.test(i)) cw.set(out);
+  }
+  REAP_ENSURES(out == codeword_bits());
+  return cw;
+}
+
+DecodeResult InterleavedCode::decode(const BitVec& codeword) const {
+  REAP_EXPECTS(codeword.size() == codeword_bits());
+  DecodeResult r;
+  r.data = BitVec(data_bits_);
+  r.codeword = BitVec(codeword_bits());
+  r.status = DecodeStatus::clean;
+
+  std::size_t in = 0;
+  for (std::size_t w = 0; w < inners_.size(); ++w) {
+    const std::size_t inner_n = inners_[w]->codeword_bits();
+    BitVec chunk_cw(inner_n);
+    for (std::size_t i = 0; i < inner_n; ++i)
+      if (codeword.test(in + i)) chunk_cw.set(i);
+
+    const DecodeResult cr = inners_[w]->decode(chunk_cw);
+    if (cr.status == DecodeStatus::detected_uncorrectable) {
+      r.status = DecodeStatus::detected_uncorrectable;
+      r.codeword = codeword;
+      return r;
+    }
+    if (cr.status == DecodeStatus::corrected) {
+      r.status = DecodeStatus::corrected;
+      r.corrected_bits += cr.corrected_bits;
+    }
+    for (std::size_t i = 0; i < chunk_bits_; ++i)
+      if (cr.data.test(i)) r.data.set(w * chunk_bits_ + i);
+    for (std::size_t i = 0; i < inner_n; ++i)
+      if (cr.codeword.test(i)) r.codeword.set(in + i);
+    in += inner_n;
+  }
+  return r;
+}
+
+}  // namespace reap::ecc

@@ -1,0 +1,38 @@
+#include "reap/ecc/parity.hpp"
+
+#include "reap/common/assert.hpp"
+
+namespace reap::ecc {
+
+ParityCode::ParityCode(std::size_t data_bits) : data_bits_(data_bits) {
+  REAP_EXPECTS(data_bits >= 1);
+}
+
+std::string ParityCode::name() const {
+  return "parity(" + std::to_string(data_bits_ + 1) + "," +
+         std::to_string(data_bits_) + ")";
+}
+
+BitVec ParityCode::encode(const BitVec& data) const {
+  REAP_EXPECTS(data.size() == data_bits_);
+  BitVec cw(data_bits_ + 1);
+  for (std::size_t i = 0; i < data_bits_; ++i)
+    if (data.test(i)) cw.set(i);
+  cw.set(data_bits_, data.count_ones() % 2 == 1);
+  return cw;
+}
+
+DecodeResult ParityCode::decode(const BitVec& codeword) const {
+  REAP_EXPECTS(codeword.size() == data_bits_ + 1);
+  DecodeResult r;
+  r.codeword = codeword;
+  r.data = BitVec(data_bits_);
+  for (std::size_t i = 0; i < data_bits_; ++i)
+    if (codeword.test(i)) r.data.set(i);
+  const bool parity_ok = codeword.count_ones() % 2 == 0;
+  r.status =
+      parity_ok ? DecodeStatus::clean : DecodeStatus::detected_uncorrectable;
+  return r;
+}
+
+}  // namespace reap::ecc

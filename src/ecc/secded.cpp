@@ -1,0 +1,68 @@
+#include "reap/ecc/secded.hpp"
+
+#include "reap/common/assert.hpp"
+
+namespace reap::ecc {
+
+SecDedCode::SecDedCode(std::size_t data_bits) : inner_(data_bits) {}
+
+std::string SecDedCode::name() const {
+  return "secded(" + std::to_string(codeword_bits()) + "," +
+         std::to_string(data_bits()) + ")";
+}
+
+BitVec SecDedCode::encode(const BitVec& data) const {
+  const BitVec inner_cw = inner_.encode(data);
+  BitVec cw(codeword_bits());
+  for (std::size_t i = 0; i < inner_cw.size(); ++i)
+    if (inner_cw.test(i)) cw.set(i);
+  cw.set(cw.size() - 1, inner_cw.count_ones() % 2 == 1);  // even overall parity
+  return cw;
+}
+
+DecodeResult SecDedCode::decode(const BitVec& codeword) const {
+  REAP_EXPECTS(codeword.size() == codeword_bits());
+
+  BitVec inner_cw(inner_.codeword_bits());
+  for (std::size_t i = 0; i < inner_cw.size(); ++i)
+    if (codeword.test(i)) inner_cw.set(i);
+
+  const bool overall_odd = codeword.count_ones() % 2 == 1;
+  DecodeResult inner_res = inner_.decode(inner_cw);
+
+  DecodeResult r;
+  r.codeword = codeword;
+  r.data = BitVec(data_bits());
+
+  const bool inner_saw_error = inner_res.status != DecodeStatus::clean;
+
+  if (!inner_saw_error && !overall_odd) {
+    r.status = DecodeStatus::clean;
+  } else if (inner_saw_error && overall_odd &&
+             inner_res.status == DecodeStatus::corrected) {
+    r.status = DecodeStatus::corrected;
+    r.corrected_bits = 1;
+    // Rebuild the outer codeword from the corrected inner one.
+    r.codeword = BitVec(codeword_bits());
+    for (std::size_t i = 0; i < inner_res.codeword.size(); ++i)
+      if (inner_res.codeword.test(i)) r.codeword.set(i);
+    r.codeword.set(r.codeword.size() - 1,
+                   inner_res.codeword.count_ones() % 2 == 1);
+  } else if (!inner_saw_error && overall_odd) {
+    // The overall parity bit itself flipped; data is intact.
+    r.status = DecodeStatus::corrected;
+    r.corrected_bits = 1;
+    r.codeword.flip(r.codeword.size() - 1);
+  } else {
+    // syndrome != 0 with even overall parity (classic double error), or an
+    // inner decode that already declared failure.
+    r.status = DecodeStatus::detected_uncorrectable;
+    return r;
+  }
+
+  for (std::size_t i = 0; i < data_bits(); ++i)
+    if (r.codeword.test(i)) r.data.set(i);
+  return r;
+}
+
+}  // namespace reap::ecc

@@ -1,0 +1,64 @@
+// STT-MRAM device (MTJ + access transistor) parameter sets.
+//
+// The cell stores a bit in the relative orientation of the MTJ free layer
+// (parallel = '0' low resistance, anti-parallel = '1' high resistance).
+// Reads apply a small unidirectional current; because the read direction
+// coincides with the write-'0' direction, a read can spuriously switch a
+// cell holding '1' -- the read disturbance of the paper (Sec. II, Fig. 1b).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "reap/common/units.hpp"
+
+namespace reap::mtj {
+
+struct MtjParams {
+  std::string name;
+
+  // Thermal stability factor Delta = E_barrier / kT. Typical 40..80.
+  double delta = 60.0;
+
+  // Critical switching current at 0 K (paper's I_C0).
+  common::Amperes critical_current{100e-6};
+
+  // Read current magnitude (paper's I_read); must be < critical_current for
+  // a sane design point, the closer it is the higher the disturb rate.
+  common::Amperes read_current{69.3e-6};
+
+  // Write current magnitude; > critical_current (over-drive) so the write
+  // completes within the pulse with high probability.
+  common::Amperes write_current{150e-6};
+
+  // Pulse widths.
+  common::Seconds read_pulse{1e-9};    // paper's t_read
+  common::Seconds write_pulse{10e-9};
+
+  // Attempt period tau (paper assumes 1 ns).
+  common::Seconds attempt_period{1e-9};
+
+  // Sanity bounds used by REAP_EXPECTS checks in the model functions.
+  bool valid() const;
+};
+
+// Named presets.
+//
+// paper_default: tuned so the per-cell read-disturb probability comes out at
+// 1e-8 -- the value the paper's numerical example (Eq. 4/5) uses.
+MtjParams paper_default();
+
+// conservative: larger read margin (I_read = 0.55 I_C0) -> P_RD ~ 1.9e-12.
+MtjParams conservative();
+
+// aggressive: scaled node with thin margin (I_read = 0.8 I_C0) -> P_RD ~ 6e-6;
+// used by stress tests and the device-corner ablation bench.
+MtjParams aggressive();
+
+// Sweep helper: paper_default with read_current set to ratio*I_C0.
+MtjParams with_read_ratio(double ratio);
+
+// All presets, for parameterized tests/benches.
+std::vector<MtjParams> all_presets();
+
+}  // namespace reap::mtj

@@ -1,0 +1,47 @@
+// Read-disturbance probability model -- the paper's Eq. (1).
+//
+//   P_RD = 1 - exp( -(t_read / tau) * exp( -Delta * (1 - I_read / I_C0) ) )
+//
+// Thermal-activation switching under a sub-critical current: the inner
+// exponential is the attempt-rate reduction from the current-lowered energy
+// barrier; the outer exponential converts rate * time into a switching
+// probability. Note on signs: the paper prints the inner exponent as
+// -Delta*(I_read - I_C0)/I_C0, which for I_read < I_C0 equals
+// +Delta*(1 - I_read/I_C0); the physical model (and the paper's own numbers)
+// require the barrier to *shrink* as I_read approaches I_C0, i.e. the form
+// implemented here. Disturbance is unidirectional: only cells holding '1'
+// are at risk (read current shares the write-'0' direction, Fig. 1b).
+#pragma once
+
+#include "reap/mtj/mtj_params.hpp"
+
+namespace reap::mtj {
+
+// Per-read, per-cell disturbance probability (Eq. 1).
+double read_disturb_probability(const MtjParams& p);
+
+// Same with an explicit per-cell thermal stability (process variation).
+double read_disturb_probability(const MtjParams& p, double delta_cell);
+
+// Probability that a cell holding '1' survives N reads undisturbed:
+// (1 - P_RD)^N, computed stably in log space.
+double survive_reads(const MtjParams& p, std::uint64_t reads);
+
+// Sensitivity sweep: P_RD as read_current/I_C0 ratio varies over
+// [lo_ratio, hi_ratio] in `steps` points (inclusive endpoints).
+struct RatioPoint {
+  double ratio;
+  double p_rd;
+};
+std::vector<RatioPoint> sweep_read_ratio(const MtjParams& base, double lo_ratio,
+                                         double hi_ratio, unsigned steps);
+
+// Sensitivity sweep over thermal stability Delta.
+struct DeltaPoint {
+  double delta;
+  double p_rd;
+};
+std::vector<DeltaPoint> sweep_delta(const MtjParams& base, double lo_delta,
+                                    double hi_delta, unsigned steps);
+
+}  // namespace reap::mtj

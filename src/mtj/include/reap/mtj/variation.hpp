@@ -1,0 +1,51 @@
+// Process-variation extension (paper reference [2]: Cheshmikhani et al.,
+// "Investigating the effects of process variations ... on reliability of
+// STT-RAM caches", EDCC 2016).
+//
+// Die-to-die and cell-to-cell variation makes the thermal stability factor
+// Delta a random variable; because P_RD depends exponentially on Delta, the
+// *average* disturb probability across cells is dominated by the weak tail.
+// VariationModel samples per-cell Delta and reports the resulting effective
+// disturb statistics. Used by the device-corner ablation bench.
+#pragma once
+
+#include <vector>
+
+#include "reap/common/rng.hpp"
+#include "reap/mtj/mtj_params.hpp"
+
+namespace reap::mtj {
+
+struct VariationSpec {
+  double delta_sigma = 0.0;        // std-dev of per-cell Delta (absolute)
+  double delta_floor = 20.0;       // samples are clamped below at this value
+};
+
+class VariationModel {
+ public:
+  VariationModel(MtjParams nominal, VariationSpec spec);
+
+  const MtjParams& nominal() const { return nominal_; }
+  const VariationSpec& spec() const { return spec_; }
+
+  // One per-cell Delta draw.
+  double sample_delta(common::Rng& rng) const;
+
+  // Per-cell disturb probability for one draw.
+  double sample_p_rd(common::Rng& rng) const;
+
+  // Monte Carlo estimate of E[P_RD] over the Delta distribution. With
+  // sigma = 0 this equals the nominal closed form exactly.
+  double mean_p_rd(common::Rng& rng, std::size_t samples) const;
+
+  // Quantiles of per-cell P_RD (e.g. {0.5, 0.99, 0.999}) from `samples`
+  // draws; returned in the same order as `qs`.
+  std::vector<double> p_rd_quantiles(common::Rng& rng, std::size_t samples,
+                                     const std::vector<double>& qs) const;
+
+ private:
+  MtjParams nominal_;
+  VariationSpec spec_;
+};
+
+}  // namespace reap::mtj

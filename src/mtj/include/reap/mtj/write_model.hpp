@@ -1,0 +1,30 @@
+// Write-failure model for STT-MRAM cells.
+//
+// Needed by the DisruptiveReadRestore baseline (paper Sec. II, refs [14][15]):
+// restore-after-read schemes convert read disturbance into extra writes, and
+// each write itself fails to switch with nonzero probability, so the scheme
+// trades one reliability problem for another -- exactly the criticism the
+// paper levels at it. Supra-critical switching follows the Sun precessional
+// model: the non-switching probability decays exponentially with pulse width
+// over a characteristic time that shrinks as the over-drive grows.
+#pragma once
+
+#include "reap/mtj/mtj_params.hpp"
+
+namespace reap::mtj {
+
+// Probability that a single write pulse fails to switch the cell.
+// write_current must exceed critical_current (checked).
+double write_failure_probability(const MtjParams& p);
+
+// Mean switching time under the over-driven pulse (diagnostics/benches).
+common::Seconds mean_switching_time(const MtjParams& p);
+
+// Energy of one write pulse: I^2 * R_avg * t_pulse with a nominal MTJ+access
+// resistance; used by nvsim's STT-MRAM write-energy term.
+common::Joules write_pulse_energy(const MtjParams& p, double resistance_ohm);
+
+// Energy of one read pulse.
+common::Joules read_pulse_energy(const MtjParams& p, double resistance_ohm);
+
+}  // namespace reap::mtj

@@ -1,0 +1,54 @@
+#include "reap/mtj/mtj_params.hpp"
+
+namespace reap::mtj {
+
+bool MtjParams::valid() const {
+  return delta > 0.0 && critical_current.value > 0.0 &&
+         read_current.value > 0.0 &&
+         read_current.value < critical_current.value &&
+         write_current.value > critical_current.value &&
+         read_pulse.value > 0.0 && write_pulse.value > 0.0 &&
+         attempt_period.value > 0.0;
+}
+
+MtjParams paper_default() {
+  MtjParams p;
+  p.name = "paper_default";
+  // delta * (1 - I_read/I_C0) = 60 * 0.307 = 18.42 => inner exp = 1e-8;
+  // with t_read == tau the full expression stays ~1e-8.
+  p.delta = 60.0;
+  p.critical_current = common::microamps(100.0);
+  p.read_current = common::microamps(69.3);
+  p.write_current = common::microamps(150.0);
+  p.read_pulse = common::nanoseconds(1.0);
+  p.write_pulse = common::nanoseconds(10.0);
+  p.attempt_period = common::nanoseconds(1.0);
+  return p;
+}
+
+MtjParams conservative() {
+  MtjParams p = paper_default();
+  p.name = "conservative";
+  p.read_current = common::microamps(55.0);
+  return p;
+}
+
+MtjParams aggressive() {
+  MtjParams p = paper_default();
+  p.name = "aggressive";
+  p.read_current = common::microamps(80.0);
+  return p;
+}
+
+MtjParams with_read_ratio(double ratio) {
+  MtjParams p = paper_default();
+  p.name = "ratio";
+  p.read_current = common::Amperes{p.critical_current.value * ratio};
+  return p;
+}
+
+std::vector<MtjParams> all_presets() {
+  return {paper_default(), conservative(), aggressive()};
+}
+
+}  // namespace reap::mtj

@@ -1,0 +1,59 @@
+#include "reap/mtj/read_disturb.hpp"
+
+#include <cmath>
+
+#include "reap/common/assert.hpp"
+
+namespace reap::mtj {
+
+double read_disturb_probability(const MtjParams& p) {
+  return read_disturb_probability(p, p.delta);
+}
+
+double read_disturb_probability(const MtjParams& p, double delta_cell) {
+  REAP_EXPECTS(p.valid());
+  REAP_EXPECTS(delta_cell > 0.0);
+  const double ratio = p.read_current / p.critical_current;
+  const double barrier = delta_cell * (1.0 - ratio);
+  const double rate_scale = std::exp(-barrier);
+  const double exponent = -(p.read_pulse / p.attempt_period) * rate_scale;
+  return -std::expm1(exponent);  // 1 - exp(exponent), stable for tiny values
+}
+
+double survive_reads(const MtjParams& p, std::uint64_t reads) {
+  const double prd = read_disturb_probability(p);
+  return std::exp(static_cast<double>(reads) * std::log1p(-prd));
+}
+
+std::vector<RatioPoint> sweep_read_ratio(const MtjParams& base, double lo_ratio,
+                                         double hi_ratio, unsigned steps) {
+  REAP_EXPECTS(steps >= 2);
+  REAP_EXPECTS(lo_ratio > 0.0 && hi_ratio < 1.0 && lo_ratio < hi_ratio);
+  std::vector<RatioPoint> out;
+  out.reserve(steps);
+  for (unsigned i = 0; i < steps; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(steps - 1);
+    const double ratio = lo_ratio + t * (hi_ratio - lo_ratio);
+    MtjParams p = base;
+    p.read_current = common::Amperes{p.critical_current.value * ratio};
+    out.push_back({ratio, read_disturb_probability(p)});
+  }
+  return out;
+}
+
+std::vector<DeltaPoint> sweep_delta(const MtjParams& base, double lo_delta,
+                                    double hi_delta, unsigned steps) {
+  REAP_EXPECTS(steps >= 2);
+  REAP_EXPECTS(lo_delta > 0.0 && lo_delta < hi_delta);
+  std::vector<DeltaPoint> out;
+  out.reserve(steps);
+  for (unsigned i = 0; i < steps; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(steps - 1);
+    MtjParams p = base;
+    p.delta = lo_delta + t * (hi_delta - lo_delta);
+    out.push_back({p.delta, read_disturb_probability(p)});
+  }
+  return out;
+}
+
+}  // namespace reap::mtj

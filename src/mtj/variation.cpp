@@ -1,0 +1,56 @@
+#include "reap/mtj/variation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "reap/common/assert.hpp"
+#include "reap/mtj/read_disturb.hpp"
+
+namespace reap::mtj {
+
+VariationModel::VariationModel(MtjParams nominal, VariationSpec spec)
+    : nominal_(std::move(nominal)), spec_(spec) {
+  REAP_EXPECTS(nominal_.valid());
+  REAP_EXPECTS(spec_.delta_sigma >= 0.0);
+  REAP_EXPECTS(spec_.delta_floor > 0.0);
+  REAP_EXPECTS(spec_.delta_floor < nominal_.delta);
+}
+
+double VariationModel::sample_delta(common::Rng& rng) const {
+  if (spec_.delta_sigma == 0.0) return nominal_.delta;
+  const double d = rng.normal(nominal_.delta, spec_.delta_sigma);
+  return std::max(d, spec_.delta_floor);
+}
+
+double VariationModel::sample_p_rd(common::Rng& rng) const {
+  return read_disturb_probability(nominal_, sample_delta(rng));
+}
+
+double VariationModel::mean_p_rd(common::Rng& rng, std::size_t samples) const {
+  REAP_EXPECTS(samples > 0);
+  if (spec_.delta_sigma == 0.0) return read_disturb_probability(nominal_);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < samples; ++i) acc += sample_p_rd(rng);
+  return acc / static_cast<double>(samples);
+}
+
+std::vector<double> VariationModel::p_rd_quantiles(
+    common::Rng& rng, std::size_t samples, const std::vector<double>& qs) const {
+  REAP_EXPECTS(samples > 0);
+  std::vector<double> draws(samples);
+  for (auto& d : draws) d = sample_p_rd(rng);
+  std::sort(draws.begin(), draws.end());
+  std::vector<double> out;
+  out.reserve(qs.size());
+  for (double q : qs) {
+    REAP_EXPECTS(q >= 0.0 && q <= 1.0);
+    const double idx = q * static_cast<double>(samples - 1);
+    const std::size_t lo = static_cast<std::size_t>(idx);
+    const std::size_t hi = std::min(lo + 1, samples - 1);
+    const double frac = idx - static_cast<double>(lo);
+    out.push_back(draws[lo] * (1.0 - frac) + draws[hi] * frac);
+  }
+  return out;
+}
+
+}  // namespace reap::mtj

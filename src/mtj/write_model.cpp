@@ -1,0 +1,48 @@
+#include "reap/mtj/write_model.hpp"
+
+#include <cmath>
+
+#include "reap/common/assert.hpp"
+
+namespace reap::mtj {
+
+namespace {
+// Characteristic precessional time at 2x over-drive; calibrated so a 10 ns
+// pulse at 1.5x over-drive leaves a ~1e-9 write failure probability
+// (exp(-10ns / (0.24ns / 0.5)) ~ 9e-10), in the range reported for scaled
+// STT-MRAM parts.
+constexpr double kTau0Seconds = 0.24e-9;
+}  // namespace
+
+double write_failure_probability(const MtjParams& p) {
+  REAP_EXPECTS(p.valid());
+  const double overdrive = p.write_current / p.critical_current;
+  REAP_EXPECTS(overdrive > 1.0);
+  // Sun model: switching rate ~ (I/Ic0 - 1)/tau0; P_fail = exp(-t/tau_sw).
+  const double tau_sw = kTau0Seconds / (overdrive - 1.0);
+  const double exponent = -(p.write_pulse.value / tau_sw);
+  // exponent is very negative for sane configs; exp() underflows to 0 for
+  // pulses far longer than tau_sw, which is the correct limit.
+  return std::exp(exponent);
+}
+
+common::Seconds mean_switching_time(const MtjParams& p) {
+  REAP_EXPECTS(p.valid());
+  const double overdrive = p.write_current / p.critical_current;
+  REAP_EXPECTS(overdrive > 1.0);
+  return common::Seconds{kTau0Seconds / (overdrive - 1.0)};
+}
+
+common::Joules write_pulse_energy(const MtjParams& p, double resistance_ohm) {
+  REAP_EXPECTS(resistance_ohm > 0.0);
+  const double i = p.write_current.value;
+  return common::Joules{i * i * resistance_ohm * p.write_pulse.value};
+}
+
+common::Joules read_pulse_energy(const MtjParams& p, double resistance_ohm) {
+  REAP_EXPECTS(resistance_ohm > 0.0);
+  const double i = p.read_current.value;
+  return common::Joules{i * i * resistance_ohm * p.read_pulse.value};
+}
+
+}  // namespace reap::mtj

@@ -1,0 +1,73 @@
+#include "reap/nvsim/array_model.hpp"
+
+#include <cmath>
+
+#include "reap/common/assert.hpp"
+#include "reap/mtj/write_model.hpp"
+
+namespace reap::nvsim {
+
+namespace {
+// Nominal MTJ + access-transistor series resistance for pulse energies.
+constexpr double kMtjResistanceOhm = 2000.0;
+}
+
+ArrayModel::ArrayModel(ArrayGeometry geom, const TechNode& tech,
+                       const mtj::MtjParams* mtj_params)
+    : geom_(geom), tech_(tech) {
+  REAP_EXPECTS(geom_.rows >= 1 && geom_.cols >= 1);
+  if (geom_.cell == CellType::sram) {
+    read_per_bit_ = tech_.sram_read_per_bit;
+    write_per_bit_ = tech_.sram_write_per_bit;
+  } else if (mtj_params != nullptr) {
+    read_per_bit_ = mtj::read_pulse_energy(*mtj_params, kMtjResistanceOhm);
+    write_per_bit_ = mtj::write_pulse_energy(*mtj_params, kMtjResistanceOhm);
+  } else {
+    read_per_bit_ = tech_.stt_read_per_bit;
+    write_per_bit_ = tech_.stt_write_per_bit;
+  }
+}
+
+common::Joules ArrayModel::read_energy(std::size_t bits) const {
+  REAP_EXPECTS(bits <= geom_.cols);
+  const double b = static_cast<double>(bits);
+  return read_per_bit_ * b + tech_.senseamp_per_bit * b;
+}
+
+common::Joules ArrayModel::write_energy(std::size_t bits) const {
+  REAP_EXPECTS(bits <= geom_.cols);
+  return write_per_bit_ * static_cast<double>(bits);
+}
+
+common::Joules ArrayModel::periphery_energy() const {
+  return tech_.periphery_base +
+         tech_.periphery_per_sqrt_kb * std::sqrt(capacity_kb());
+}
+
+common::Watts ArrayModel::leakage() const {
+  common::Watts w{0.0};
+  if (geom_.cell == CellType::sram) {
+    w += tech_.sram_leakage_per_bit * static_cast<double>(capacity_bits());
+  }
+  w += common::Watts{tech_.periphery_leakage_per_kb.value * capacity_kb()};
+  return w;
+}
+
+common::SquareMm ArrayModel::area() const {
+  const common::SquareMm cell = tech_.cell_area(geom_.cell);
+  const double cells = static_cast<double>(capacity_bits());
+  return common::SquareMm{cell.value * cells /
+                          tech_.area_efficiency(geom_.cell)};
+}
+
+common::Seconds ArrayModel::decode_delay() const {
+  const double log2_rows = std::log2(static_cast<double>(geom_.rows) + 1.0);
+  return tech_.decode_delay_base + tech_.decode_delay_per_log2_row * log2_rows;
+}
+
+common::Seconds ArrayModel::sense_delay() const {
+  return geom_.cell == CellType::sram ? tech_.bitline_sense_delay_sram
+                                      : tech_.bitline_sense_delay_stt;
+}
+
+}  // namespace reap::nvsim

@@ -1,0 +1,109 @@
+#include "reap/nvsim/cache_model.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "reap/common/assert.hpp"
+
+namespace reap::nvsim {
+
+std::size_t CacheGeometry::index_bits() const {
+  const std::size_t s = sets();
+  REAP_EXPECTS(std::has_single_bit(s));
+  return static_cast<std::size_t>(std::countr_zero(s));
+}
+
+std::size_t CacheGeometry::offset_bits() const {
+  REAP_EXPECTS(std::has_single_bit(block_bytes));
+  return static_cast<std::size_t>(std::countr_zero(block_bytes));
+}
+
+std::size_t CacheGeometry::tag_bits() const {
+  return address_bits - index_bits() - offset_bits();
+}
+
+CacheModel::CacheModel(CacheGeometry geom, TechNode tech,
+                       const ecc::Code& line_code,
+                       const mtj::MtjParams* mtj_params)
+    : geom_(geom), tech_(std::move(tech)), line_code_(line_code) {
+  REAP_EXPECTS(geom_.capacity_bytes % (geom_.ways * geom_.block_bytes) == 0);
+  REAP_EXPECTS(line_code.data_bits() == geom_.block_bits());
+
+  // Data array: one row per set, row width = ways * codeword bits.
+  ArrayGeometry dg;
+  dg.rows = geom_.sets();
+  dg.cols = geom_.ways * line_code.codeword_bits();
+  dg.cell = geom_.data_cell;
+  data_array_ = std::make_unique<ArrayModel>(dg, tech_, mtj_params);
+
+  // Tag array: SRAM, one row per set, ways * (tag + valid + dirty + lru).
+  ArrayGeometry tg;
+  tg.rows = geom_.sets();
+  const std::size_t lru_bits = 3;  // per-way replacement state
+  tg.cols = geom_.ways * (geom_.tag_bits() + 2 + lru_bits);
+  tg.cell = CellType::sram;
+  tag_array_ = std::make_unique<ArrayModel>(tg, tech_, nullptr);
+
+  decoder_cost_ = ecc::estimate_decoder_cost(line_code_, tech_.gates);
+  encoder_cost_ = ecc::estimate_encoder_cost(line_code_, tech_.gates);
+}
+
+AccessEnergies CacheModel::energies() const {
+  AccessEnergies e;
+  const std::size_t cw = line_code_.codeword_bits();
+  e.way_data_read = data_array_->read_energy(cw);
+  e.way_data_write = data_array_->write_energy(cw);
+  e.tag_read = tag_array_->read_energy(tag_array_->geometry().cols) +
+               tag_array_->periphery_energy();
+  e.tag_write = tag_array_->write_energy(tag_array_->geometry().cols /
+                                         geom_.ways);
+  e.periphery = data_array_->periphery_energy();
+  e.ecc_decode = decoder_cost_.energy_per_decode;
+  e.ecc_encode = encoder_cost_.energy_per_decode;
+  return e;
+}
+
+common::Joules CacheModel::parallel_read_access_energy(
+    std::size_t decoders) const {
+  const AccessEnergies e = energies();
+  return e.way_data_read * static_cast<double>(geom_.ways) + e.tag_read +
+         e.periphery + e.ecc_decode * static_cast<double>(decoders);
+}
+
+AreaBreakdown CacheModel::area(std::size_t n_ecc_decoders) const {
+  AreaBreakdown a;
+  a.data_array = data_array_->area();
+  a.tag_array = tag_array_->area();
+  a.ecc_decoders =
+      common::SquareMm{decoder_cost_.area.value *
+                       static_cast<double>(n_ecc_decoders)};
+  a.ecc_encoder = encoder_cost_.area;
+  a.total = common::SquareMm{a.data_array.value + a.tag_array.value +
+                             a.ecc_decoders.value + a.ecc_encoder.value};
+  return a;
+}
+
+ReadPathTiming CacheModel::timing() const {
+  ReadPathTiming t;
+  t.tag_path = tag_array_->decode_delay() + tag_array_->sense_delay() +
+               tech_.tag_compare_delay;
+  t.data_path = data_array_->decode_delay() + data_array_->sense_delay();
+  t.ecc_decode = decoder_cost_.latency;
+  t.mux = tech_.mux_delay;
+
+  const common::Seconds tag_or_data =
+      t.tag_path > t.data_path ? t.tag_path : t.data_path;
+  t.conventional_total = tag_or_data + t.mux + t.ecc_decode;
+
+  const common::Seconds data_plus_ecc = t.data_path + t.ecc_decode;
+  const common::Seconds reap_critical =
+      t.tag_path > data_plus_ecc ? t.tag_path : data_plus_ecc;
+  t.reap_total = reap_critical + t.mux;
+  return t;
+}
+
+common::Watts CacheModel::leakage() const {
+  return data_array_->leakage() + tag_array_->leakage();
+}
+
+}  // namespace reap::nvsim

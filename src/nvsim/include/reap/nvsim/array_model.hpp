@@ -1,0 +1,56 @@
+// Memory-array model: one logical array (tag or data) of rows x cols cells.
+//
+// Produces per-access read/write energy, leakage, area, and the decode +
+// sense delay components the cache-level model assembles into read paths.
+#pragma once
+
+#include <cstddef>
+
+#include "reap/common/units.hpp"
+#include "reap/mtj/mtj_params.hpp"
+#include "reap/nvsim/tech.hpp"
+
+namespace reap::nvsim {
+
+struct ArrayGeometry {
+  std::size_t rows = 0;
+  std::size_t cols = 0;         // bits read/written per row access
+  CellType cell = CellType::sram;
+};
+
+class ArrayModel {
+ public:
+  // mtj may be null for SRAM arrays; for STT-MRAM arrays it refines the
+  // per-bit read/write energy from the pulse model (I^2 * R * t).
+  ArrayModel(ArrayGeometry geom, const TechNode& tech,
+             const mtj::MtjParams* mtj_params);
+
+  const ArrayGeometry& geometry() const { return geom_; }
+
+  std::size_t capacity_bits() const { return geom_.rows * geom_.cols; }
+  double capacity_kb() const {
+    return static_cast<double>(capacity_bits()) / 8.0 / 1024.0;
+  }
+
+  // Energy of reading / writing `bits` cells in one access (bits <= cols).
+  common::Joules read_energy(std::size_t bits) const;
+  common::Joules write_energy(std::size_t bits) const;
+
+  // Fixed periphery (decoder + wire) energy per access of this array.
+  common::Joules periphery_energy() const;
+
+  common::Watts leakage() const;
+  common::SquareMm area() const;
+
+  // Delay components.
+  common::Seconds decode_delay() const;   // row decoder + wordline
+  common::Seconds sense_delay() const;    // bitline development + sense
+
+ private:
+  ArrayGeometry geom_;
+  const TechNode& tech_;
+  common::Joules read_per_bit_;
+  common::Joules write_per_bit_;
+};
+
+}  // namespace reap::nvsim

@@ -1,0 +1,96 @@
+// Cache-level circuit model: assembles tag + data arrays, ECC logic, and the
+// read-path timing comparison between the conventional structure (Fig. 2)
+// and REAP (Fig. 4).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "reap/ecc/code.hpp"
+#include "reap/ecc/ecc_cost.hpp"
+#include "reap/mtj/mtj_params.hpp"
+#include "reap/nvsim/array_model.hpp"
+#include "reap/nvsim/tech.hpp"
+
+namespace reap::nvsim {
+
+struct CacheGeometry {
+  std::size_t capacity_bytes = 1 << 20;  // 1 MB
+  std::size_t ways = 8;
+  std::size_t block_bytes = 64;
+  CellType data_cell = CellType::stt_mram;
+  std::size_t address_bits = 48;
+
+  std::size_t sets() const { return capacity_bytes / (ways * block_bytes); }
+  std::size_t block_bits() const { return block_bytes * 8; }
+  std::size_t index_bits() const;
+  std::size_t offset_bits() const;
+  std::size_t tag_bits() const;
+};
+
+// Per-event energies consumed by the simulator's energy accounting.
+struct AccessEnergies {
+  common::Joules way_data_read{0.0};   // one way's data+ECC bits read
+  common::Joules way_data_write{0.0};  // one way's data+ECC bits written
+  common::Joules tag_read{0.0};        // all ways' tags read + compared
+  common::Joules tag_write{0.0};       // one way's tag written
+  common::Joules periphery{0.0};       // per-access decoder/H-tree
+  common::Joules ecc_decode{0.0};      // one decoder instance, one codeword
+  common::Joules ecc_encode{0.0};
+};
+
+struct AreaBreakdown {
+  common::SquareMm data_array{0.0};
+  common::SquareMm tag_array{0.0};
+  common::SquareMm ecc_decoders{0.0};  // n_decoders instances
+  common::SquareMm ecc_encoder{0.0};
+  common::SquareMm total{0.0};
+};
+
+// Read-path latencies for the two structures (Sec. V-B performance claim).
+struct ReadPathTiming {
+  common::Seconds tag_path{0.0};     // decode + tag read + compare
+  common::Seconds data_path{0.0};    // decode + data read
+  common::Seconds ecc_decode{0.0};
+  common::Seconds mux{0.0};
+  // Conventional (Fig. 2): data and tag overlap, then MUX, then ECC.
+  common::Seconds conventional_total{0.0};
+  // REAP (Fig. 4): ECC overlaps the tag path too, then MUX.
+  common::Seconds reap_total{0.0};
+};
+
+class CacheModel {
+ public:
+  // `line_code` protects one block (data_bits == block bits); the codec's
+  // parity bits are stored alongside the data in the data array. `mtj`
+  // may be null for SRAM caches.
+  CacheModel(CacheGeometry geom, TechNode tech, const ecc::Code& line_code,
+             const mtj::MtjParams* mtj_params);
+
+  const CacheGeometry& geometry() const { return geom_; }
+  const TechNode& tech() const { return tech_; }
+
+  AccessEnergies energies() const;
+
+  // Read access energy for a full parallel (fast) access: k way reads +
+  // tags + periphery + `decoders` ECC decodes. Mirrors the event mix the
+  // simulator counts; provided for reports and sanity tests.
+  common::Joules parallel_read_access_energy(std::size_t decoders) const;
+
+  AreaBreakdown area(std::size_t n_ecc_decoders) const;
+
+  ReadPathTiming timing() const;
+
+  common::Watts leakage() const;
+
+ private:
+  CacheGeometry geom_;
+  TechNode tech_;
+  const ecc::Code& line_code_;
+  std::unique_ptr<ArrayModel> data_array_;
+  std::unique_ptr<ArrayModel> tag_array_;
+  ecc::DecoderCost decoder_cost_;
+  ecc::DecoderCost encoder_cost_;
+};
+
+}  // namespace reap::nvsim

@@ -1,0 +1,15 @@
+// Human-readable breakdown of a CacheModel -- the "NVSim output" half of the
+// Table I bench.
+#pragma once
+
+#include <string>
+
+#include "reap/nvsim/cache_model.hpp"
+
+namespace reap::nvsim {
+
+// Renders geometry, per-event energies, area breakdown (for 1 and for
+// `ways` ECC decoders), leakage, and the conventional-vs-REAP read timing.
+std::string render_report(const CacheModel& model, const std::string& title);
+
+}  // namespace reap::nvsim

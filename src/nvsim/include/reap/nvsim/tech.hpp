@@ -1,0 +1,80 @@
+// Technology-node parameters for the circuit-level cache model.
+//
+// This module stands in for NVSim (paper ref [21]): an analytical model that
+// turns cache geometry into access energy, area, and latency. The constants
+// below are first-order values calibrated against magnitudes NVSim reports
+// for SRAM/STT-MRAM arrays at these nodes (cell sizes in F^2, per-bit sense
+// energies, wire/periphery shares). Absolute joules are approximate; the
+// *ratios* the paper's claims rest on (ECC decoder share <1%, STT write >>
+// read, tag array << data array) are preserved.
+#pragma once
+
+#include <string>
+
+#include "reap/common/units.hpp"
+#include "reap/ecc/ecc_cost.hpp"
+
+namespace reap::nvsim {
+
+enum class CellType { sram, stt_mram };
+
+struct TechNode {
+  std::string name = "32nm";
+  double feature_nm = 32.0;
+
+  // Cell footprints in F^2 (feature-size-squared units).
+  double sram_cell_f2 = 146.0;
+  double stt_cell_f2 = 40.0;
+
+  // Per-bit array energies (storage-cell + local bitline slice).
+  common::Joules sram_read_per_bit{8e-15};    // 8 fJ/bit
+  common::Joules sram_write_per_bit{10e-15};  // 10 fJ/bit
+  // STT-MRAM read/write per-bit energies are derived from the MTJ pulse
+  // model at run time; these are fallbacks when no MTJ params are supplied.
+  common::Joules stt_read_per_bit{12e-15};
+  common::Joules stt_write_per_bit{450e-15};
+
+  // Sense amplifier energy per sensed bit.
+  common::Joules senseamp_per_bit{4e-15};
+
+  // Global interconnect (H-tree) + row/column decoder energy per array
+  // access, per KB of array capacity routed past (wire length scales with
+  // the array's physical extent ~ sqrt(capacity)).
+  common::Joules periphery_base{20e-12};           // fixed per access
+  common::Joules periphery_per_sqrt_kb{2.5e-12};   // x sqrt(capacity_kb)
+
+  // Leakage per bit of storage (SRAM only; STT-MRAM cells do not leak, its
+  // periphery leakage is folded into periphery_leakage_per_kb).
+  common::Watts sram_leakage_per_bit{15e-12};
+  common::Watts periphery_leakage_per_kb{40e-9};
+
+  // Delay model: row decoder + wordline + bitline/sense per array,
+  // comparator, and output mux.
+  common::Seconds decode_delay_base{150e-12};
+  common::Seconds decode_delay_per_log2_row{25e-12};
+  common::Seconds bitline_sense_delay_sram{220e-12};
+  common::Seconds bitline_sense_delay_stt{450e-12};  // MTJ sensing is slower
+  common::Seconds tag_compare_delay{150e-12};
+  common::Seconds mux_delay{80e-12};
+
+  // Logic-gate parameters for the ECC encoder/decoder estimates.
+  ecc::GateTech gates;
+
+  // Layout efficiency: cell area / total mat area. STT-MRAM mats are far
+  // less efficient than SRAM mats because every column needs bidirectional
+  // write drivers and larger sense margin circuitry (NVSim reports 30-40%).
+  double area_efficiency_sram = 0.65;
+  double area_efficiency_stt = 0.35;
+
+  double area_efficiency(CellType cell) const {
+    return cell == CellType::sram ? area_efficiency_sram : area_efficiency_stt;
+  }
+
+  common::SquareMm cell_area(CellType cell) const;
+};
+
+TechNode tech_45nm();
+TechNode tech_32nm();   // default used by the paper-configuration benches
+TechNode tech_22nm();
+
+}  // namespace reap::nvsim

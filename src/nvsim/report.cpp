@@ -1,0 +1,68 @@
+#include "reap/nvsim/report.hpp"
+
+#include <cstdio>
+
+#include "reap/common/table.hpp"
+
+namespace reap::nvsim {
+
+using common::TextTable;
+
+std::string render_report(const CacheModel& model, const std::string& title) {
+  const auto& g = model.geometry();
+  const AccessEnergies e = model.energies();
+  const AreaBreakdown a1 = model.area(1);
+  const AreaBreakdown ak = model.area(g.ways);
+  const ReadPathTiming t = model.timing();
+
+  std::string out = "== " + title + " ==\n";
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "geometry: %zu KB, %zu-way, %zu B blocks, %zu sets, %s data "
+                "cells, tech %s\n",
+                g.capacity_bytes / 1024, g.ways, g.block_bytes, g.sets(),
+                g.data_cell == CellType::stt_mram ? "STT-MRAM" : "SRAM",
+                model.tech().name.c_str());
+  out += buf;
+
+  TextTable energy({"event", "energy (pJ)"});
+  energy.add_row({"way data read", TextTable::fixed(common::in_picojoules(e.way_data_read), 3)});
+  energy.add_row({"way data write", TextTable::fixed(common::in_picojoules(e.way_data_write), 3)});
+  energy.add_row({"tag read (all ways)", TextTable::fixed(common::in_picojoules(e.tag_read), 3)});
+  energy.add_row({"tag write (one way)", TextTable::fixed(common::in_picojoules(e.tag_write), 3)});
+  energy.add_row({"periphery / access", TextTable::fixed(common::in_picojoules(e.periphery), 3)});
+  energy.add_row({"ECC decode (one codeword)", TextTable::fixed(common::in_picojoules(e.ecc_decode), 3)});
+  energy.add_row({"ECC encode", TextTable::fixed(common::in_picojoules(e.ecc_encode), 3)});
+  energy.add_row({"parallel read access, 1 decoder", TextTable::fixed(common::in_picojoules(model.parallel_read_access_energy(1)), 1)});
+  energy.add_row({"parallel read access, k decoders", TextTable::fixed(common::in_picojoules(model.parallel_read_access_energy(g.ways)), 1)});
+  out += energy.render();
+
+  TextTable area({"component", "area (mm^2)", "share"});
+  auto share = [&](common::SquareMm x) {
+    return TextTable::fixed(100.0 * x.value / ak.total.value, 3) + " %";
+  };
+  area.add_row({"data array", TextTable::num(a1.data_array.value), share(a1.data_array)});
+  area.add_row({"tag array", TextTable::num(a1.tag_array.value), share(a1.tag_array)});
+  area.add_row({"ECC decoder x1", TextTable::num(a1.ecc_decoders.value), share(a1.ecc_decoders)});
+  area.add_row({"ECC decoders xk (REAP)", TextTable::num(ak.ecc_decoders.value), share(ak.ecc_decoders)});
+  area.add_row({"total (conventional)", TextTable::num(a1.total.value), "100 %"});
+  area.add_row({"total (REAP)", TextTable::num(ak.total.value),
+                TextTable::fixed(100.0 * ak.total.value / a1.total.value, 3) + " %"});
+  out += area.render();
+
+  TextTable timing({"path", "latency (ns)"});
+  timing.add_row({"tag path", TextTable::fixed(common::in_nanoseconds(t.tag_path), 3)});
+  timing.add_row({"data path", TextTable::fixed(common::in_nanoseconds(t.data_path), 3)});
+  timing.add_row({"ECC decode", TextTable::fixed(common::in_nanoseconds(t.ecc_decode), 3)});
+  timing.add_row({"way MUX", TextTable::fixed(common::in_nanoseconds(t.mux), 3)});
+  timing.add_row({"read total (conventional, Fig.2)", TextTable::fixed(common::in_nanoseconds(t.conventional_total), 3)});
+  timing.add_row({"read total (REAP, Fig.4)", TextTable::fixed(common::in_nanoseconds(t.reap_total), 3)});
+  out += timing.render();
+
+  std::snprintf(buf, sizeof buf, "leakage: %.3f mW\n",
+                common::in_milliwatts(model.leakage()));
+  out += buf;
+  return out;
+}
+
+}  // namespace reap::nvsim

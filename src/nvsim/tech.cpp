@@ -1,0 +1,53 @@
+#include "reap/nvsim/tech.hpp"
+
+namespace reap::nvsim {
+
+common::SquareMm TechNode::cell_area(CellType cell) const {
+  const double f_mm = feature_nm * 1e-6;
+  const double f2 = cell == CellType::sram ? sram_cell_f2 : stt_cell_f2;
+  return common::SquareMm{f2 * f_mm * f_mm};
+}
+
+TechNode tech_45nm() {
+  TechNode t;
+  t.name = "45nm";
+  t.feature_nm = 45.0;
+  t.sram_read_per_bit = common::Joules{14e-15};
+  t.sram_write_per_bit = common::Joules{17e-15};
+  t.stt_read_per_bit = common::Joules{18e-15};
+  t.stt_write_per_bit = common::Joules{600e-15};
+  t.senseamp_per_bit = common::Joules{6e-15};
+  t.periphery_base = common::Joules{30e-12};
+  t.periphery_per_sqrt_kb = common::Joules{3.5e-12};
+  t.decode_delay_base = common::Seconds{190e-12};
+  t.bitline_sense_delay_sram = common::Seconds{280e-12};
+  t.bitline_sense_delay_stt = common::Seconds{560e-12};
+  t.gates = ecc::gate_tech_45nm();
+  return t;
+}
+
+TechNode tech_32nm() {
+  TechNode t;  // defaults are the 32nm values
+  t.gates = ecc::gate_tech_32nm();
+  return t;
+}
+
+TechNode tech_22nm() {
+  TechNode t;
+  t.name = "22nm";
+  t.feature_nm = 22.0;
+  t.sram_read_per_bit = common::Joules{5e-15};
+  t.sram_write_per_bit = common::Joules{6.5e-15};
+  t.stt_read_per_bit = common::Joules{9e-15};
+  t.stt_write_per_bit = common::Joules{350e-15};
+  t.senseamp_per_bit = common::Joules{2.5e-15};
+  t.periphery_base = common::Joules{14e-12};
+  t.periphery_per_sqrt_kb = common::Joules{1.8e-12};
+  t.decode_delay_base = common::Seconds{120e-12};
+  t.bitline_sense_delay_sram = common::Seconds{180e-12};
+  t.bitline_sense_delay_stt = common::Seconds{380e-12};
+  t.gates = ecc::gate_tech_22nm();
+  return t;
+}
+
+}  // namespace reap::nvsim

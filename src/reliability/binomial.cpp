@@ -1,0 +1,82 @@
+#include "reap/reliability/binomial.hpp"
+
+#include <cmath>
+
+#include "reap/common/assert.hpp"
+#include "reap/common/logprob.hpp"
+
+namespace reap::reliability {
+
+using common::binomial_tail_above;
+using common::log_binomial_cdf_upto;
+
+double p_correct(std::uint64_t trials, unsigned t, double p) {
+  return std::exp(log_binomial_cdf_upto(trials, t, p));
+}
+
+double p_uncorrectable(std::uint64_t trials, unsigned t, double p) {
+  return binomial_tail_above(trials, t, p);
+}
+
+double p_correct_block(std::uint64_t n_ones, double p_rd, unsigned t) {
+  return p_correct(n_ones, t, p_rd);
+}
+
+double p_uncorrectable_block(std::uint64_t n_ones, double p_rd, unsigned t) {
+  return p_uncorrectable(n_ones, t, p_rd);
+}
+
+double p_correct_block_acc(std::uint64_t n_ones, std::uint64_t n_reads,
+                           double p_rd, unsigned t) {
+  return p_correct(n_ones * n_reads, t, p_rd);
+}
+
+double p_uncorrectable_block_acc(std::uint64_t n_ones, std::uint64_t n_reads,
+                                 double p_rd, unsigned t) {
+  return p_uncorrectable(n_ones * n_reads, t, p_rd);
+}
+
+double p_correct_block_reap(std::uint64_t n_ones, std::uint64_t n_reads,
+                            double p_rd, unsigned t) {
+  const double lp = log_binomial_cdf_upto(n_ones, t, p_rd);
+  return std::exp(static_cast<double>(n_reads) * lp);
+}
+
+double p_uncorrectable_block_reap(std::uint64_t n_ones, std::uint64_t n_reads,
+                                  double p_rd, unsigned t) {
+  const double lp = log_binomial_cdf_upto(n_ones, t, p_rd);
+  return -std::expm1(static_cast<double>(n_reads) * lp);
+}
+
+UncorrectableModel::UncorrectableModel(double p_rd, unsigned t,
+                                       std::uint64_t max_cached_ones)
+    : p_rd_(p_rd), t_(t) {
+  REAP_EXPECTS(p_rd >= 0.0 && p_rd < 1.0);
+  REAP_EXPECTS(max_cached_ones >= 1);
+  log_pcorr_cache_.resize(max_cached_ones + 1);
+  for (std::uint64_t n = 0; n <= max_cached_ones; ++n) {
+    log_pcorr_cache_[n] = log_binomial_cdf_upto(n, t_, p_rd_);
+  }
+}
+
+double UncorrectableModel::log_p_correct_single(std::uint64_t n_ones) const {
+  if (n_ones < log_pcorr_cache_.size()) return log_pcorr_cache_[n_ones];
+  return log_binomial_cdf_upto(n_ones, t_, p_rd_);
+}
+
+double UncorrectableModel::single(std::uint64_t n_ones) const {
+  return -std::expm1(log_p_correct_single(n_ones));
+}
+
+double UncorrectableModel::conventional(std::uint64_t n_ones,
+                                        std::uint64_t n_reads) const {
+  return binomial_tail_above(n_ones * n_reads, t_, p_rd_);
+}
+
+double UncorrectableModel::reap(std::uint64_t n_ones,
+                                std::uint64_t n_reads) const {
+  const double lp = log_p_correct_single(n_ones);
+  return -std::expm1(static_cast<double>(n_reads) * lp);
+}
+
+}  // namespace reap::reliability

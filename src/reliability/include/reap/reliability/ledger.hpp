@@ -1,0 +1,43 @@
+// Failure ledger: accumulates per-checked-read failure probabilities and
+// (optionally) the Fig. 3 distribution of concealed-read counts.
+//
+// Every checked read contributes its uncorrectable probability; the sum
+// over a run divided by simulated time is the cache failure rate, whose
+// reciprocal is MTTF (mttf.hpp). The ledger also bins each event by its
+// concealed-read count so one run yields both Fig. 3 series (frequency and
+// failure-rate contribution per concealed-read count).
+#pragma once
+
+#include <cstdint>
+
+#include "reap/common/histogram.hpp"
+
+namespace reap::reliability {
+
+class FailureLedger {
+ public:
+  FailureLedger();
+
+  // Records one checked read: `concealed` reads went unchecked before it
+  // (x-axis of Fig. 3) and the check fails with probability `p_fail`.
+  void record_check(std::uint64_t concealed, double p_fail);
+
+  // Records a failure probability with no concealed-read attribution
+  // (restore-policy write failures, eviction checks).
+  void record_unattributed(double p_fail);
+
+  double total_failure_prob() const { return total_failure_prob_; }
+  std::uint64_t checks() const { return checks_; }
+  std::uint64_t max_concealed() const { return histogram_.max_sample(); }
+
+  const common::LogHistogram& histogram() const { return histogram_; }
+
+  void reset();
+
+ private:
+  double total_failure_prob_ = 0.0;
+  std::uint64_t checks_ = 0;
+  common::LogHistogram histogram_;
+};
+
+}  // namespace reap::reliability

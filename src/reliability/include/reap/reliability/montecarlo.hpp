@@ -1,0 +1,64 @@
+// Monte Carlo fault injection: validates the analytic model against real
+// codecs flipping real bits.
+//
+// One trial mirrors the life of a cache line between two checked reads:
+// encode a payload, then for each of N reads flip every stored '1' cell to
+// '0' independently with probability p_rd (disturbance is unidirectional
+// and a flipped cell stays flipped), then run the hardware decoder and
+// classify the outcome. Under the REAP discipline the decoder instead runs
+// after *every* read and the corrected codeword is written back (scrub).
+//
+// Inflate p_rd (e.g. 1e-3) to make events observable in feasible trial
+// counts; the analytic comparison in tests uses matching p values.
+#pragma once
+
+#include <cstdint>
+
+#include "reap/common/rng.hpp"
+#include "reap/ecc/code.hpp"
+
+namespace reap::reliability {
+
+struct InjectionOutcome {
+  std::uint64_t trials = 0;
+  std::uint64_t clean = 0;          // decoder saw no error
+  std::uint64_t corrected = 0;      // decoder corrected, data matches
+  std::uint64_t detected = 0;       // decoder flagged uncorrectable
+  std::uint64_t miscorrected = 0;   // decoder claimed success, data wrong
+
+  // "Failure" in the paper's sense: the cache could not deliver correct
+  // data (detected-uncorrectable or silent miscorrection).
+  double failure_rate() const {
+    return trials == 0 ? 0.0
+                       : static_cast<double>(detected + miscorrected) /
+                             static_cast<double>(trials);
+  }
+};
+
+class FaultInjector {
+ public:
+  // `code` protects one payload; p_rd is the per-cell per-read disturb
+  // probability applied to '1' cells of the *codeword* (parity cells are
+  // stored in the same STT-MRAM array and disturb like data cells).
+  FaultInjector(const ecc::Code& code, double p_rd, std::uint64_t seed);
+
+  // Conventional discipline: N reads accumulate, one decode at the end.
+  InjectionOutcome run_conventional(const common::BitVec& payload,
+                                    std::uint64_t reads_between_checks,
+                                    std::uint64_t trials);
+
+  // REAP discipline: decode-and-scrub after every one of the N reads.
+  InjectionOutcome run_reap(const common::BitVec& payload,
+                            std::uint64_t reads_between_checks,
+                            std::uint64_t trials);
+
+ private:
+  // Applies one read's disturbance to `codeword` in place.
+  void disturb_once(common::BitVec& codeword);
+
+  const ecc::Code& code_;
+  double p_rd_;
+  common::Rng rng_;
+};
+
+}  // namespace reap::reliability

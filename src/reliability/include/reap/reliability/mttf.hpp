@@ -1,0 +1,27 @@
+// Mean Time To Failure from accumulated failure probabilities.
+//
+// With per-check failure probabilities p_i (rare, independent), the number
+// of failures over a run is approximately Poisson with mean sum(p_i); the
+// failure rate is lambda = sum(p_i) / T_sim and MTTF = 1 / lambda. Fig. 5
+// reports MTTF_REAP / MTTF_conventional = lambda_conv / lambda_reap over
+// identical instruction windows.
+#pragma once
+
+#include <cstdint>
+
+namespace reap::reliability {
+
+struct MttfResult {
+  double failure_prob_sum = 0.0;
+  double sim_seconds = 0.0;
+  double failure_rate_per_s = 0.0;  // lambda
+  double mttf_seconds = 0.0;        // +inf when no failure mass accumulated
+};
+
+MttfResult compute_mttf(double failure_prob_sum, double sim_seconds);
+
+// MTTF_a / MTTF_b given the two failure-rate results; returns +inf when b
+// accumulated no failure mass, 1.0 when both are empty.
+double mttf_ratio(const MttfResult& a, const MttfResult& b);
+
+}  // namespace reap::reliability

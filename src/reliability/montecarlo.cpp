@@ -1,0 +1,97 @@
+#include "reap/reliability/montecarlo.hpp"
+
+#include "reap/common/assert.hpp"
+
+namespace reap::reliability {
+
+FaultInjector::FaultInjector(const ecc::Code& code, double p_rd,
+                             std::uint64_t seed)
+    : code_(code), p_rd_(p_rd), rng_(seed) {
+  REAP_EXPECTS(p_rd >= 0.0 && p_rd < 1.0);
+}
+
+void FaultInjector::disturb_once(common::BitVec& codeword) {
+  // Geometric skipping over the '1' positions: with small p, iterating all
+  // ones per read would dominate runtime. Collect ones once per call; the
+  // positions list is short-lived.
+  const auto ones = codeword.one_positions();
+  if (ones.empty() || p_rd_ == 0.0) return;
+  std::uint64_t idx = rng_.geometric(p_rd_);
+  while (idx < ones.size()) {
+    codeword.reset(ones[idx]);  // 1 -> 0, unidirectional
+    idx += 1 + rng_.geometric(p_rd_);
+  }
+}
+
+InjectionOutcome FaultInjector::run_conventional(
+    const common::BitVec& payload, std::uint64_t reads_between_checks,
+    std::uint64_t trials) {
+  REAP_EXPECTS(payload.size() == code_.data_bits());
+  REAP_EXPECTS(reads_between_checks >= 1);
+  InjectionOutcome out;
+  out.trials = trials;
+  const common::BitVec clean_cw = code_.encode(payload);
+
+  for (std::uint64_t i = 0; i < trials; ++i) {
+    common::BitVec cw = clean_cw;
+    for (std::uint64_t r = 0; r < reads_between_checks; ++r) disturb_once(cw);
+    const ecc::DecodeResult res = code_.decode(cw);
+    switch (res.status) {
+      case ecc::DecodeStatus::clean:
+        if (res.data == payload)
+          ++out.clean;
+        else
+          ++out.miscorrected;  // errors slipped through undetected
+        break;
+      case ecc::DecodeStatus::corrected:
+        if (res.data == payload)
+          ++out.corrected;
+        else
+          ++out.miscorrected;
+        break;
+      case ecc::DecodeStatus::detected_uncorrectable:
+        ++out.detected;
+        break;
+    }
+  }
+  return out;
+}
+
+InjectionOutcome FaultInjector::run_reap(const common::BitVec& payload,
+                                         std::uint64_t reads_between_checks,
+                                         std::uint64_t trials) {
+  REAP_EXPECTS(payload.size() == code_.data_bits());
+  REAP_EXPECTS(reads_between_checks >= 1);
+  InjectionOutcome out;
+  out.trials = trials;
+  const common::BitVec clean_cw = code_.encode(payload);
+
+  for (std::uint64_t i = 0; i < trials; ++i) {
+    common::BitVec cw = clean_cw;
+    bool failed = false;
+    bool ever_corrected = false;
+    for (std::uint64_t r = 0; r < reads_between_checks && !failed; ++r) {
+      disturb_once(cw);
+      const ecc::DecodeResult res = code_.decode(cw);
+      if (res.status == ecc::DecodeStatus::detected_uncorrectable) {
+        ++out.detected;
+        failed = true;
+      } else if (res.data != payload) {
+        ++out.miscorrected;
+        failed = true;
+      } else {
+        if (res.status == ecc::DecodeStatus::corrected) ever_corrected = true;
+        cw = res.codeword;  // scrub: corrected codeword rewritten
+      }
+    }
+    if (!failed) {
+      if (ever_corrected)
+        ++out.corrected;
+      else
+        ++out.clean;
+    }
+  }
+  return out;
+}
+
+}  // namespace reap::reliability

@@ -1,0 +1,33 @@
+#include "reap/reliability/mttf.hpp"
+
+#include <limits>
+
+#include "reap/common/assert.hpp"
+
+namespace reap::reliability {
+
+MttfResult compute_mttf(double failure_prob_sum, double sim_seconds) {
+  REAP_EXPECTS(failure_prob_sum >= 0.0);
+  REAP_EXPECTS(sim_seconds > 0.0);
+  MttfResult r;
+  r.failure_prob_sum = failure_prob_sum;
+  r.sim_seconds = sim_seconds;
+  r.failure_rate_per_s = failure_prob_sum / sim_seconds;
+  r.mttf_seconds = failure_prob_sum == 0.0
+                       ? std::numeric_limits<double>::infinity()
+                       : 1.0 / r.failure_rate_per_s;
+  return r;
+}
+
+double mttf_ratio(const MttfResult& a, const MttfResult& b) {
+  if (b.failure_prob_sum == 0.0 && a.failure_prob_sum == 0.0) return 1.0;
+  if (b.failure_prob_sum == 0.0)
+    return a.failure_prob_sum == 0.0
+               ? 1.0
+               : 0.0;  // b never fails, a does: ratio collapses to 0
+  if (a.failure_prob_sum == 0.0)
+    return std::numeric_limits<double>::infinity();
+  return b.failure_rate_per_s / a.failure_rate_per_s;
+}
+
+}  // namespace reap::reliability

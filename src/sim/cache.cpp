@@ -1,0 +1,165 @@
+#include "reap/sim/cache.hpp"
+
+#include <bit>
+
+#include "reap/common/assert.hpp"
+
+namespace reap::sim {
+
+SetAssocCache::SetAssocCache(CacheConfig cfg, std::uint64_t seed)
+    : cfg_(std::move(cfg)), rng_(seed) {
+  REAP_EXPECTS(cfg_.ways >= 1);
+  REAP_EXPECTS(std::has_single_bit(cfg_.block_bytes));
+  REAP_EXPECTS(cfg_.capacity_bytes % (cfg_.ways * cfg_.block_bytes) == 0);
+  sets_ = cfg_.sets();
+  REAP_EXPECTS(std::has_single_bit(sets_));
+  offset_bits_ = static_cast<unsigned>(std::countr_zero(cfg_.block_bytes));
+  index_bits_ = static_cast<unsigned>(std::countr_zero(sets_));
+  lines_.resize(sets_ * cfg_.ways);
+}
+
+std::size_t SetAssocCache::set_of(std::uint64_t addr) const {
+  return (addr >> offset_bits_) & (sets_ - 1);
+}
+
+std::uint64_t SetAssocCache::tag_of(std::uint64_t addr) const {
+  return addr >> (offset_bits_ + index_bits_);
+}
+
+std::uint64_t SetAssocCache::line_addr(std::uint64_t tag,
+                                       std::size_t set) const {
+  return (tag << (offset_bits_ + index_bits_)) |
+         (static_cast<std::uint64_t>(set) << offset_bits_);
+}
+
+std::span<CacheLine> SetAssocCache::set_span(std::size_t set) {
+  return {&lines_[set * cfg_.ways], cfg_.ways};
+}
+
+std::span<const CacheLine> SetAssocCache::set_view(std::size_t set) const {
+  REAP_EXPECTS(set < sets_);
+  return {&lines_[set * cfg_.ways], cfg_.ways};
+}
+
+int SetAssocCache::find_way(std::size_t set, std::uint64_t tag) const {
+  const CacheLine* base = &lines_[set * cfg_.ways];
+  for (std::size_t w = 0; w < cfg_.ways; ++w) {
+    if (base[w].valid && base[w].tag == tag) return static_cast<int>(w);
+  }
+  return -1;
+}
+
+std::size_t SetAssocCache::victim_way(std::size_t set) {
+  auto ways = set_span(set);
+  // Invalid ways first.
+  for (std::size_t w = 0; w < ways.size(); ++w) {
+    if (!ways[w].valid) return w;
+  }
+  switch (cfg_.replacement) {
+    case ReplacementKind::lru: {
+      std::size_t v = 0;
+      for (std::size_t w = 1; w < ways.size(); ++w) {
+        if (ways[w].lru_stamp < ways[v].lru_stamp) v = w;
+      }
+      return v;
+    }
+    case ReplacementKind::fifo: {
+      std::size_t v = 0;
+      for (std::size_t w = 1; w < ways.size(); ++w) {
+        if (ways[w].fill_stamp < ways[v].fill_stamp) v = w;
+      }
+      return v;
+    }
+    case ReplacementKind::random_repl:
+      return static_cast<std::size_t>(rng_.below(ways.size()));
+    case ReplacementKind::least_error_rate: {
+      std::size_t v = 0;
+      for (std::size_t w = 1; w < ways.size(); ++w) {
+        if (ways[w].reads_since_check > ways[v].reads_since_check ||
+            (ways[w].reads_since_check == ways[v].reads_since_check &&
+             ways[w].lru_stamp < ways[v].lru_stamp)) {
+          v = w;
+        }
+      }
+      return v;
+    }
+  }
+  return 0;
+}
+
+std::uint32_t SetAssocCache::ones_for(std::uint64_t addr) const {
+  if (ones_model_) return ones_model_(addr);
+  return static_cast<std::uint32_t>(cfg_.block_bytes * 8 / 2);
+}
+
+bool SetAssocCache::read(std::uint64_t addr) {
+  const std::size_t set = set_of(addr);
+  const std::uint64_t tag = tag_of(addr);
+  ++stats_.read_lookups;
+  const int way = find_way(set, tag);
+  if (hooks_) hooks_->on_read_lookup(set_span(set), way);
+  if (way < 0) return false;
+  ++stats_.read_hits;
+  touch(lines_[set * cfg_.ways + static_cast<std::size_t>(way)]);
+  return true;
+}
+
+bool SetAssocCache::write(std::uint64_t addr) {
+  const std::size_t set = set_of(addr);
+  const std::uint64_t tag = tag_of(addr);
+  ++stats_.write_lookups;
+  const int way = find_way(set, tag);
+  if (hooks_) hooks_->on_write_lookup(set_span(set), way);
+  if (way < 0) return false;
+  ++stats_.write_hits;
+  CacheLine& line = lines_[set * cfg_.ways + static_cast<std::size_t>(way)];
+  line.dirty = true;
+  line.ones = ones_for(addr);
+  line.reads_since_check = 0;  // a rewrite refreshes every cell
+  touch(line);
+  return true;
+}
+
+SetAssocCache::Evicted SetAssocCache::fill(std::uint64_t addr, bool dirty) {
+  const std::size_t set = set_of(addr);
+  const std::uint64_t tag = tag_of(addr);
+  REAP_EXPECTS(find_way(set, tag) < 0);  // caller must not double-fill
+
+  Evicted ev;
+  const std::size_t w = victim_way(set);
+  CacheLine& line = lines_[set * cfg_.ways + w];
+  if (line.valid) {
+    if (hooks_) hooks_->on_evict(line);
+    ev.any = true;
+    ev.dirty = line.dirty;
+    ev.addr = line_addr(line.tag, set);
+    ++stats_.evictions;
+    if (line.dirty) ++stats_.dirty_evictions;
+  }
+  line.tag = tag;
+  line.valid = true;
+  line.dirty = dirty;
+  line.ones = ones_for(addr);
+  line.reads_since_check = 0;
+  line.fill_stamp = ++clock_;
+  line.lru_stamp = clock_;
+  ++stats_.fills;
+  if (hooks_) hooks_->on_fill(line);
+  return ev;
+}
+
+bool SetAssocCache::probe(std::uint64_t addr) const {
+  return find_way(set_of(addr), tag_of(addr)) >= 0;
+}
+
+bool SetAssocCache::invalidate(std::uint64_t addr) {
+  const std::size_t set = set_of(addr);
+  const int way = find_way(set, tag_of(addr));
+  if (way < 0) return false;
+  CacheLine& line = lines_[set * cfg_.ways + static_cast<std::size_t>(way)];
+  const bool was_dirty = line.dirty;
+  line = CacheLine{};
+  return was_dirty;
+}
+
+}  // namespace reap::sim

@@ -1,0 +1,154 @@
+// Set-associative cache with a pluggable read-path observer.
+//
+// The cache implements the *mechanism* shared by every read-path variant:
+// tag match, replacement, dirty tracking, per-line reliability metadata.
+// The *policy* differences the paper studies (who gets ECC-checked when,
+// which reads count as concealed) live in core/read_path.hpp implementations
+// of L2PolicyHooks, which this class invokes on every access.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "reap/common/rng.hpp"
+
+namespace reap::sim {
+
+struct CacheLine {
+  std::uint64_t tag = 0;
+  bool valid = false;
+  bool dirty = false;
+
+  // Reliability metadata (used by the STT-MRAM L2; ignored for SRAM L1s).
+  std::uint32_t ones = 0;               // popcount of the stored payload
+  std::uint32_t reads_since_check = 0;  // concealed reads since last ECC
+                                        // check / rewrite (paper's N - 1)
+
+  std::uint64_t lru_stamp = 0;
+  std::uint64_t fill_stamp = 0;
+};
+
+// lru/fifo/random are the classic policies; least_error_rate follows the
+// idea of the paper's ref [13] (LER replacement for STT-RAM caches): prefer
+// evicting the line with the most accumulated unchecked reads, so the
+// blocks most at risk of uncorrectable errors leave the cache first.
+// Ties fall back to LRU.
+enum class ReplacementKind { lru, fifo, random_repl, least_error_rate };
+
+struct CacheConfig {
+  std::string name = "cache";
+  std::size_t capacity_bytes = 32 * 1024;
+  std::size_t ways = 4;
+  std::size_t block_bytes = 64;
+  ReplacementKind replacement = ReplacementKind::lru;
+
+  std::size_t sets() const { return capacity_bytes / (ways * block_bytes); }
+};
+
+// Observer for the read path; see core/read_path.hpp for implementations.
+class L2PolicyHooks {
+ public:
+  virtual ~L2PolicyHooks() = default;
+
+  // A read lookup touched this set (parallel-access caches physically read
+  // every way). `ways` spans all k lines, valid or not; hit_way is the
+  // matching index or -1 on a miss.
+  virtual void on_read_lookup(std::span<CacheLine> ways, int hit_way) = 0;
+
+  // A write lookup (L1 writeback / store update) touched this set; on a hit
+  // the line is about to be rewritten. Write lookups compare tags but do
+  // not read the data ways, so they cause no concealed reads.
+  virtual void on_write_lookup(std::span<CacheLine> ways, int hit_way) = 0;
+
+  // `line` was just filled (metadata and ones already set).
+  virtual void on_fill(CacheLine& line) = 0;
+
+  // `line` is about to be evicted (still valid here).
+  virtual void on_evict(CacheLine& line) = 0;
+};
+
+struct CacheStats {
+  std::uint64_t read_lookups = 0;
+  std::uint64_t read_hits = 0;
+  std::uint64_t write_lookups = 0;
+  std::uint64_t write_hits = 0;
+  std::uint64_t fills = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t dirty_evictions = 0;
+
+  double read_hit_rate() const {
+    return read_lookups == 0
+               ? 0.0
+               : static_cast<double>(read_hits) /
+                     static_cast<double>(read_lookups);
+  }
+};
+
+class SetAssocCache {
+ public:
+  explicit SetAssocCache(CacheConfig cfg, std::uint64_t seed = 1);
+
+  const CacheConfig& config() const { return cfg_; }
+  const CacheStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+  // Policy observer; may be null (L1 caches).
+  void set_hooks(L2PolicyHooks* hooks) { hooks_ = hooks; }
+
+  // Ones-count provider for filled/rewritten lines; null keeps ones at a
+  // fixed default (half the block bits).
+  void set_ones_model(std::function<std::uint32_t(std::uint64_t)> fn) {
+    ones_model_ = std::move(fn);
+  }
+
+  // Read lookup. Returns hit; does NOT fill on miss (caller decides).
+  bool read(std::uint64_t addr);
+
+  // Write lookup. On a hit the line is rewritten in place (dirty, ones
+  // refreshed, accumulation cleared). Returns hit.
+  bool write(std::uint64_t addr);
+
+  struct Evicted {
+    bool any = false;
+    bool dirty = false;
+    std::uint64_t addr = 0;
+  };
+
+  // Installs addr's block, evicting if needed; returns the evicted victim.
+  Evicted fill(std::uint64_t addr, bool dirty);
+
+  // True if addr's block is present (no stats/hook side effects).
+  bool probe(std::uint64_t addr) const;
+
+  // Invalidates addr's block if present; returns whether it was dirty.
+  bool invalidate(std::uint64_t addr);
+
+  // Direct set access for tests and diagnostics.
+  std::span<const CacheLine> set_view(std::size_t set) const;
+  std::size_t set_of(std::uint64_t addr) const;
+  std::uint64_t tag_of(std::uint64_t addr) const;
+  std::uint64_t line_addr(std::uint64_t tag, std::size_t set) const;
+
+ private:
+  std::span<CacheLine> set_span(std::size_t set);
+  int find_way(std::size_t set, std::uint64_t tag) const;
+  std::size_t victim_way(std::size_t set);
+  std::uint32_t ones_for(std::uint64_t addr) const;
+  void touch(CacheLine& line) { line.lru_stamp = ++clock_; }
+
+  CacheConfig cfg_;
+  std::size_t sets_;
+  unsigned offset_bits_;
+  unsigned index_bits_;
+  std::vector<CacheLine> lines_;
+  CacheStats stats_;
+  L2PolicyHooks* hooks_ = nullptr;
+  std::function<std::uint32_t(std::uint64_t)> ones_model_;
+  std::uint64_t clock_ = 0;
+  common::Rng rng_;
+};
+
+}  // namespace reap::sim

@@ -1,0 +1,51 @@
+// Trace-driven in-order core.
+//
+// One instruction per cycle plus memory stall cycles from the hierarchy --
+// the timing fidelity the paper's evaluation needs (it reports no IPC
+// results; cycle counts only convert failure-probability sums into MTTF
+// and let us confirm REAP's "no performance impact" claim via the L2
+// latency each policy reports).
+#pragma once
+
+#include <cstdint>
+
+#include "reap/sim/hierarchy.hpp"
+#include "reap/trace/record.hpp"
+
+namespace reap::sim {
+
+class TraceCpu {
+ public:
+  TraceCpu(trace::TraceSource& source, MemoryHierarchy& mem,
+           double clock_ghz = 2.0);
+
+  // Executes up to `max_instructions`; stops early at end of trace.
+  // Returns instructions executed in this call.
+  std::uint64_t run(std::uint64_t max_instructions);
+
+  std::uint64_t instructions() const { return instructions_; }
+  std::uint64_t cycles() const { return cycles_; }
+  double ipc() const {
+    return cycles_ == 0 ? 0.0
+                        : static_cast<double>(instructions_) /
+                              static_cast<double>(cycles_);
+  }
+  double seconds() const {
+    return static_cast<double>(cycles_) / (clock_ghz_ * 1e9);
+  }
+  double clock_ghz() const { return clock_ghz_; }
+
+  void reset_counters() { instructions_ = cycles_ = 0; }
+
+ private:
+  trace::TraceSource& source_;
+  MemoryHierarchy& mem_;
+  double clock_ghz_;
+  std::uint64_t instructions_ = 0;
+  std::uint64_t cycles_ = 0;
+  // Instruction boundary seen past the budget, replayed on the next run().
+  trace::MemOp pending_{};
+  bool pending_valid_ = false;
+};
+
+}  // namespace reap::sim

@@ -1,0 +1,92 @@
+// Two-level memory hierarchy matching the paper's Table I:
+//   L1I / L1D: 32KB 4-way SRAM, 64B blocks, write-back
+//   L2:        1MB 8-way STT-MRAM, 64B blocks, write-back, shared
+//
+// Write-allocate everywhere; non-inclusive (an L2 eviction does not
+// back-invalidate L1, matching the simple gem5 classic-cache behaviour the
+// paper's setup uses). The L2 read path invokes the configured
+// L2PolicyHooks so read-path policies can track disturbance accumulation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "reap/sim/cache.hpp"
+
+namespace reap::sim {
+
+struct HierarchyConfig {
+  CacheConfig l1i{.name = "L1I",
+                  .capacity_bytes = 32 * 1024,
+                  .ways = 4,
+                  .block_bytes = 64};
+  CacheConfig l1d{.name = "L1D",
+                  .capacity_bytes = 32 * 1024,
+                  .ways = 4,
+                  .block_bytes = 64};
+  CacheConfig l2{.name = "L2",
+                 .capacity_bytes = 1024 * 1024,
+                 .ways = 8,
+                 .block_bytes = 64};
+
+  // Stall cycles beyond the pipelined L1 hit.
+  std::uint32_t l2_hit_cycles = 10;
+  std::uint32_t mem_cycles = 150;
+};
+
+struct HierarchyStats {
+  CacheStats l1i;
+  CacheStats l1d;
+  CacheStats l2;
+  std::uint64_t mem_reads = 0;
+  std::uint64_t mem_writes = 0;
+};
+
+class MemoryHierarchy {
+ public:
+  MemoryHierarchy(HierarchyConfig cfg, std::uint64_t seed = 1);
+
+  // Observer for the L2 read path (the policy under study).
+  void set_l2_hooks(L2PolicyHooks* hooks) { l2_.set_hooks(hooks); }
+
+  // Ones-count provider for L2 lines (the data-value model).
+  void set_l2_ones_model(std::function<std::uint32_t(std::uint64_t)> fn) {
+    l2_.set_ones_model(std::move(fn));
+  }
+
+  // Override the L2 hit latency (read-path policies differ here).
+  void set_l2_hit_cycles(std::uint32_t cycles) { cfg_.l2_hit_cycles = cycles; }
+
+  // Each returns stall cycles beyond the 1-cycle pipelined issue.
+  std::uint64_t inst_fetch(std::uint64_t pc);
+  std::uint64_t load(std::uint64_t addr);
+  std::uint64_t store(std::uint64_t addr);
+
+  HierarchyStats stats() const;
+  void reset_stats();
+
+  SetAssocCache& l2() { return l2_; }
+  const SetAssocCache& l2() const { return l2_; }
+  SetAssocCache& l1d() { return l1d_; }
+  SetAssocCache& l1i() { return l1i_; }
+  const HierarchyConfig& config() const { return cfg_; }
+
+ private:
+  // L1 access; on miss goes to L2. Returns stall cycles.
+  std::uint64_t l1_access(SetAssocCache& l1, std::uint64_t addr,
+                          bool is_store);
+  // L2 read request (from an L1 fill). Returns stall cycles.
+  std::uint64_t l2_read(std::uint64_t addr);
+  // L2 write request (L1 dirty writeback). Off the critical path.
+  void l2_write(std::uint64_t addr);
+
+  HierarchyConfig cfg_;
+  SetAssocCache l1i_;
+  SetAssocCache l1d_;
+  SetAssocCache l2_;
+  std::uint64_t mem_reads_ = 0;
+  std::uint64_t mem_writes_ = 0;
+  std::uint64_t last_fetch_block_ = ~std::uint64_t{0};
+};
+
+}  // namespace reap::sim

@@ -1,0 +1,35 @@
+// Memory-operation records and the pull-based trace source interface.
+//
+// The simulator is trace-driven (the gem5 substitution, see DESIGN.md): a
+// TraceSource yields instruction fetches and data accesses one at a time, so
+// multi-million-operation workloads never need to be materialized in memory.
+#pragma once
+
+#include <cstdint>
+
+namespace reap::trace {
+
+enum class OpType : std::uint8_t {
+  inst_fetch = 0,  // instruction boundary; addr = pc
+  load = 1,
+  store = 2,
+};
+
+struct MemOp {
+  OpType type = OpType::inst_fetch;
+  std::uint64_t addr = 0;
+};
+
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+
+  // Produces the next operation; returns false at end of trace.
+  virtual bool next(MemOp& op) = 0;
+
+  // Restarts the trace from the beginning (same sequence for the same
+  // construction parameters/seed).
+  virtual void reset() = 0;
+};
+
+}  // namespace reap::trace

@@ -1,0 +1,38 @@
+// SPEC CPU2006-named workload profiles.
+//
+// SPEC CPU2006 is proprietary, so the evaluation runs these synthetic
+// stand-ins instead (DESIGN.md, "Substitutions"). Each profile's mixture is
+// chosen from the benchmark's published memory behaviour -- footprint,
+// streaming vs. pointer-chasing character, read/write balance -- so that the
+// L2-level observables the paper depends on (reuse structure, concealed-read
+// tails, read/write energy mix) land in the right qualitative regime:
+//
+//   mcf            huge-footprint pointer chase, L2 thrash   -> smallest gain
+//   h264ref/namd/  hot-set reuse with set-hammering strides  -> 1e4+ tails,
+//   dealII/calculix                                              >1000x gain
+//   lbm/libquantum/bwaves  pure streams, little L2 reuse     -> small gain
+//   cactusADM      read-dominated L2 traffic                 -> max energy ovh
+//   xalancbmk      store/writeback-heavy L2 traffic          -> min energy ovh
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "reap/trace/workload.hpp"
+
+namespace reap::trace {
+
+// All bundled profile names, in the order benches report them.
+std::vector<std::string> spec2006_names();
+
+// Profile by name; nullopt if unknown.
+std::optional<WorkloadProfile> spec2006_profile(const std::string& name);
+
+// All bundled profiles.
+std::vector<WorkloadProfile> spec2006_all();
+
+// The four workloads Fig. 3 plots.
+std::vector<std::string> fig3_names();
+
+}  // namespace reap::trace

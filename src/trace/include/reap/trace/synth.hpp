@@ -1,0 +1,125 @@
+// Synthetic address-pattern primitives.
+//
+// Workload profiles (spec2006.hpp) compose these into mixtures. Each
+// primitive owns a region of the address space and yields successive data
+// addresses within it. The primitives are chosen to span the locality
+// regimes that drive the paper's concealed-read behaviour:
+//   - streams: no reuse, lines evicted quickly (small accumulation)
+//   - zipf hot sets: long-resident lines in frequently-accessed sets
+//     (the 1e4..1e5 concealed-read tails of Fig. 3)
+//   - pointer chases: large-footprint low-locality walks (mcf-like)
+//   - loop nests: periodic re-sweeps (calculix/dealII-like)
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "reap/common/rng.hpp"
+
+namespace reap::trace {
+
+class AddressPattern {
+ public:
+  virtual ~AddressPattern() = default;
+  virtual std::uint64_t next(common::Rng& rng) = 0;
+  virtual void reset() = 0;
+};
+
+// Sequential sweep with fixed stride, wrapping at the region end.
+class SequentialStream final : public AddressPattern {
+ public:
+  SequentialStream(std::uint64_t base, std::uint64_t size_bytes,
+                   std::uint64_t stride_bytes);
+  std::uint64_t next(common::Rng& rng) override;
+  void reset() override { cursor_ = 0; }
+
+ private:
+  std::uint64_t base_, size_, stride_;
+  std::uint64_t cursor_ = 0;
+};
+
+// Uniform random accesses over the region at `granule` alignment.
+class UniformRandom final : public AddressPattern {
+ public:
+  UniformRandom(std::uint64_t base, std::uint64_t size_bytes,
+                std::uint64_t granule = 8);
+  std::uint64_t next(common::Rng& rng) override;
+  void reset() override {}
+
+ private:
+  std::uint64_t base_, granules_, granule_;
+};
+
+// Zipf-popularity accesses over the region's cache blocks. `scramble`
+// permutes rank->block so hot blocks spread over cache sets; without it the
+// hottest blocks are contiguous and concentrate in a few sets, which is the
+// behaviour that maximizes read-disturbance accumulation in sibling lines.
+class ZipfHotSet final : public AddressPattern {
+ public:
+  ZipfHotSet(std::uint64_t base, std::uint64_t size_bytes, double zipf_s,
+             bool scramble, std::uint64_t block_bytes = 64);
+  std::uint64_t next(common::Rng& rng) override;
+  void reset() override {}
+
+ private:
+  std::uint64_t map_rank(std::uint64_t rank) const;
+
+  std::uint64_t base_, blocks_, block_bytes_;
+  bool scramble_;
+  common::ZipfSampler zipf_;
+};
+
+// Pseudo-random pointer chase: the next address is a hash of the current
+// one, confined to the region. Models dependent-load workloads (mcf, astar).
+class PointerChase final : public AddressPattern {
+ public:
+  PointerChase(std::uint64_t base, std::uint64_t size_bytes,
+               std::uint64_t granule = 64);
+  std::uint64_t next(common::Rng& rng) override;
+  void reset() override { state_ = 0x1234; }
+
+ private:
+  std::uint64_t base_, granules_, granule_;
+  std::uint64_t state_ = 0x1234;
+};
+
+// Set hammer: the construction behind the paper's Fig. 3 tails.
+//
+// `hot_blocks` lines spaced exactly one cache-set period apart are swept
+// continuously: with hot_blocks above the L1 associativity they thrash L1
+// and stream read hits into a single L2 set. `resident_blocks` further
+// lines in the SAME set are touched only with probability `resident_prob`
+// per access: they stay L2-resident (the set has spare ways) while the
+// hammer's concealed reads accumulate on them, so each rare touch is a
+// checked read with an enormous N -- the rare-but-dominant failure events
+// of Fig. 3.
+class SetHammer final : public AddressPattern {
+ public:
+  SetHammer(std::uint64_t base, std::uint64_t set_period,
+            std::uint64_t hot_blocks, std::uint64_t resident_blocks,
+            double resident_prob);
+  std::uint64_t next(common::Rng& rng) override;
+  void reset() override { hot_cursor_ = resident_cursor_ = 0; }
+
+ private:
+  std::uint64_t base_, period_, hot_blocks_, resident_blocks_;
+  double resident_prob_;
+  std::uint64_t hot_cursor_ = 0, resident_cursor_ = 0;
+};
+
+// Blocked loop nest: sweeps a tile sequentially `inner_repeats` times, then
+// advances to the next tile; wraps over the region.
+class LoopNest final : public AddressPattern {
+ public:
+  LoopNest(std::uint64_t base, std::uint64_t size_bytes,
+           std::uint64_t tile_bytes, std::uint64_t inner_repeats,
+           std::uint64_t stride_bytes = 8);
+  std::uint64_t next(common::Rng& rng) override;
+  void reset() override;
+
+ private:
+  std::uint64_t base_, size_, tile_, repeats_, stride_;
+  std::uint64_t tile_base_ = 0, cursor_ = 0, rep_ = 0;
+};
+
+}  // namespace reap::trace

@@ -1,0 +1,79 @@
+// Trace file formats: users can bring externally-captured traces (e.g. from
+// a real gem5 run) instead of the synthetic generators.
+//
+// Text format, one op per line:   I|L|S <hex-or-dec address>
+// Binary format: little-endian records of [u8 type][u64 addr], no header.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "reap/trace/record.hpp"
+
+namespace reap::trace {
+
+// In-memory trace; also the unit-test workhorse.
+class VectorTraceSource final : public TraceSource {
+ public:
+  VectorTraceSource() = default;
+  explicit VectorTraceSource(std::vector<MemOp> ops) : ops_(std::move(ops)) {}
+
+  void push(MemOp op) { ops_.push_back(op); }
+  std::size_t size() const { return ops_.size(); }
+
+  bool next(MemOp& op) override;
+  void reset() override { pos_ = 0; }
+
+ private:
+  std::vector<MemOp> ops_;
+  std::size_t pos_ = 0;
+};
+
+// Reads the text format; returns false from next() at EOF or parse error
+// (parse errors are also reported via error()).
+class TextTraceReader final : public TraceSource {
+ public:
+  explicit TextTraceReader(std::string path);
+  ~TextTraceReader() override;
+
+  TextTraceReader(const TextTraceReader&) = delete;
+  TextTraceReader& operator=(const TextTraceReader&) = delete;
+
+  bool ok() const { return file_ != nullptr; }
+  const std::string& error() const { return error_; }
+
+  bool next(MemOp& op) override;
+  void reset() override;
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  std::string error_;
+};
+
+// Writers return false on IO failure.
+bool write_text_trace(const std::string& path, TraceSource& source,
+                      std::uint64_t max_ops);
+bool write_binary_trace(const std::string& path, TraceSource& source,
+                        std::uint64_t max_ops);
+
+class BinaryTraceReader final : public TraceSource {
+ public:
+  explicit BinaryTraceReader(std::string path);
+  ~BinaryTraceReader() override;
+
+  BinaryTraceReader(const BinaryTraceReader&) = delete;
+  BinaryTraceReader& operator=(const BinaryTraceReader&) = delete;
+
+  bool ok() const { return file_ != nullptr; }
+
+  bool next(MemOp& op) override;
+  void reset() override;
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+};
+
+}  // namespace reap::trace

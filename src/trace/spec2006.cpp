@@ -1,0 +1,230 @@
+#include "reap/trace/spec2006.hpp"
+
+namespace reap::trace {
+
+namespace {
+
+constexpr std::uint64_t KB = 1024;
+constexpr std::uint64_t MB = 1024 * 1024;
+
+PatternSpec stream(double w, std::uint64_t region, std::uint64_t stride = 64) {
+  PatternSpec p;
+  p.kind = PatternSpec::Kind::stream;
+  p.weight = w;
+  p.region_bytes = region;
+  p.stride_bytes = stride;
+  return p;
+}
+
+PatternSpec uniform(double w, std::uint64_t region) {
+  PatternSpec p;
+  p.kind = PatternSpec::Kind::uniform;
+  p.weight = w;
+  p.region_bytes = region;
+  return p;
+}
+
+PatternSpec zipf(double w, std::uint64_t region, double s,
+                 bool scramble = true) {
+  PatternSpec p;
+  p.kind = PatternSpec::Kind::zipf;
+  p.weight = w;
+  p.region_bytes = region;
+  p.zipf_s = s;
+  p.zipf_scramble = scramble;
+  return p;
+}
+
+PatternSpec chase(double w, std::uint64_t region) {
+  PatternSpec p;
+  p.kind = PatternSpec::Kind::chase;
+  p.weight = w;
+  p.region_bytes = region;
+  return p;
+}
+
+PatternSpec loop(double w, std::uint64_t region, std::uint64_t tile,
+                 std::uint64_t repeats) {
+  PatternSpec p;
+  p.kind = PatternSpec::Kind::loop;
+  p.weight = w;
+  p.region_bytes = region;
+  p.tile_bytes = tile;
+  p.inner_repeats = repeats;
+  return p;
+}
+
+// Set hammer (synth.hpp SetHammer): `hot` lines spaced one L2-set period
+// (sets*64B = 128KB for the Table I L2) apart thrash the 4-way L1 and
+// stream read hits into a single L2 set; `resident` lines in the same set
+// are touched with probability `touch` per hammer access, so they sit
+// L2-resident collecting concealed reads and each rare touch is a checked
+// read with a very large N -- the Fig. 3 tail events.
+PatternSpec hammer(double w, double touch = 0.0008, std::uint64_t hot = 5,
+                   std::uint64_t resident = 2) {
+  PatternSpec p;
+  p.kind = PatternSpec::Kind::hammer;
+  p.weight = w;
+  p.hammer_blocks = hot;
+  p.hammer_resident_blocks = resident;
+  p.hammer_resident_prob = touch;
+  p.hammer_set_period = 128 * KB;
+  p.region_bytes = (hot + resident) * p.hammer_set_period;
+  return p;
+}
+
+WorkloadProfile make(const std::string& name, double loads, double stores,
+                     std::uint64_t code_bytes, double jump_prob,
+                     std::vector<PatternSpec> pats, double ones_mean,
+                     double ones_sd = 0.10) {
+  WorkloadProfile p;
+  p.name = name;
+  p.loads_per_inst = loads;
+  p.stores_per_inst = stores;
+  p.code_bytes = code_bytes;
+  p.jump_prob = jump_prob;
+  p.patterns = std::move(pats);
+  p.values.mean_density = ones_mean;
+  p.values.stddev_density = ones_sd;
+  // Stable per-workload seed so every bench sees the same trace.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : name) h = (h ^ static_cast<unsigned char>(c)) * 0x100000001b3ULL;
+  p.seed = h;
+  return p;
+}
+
+std::vector<WorkloadProfile> build_all() {
+  std::vector<WorkloadProfile> v;
+
+  // ---- SPEC CPU2006 integer ----
+  v.push_back(make("perlbench", 0.28, 0.12, 512 * KB, 0.03,
+                   {zipf(0.45, 256 * KB, 1.00), hammer(0.20, 0.004),
+                    stream(0.20, 2 * MB), uniform(0.15, 1 * MB)},
+                   0.34));
+  v.push_back(make("bzip2", 0.26, 0.18, 128 * KB, 0.01,
+                   {stream(0.50, 4 * MB), zipf(0.30, 512 * KB, 0.90),
+                    uniform(0.20, 1 * MB)},
+                   0.45));
+  v.push_back(make("gcc", 0.25, 0.13, 1 * MB, 0.04,
+                   {zipf(0.45, 1 * MB, 0.95), uniform(0.30, 2 * MB),
+                    stream(0.25, 1 * MB)},
+                   0.30));
+  v.push_back(make("mcf", 0.35, 0.09, 64 * KB, 0.02,
+                   {chase(0.65, 32 * MB), uniform(0.35, 16 * MB)},
+                   0.28));
+  v.push_back(make("gobmk", 0.24, 0.11, 512 * KB, 0.04,
+                   {zipf(0.55, 512 * KB, 1.05), chase(0.25, 2 * MB),
+                    uniform(0.20, 1 * MB)},
+                   0.32));
+  v.push_back(make("hmmer", 0.30, 0.14, 128 * KB, 0.01,
+                   {loop(0.60, 512 * KB, 64 * KB, 6), stream(0.40, 2 * MB)},
+                   0.38));
+  v.push_back(make("sjeng", 0.22, 0.10, 256 * KB, 0.05,
+                   {zipf(0.60, 256 * KB, 1.10), uniform(0.40, 4 * MB)},
+                   0.33));
+  v.push_back(make("libquantum", 0.27, 0.10, 32 * KB, 0.005,
+                   {stream(0.75, 8 * MB), zipf(0.25, 128 * KB, 1.30)},
+                   0.25));
+  v.push_back(make("h264ref", 0.35, 0.10, 128 * KB, 0.02,
+                   {hammer(0.42, 0.00025, 5, 3), zipf(0.38, 96 * KB, 1.35),
+                    stream(0.20, 24 * KB)},
+                   0.40));
+  v.push_back(make("omnetpp", 0.26, 0.14, 512 * KB, 0.03,
+                   {chase(0.45, 4 * MB), zipf(0.40, 512 * KB, 0.90),
+                    uniform(0.15, 1 * MB)},
+                   0.31));
+  v.push_back(make("astar", 0.30, 0.10, 128 * KB, 0.02,
+                   {chase(0.50, 8 * MB), zipf(0.50, 256 * KB, 1.00)},
+                   0.29));
+  // Writeback-heavy: stores dirty large regions, so L2 dynamic energy is
+  // dominated by fills and writebacks and the decode premium is smallest
+  // (the paper's 1.0% best case).
+  v.push_back(make("xalancbmk", 0.24, 0.34, 1 * MB, 0.04,
+                   {zipf(0.45, 1 * MB, 0.85), stream(0.55, 3 * MB)},
+                   0.30));
+
+  // ---- SPEC CPU2006 floating point ----
+  v.push_back(make("bwaves", 0.32, 0.15, 64 * KB, 0.005,
+                   {stream(0.72, 16 * MB), loop(0.28, 512 * KB, 64 * KB, 4)},
+                   0.42));
+  v.push_back(make("gamess", 0.28, 0.10, 256 * KB, 0.02,
+                   {zipf(0.70, 128 * KB, 1.10), stream(0.30, 512 * KB)},
+                   0.36));
+  v.push_back(make("milc", 0.30, 0.16, 64 * KB, 0.01,
+                   {stream(0.60, 8 * MB), uniform(0.25, 4 * MB),
+                    zipf(0.15, 192 * KB, 1.00)},
+                   0.41));
+  v.push_back(make("zeusmp", 0.29, 0.14, 128 * KB, 0.01,
+                   {stream(0.55, 8 * MB), loop(0.45, 768 * KB, 128 * KB, 4)},
+                   0.39));
+  v.push_back(make("gromacs", 0.27, 0.12, 256 * KB, 0.02,
+                   {loop(0.55, 256 * KB, 32 * KB, 6),
+                    zipf(0.45, 256 * KB, 1.00)},
+                   0.37));
+  // Resident stencil working set: almost all L2 traffic is read hits, so
+  // the k-1 extra decodes are the largest relative energy adder (the
+  // paper's 6.5% worst case).
+  v.push_back(make("cactusADM", 0.40, 0.02, 128 * KB, 0.005,
+                   {loop(0.45, 384 * KB, 64 * KB, 5),
+                    zipf(0.35, 256 * KB, 1.10), stream(0.20, 192 * KB)},
+                   0.43));
+  v.push_back(make("namd", 0.33, 0.08, 128 * KB, 0.01,
+                   {hammer(0.38, 0.00015, 5, 3), loop(0.27, 256 * KB, 16 * KB, 8),
+                    zipf(0.35, 64 * KB, 1.45)},
+                   0.36));
+  v.push_back(make("dealII", 0.31, 0.11, 128 * KB, 0.02,
+                   {hammer(0.40, 0.00018, 5, 3), loop(0.25, 192 * KB, 16 * KB, 8),
+                    zipf(0.35, 64 * KB, 1.45)},
+                   0.34));
+  v.push_back(make("soplex", 0.29, 0.10, 512 * KB, 0.02,
+                   {stream(0.40, 4 * MB), zipf(0.35, 512 * KB, 0.90),
+                    chase(0.25, 1 * MB)},
+                   0.31));
+  v.push_back(make("povray", 0.30, 0.08, 512 * KB, 0.03,
+                   {zipf(0.80, 128 * KB, 1.20), uniform(0.20, 512 * KB)},
+                   0.33));
+  v.push_back(make("calculix", 0.32, 0.12, 256 * KB, 0.01,
+                   {hammer(0.26, 0.0005, 5, 3), loop(0.39, 256 * KB, 16 * KB, 6),
+                    zipf(0.35, 160 * KB, 1.10)},
+                   0.38));
+  v.push_back(make("GemsFDTD", 0.33, 0.14, 128 * KB, 0.01,
+                   {stream(0.55, 8 * MB), loop(0.45, 768 * KB, 256 * KB, 3)},
+                   0.40));
+  v.push_back(make("tonto", 0.28, 0.11, 512 * KB, 0.02,
+                   {zipf(0.55, 256 * KB, 1.00), stream(0.45, 1 * MB)},
+                   0.35));
+  v.push_back(make("lbm", 0.30, 0.25, 32 * KB, 0.002,
+                   {stream(0.82, 16 * MB), zipf(0.18, 128 * KB, 1.00)},
+                   0.44));
+  v.push_back(make("wrf", 0.30, 0.13, 512 * KB, 0.01,
+                   {loop(0.50, 768 * KB, 128 * KB, 4), stream(0.50, 4 * MB)},
+                   0.39));
+  v.push_back(make("sphinx3", 0.31, 0.09, 256 * KB, 0.02,
+                   {zipf(0.45, 512 * KB, 0.95), stream(0.35, 2 * MB),
+                    uniform(0.20, 1 * MB)},
+                   0.35));
+  return v;
+}
+
+}  // namespace
+
+std::vector<WorkloadProfile> spec2006_all() { return build_all(); }
+
+std::vector<std::string> spec2006_names() {
+  std::vector<std::string> names;
+  for (const auto& p : build_all()) names.push_back(p.name);
+  return names;
+}
+
+std::optional<WorkloadProfile> spec2006_profile(const std::string& name) {
+  for (auto& p : build_all()) {
+    if (p.name == name) return p;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> fig3_names() {
+  return {"perlbench", "calculix", "h264ref", "dealII"};
+}
+
+}  // namespace reap::trace

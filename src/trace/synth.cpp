@@ -1,0 +1,137 @@
+#include "reap/trace/synth.hpp"
+
+#include "reap/common/assert.hpp"
+
+namespace reap::trace {
+
+namespace {
+// Stateless 64-bit mix (splitmix64 finalizer); used for address scrambling.
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+}  // namespace
+
+SequentialStream::SequentialStream(std::uint64_t base, std::uint64_t size_bytes,
+                                   std::uint64_t stride_bytes)
+    : base_(base), size_(size_bytes), stride_(stride_bytes) {
+  REAP_EXPECTS(size_bytes > 0);
+  REAP_EXPECTS(stride_bytes > 0 && stride_bytes <= size_bytes);
+}
+
+std::uint64_t SequentialStream::next(common::Rng&) {
+  const std::uint64_t addr = base_ + cursor_;
+  cursor_ += stride_;
+  if (cursor_ >= size_) cursor_ = 0;
+  return addr;
+}
+
+UniformRandom::UniformRandom(std::uint64_t base, std::uint64_t size_bytes,
+                             std::uint64_t granule)
+    : base_(base), granules_(size_bytes / granule), granule_(granule) {
+  REAP_EXPECTS(granule > 0);
+  REAP_EXPECTS(granules_ > 0);
+}
+
+std::uint64_t UniformRandom::next(common::Rng& rng) {
+  return base_ + rng.below(granules_) * granule_;
+}
+
+ZipfHotSet::ZipfHotSet(std::uint64_t base, std::uint64_t size_bytes,
+                       double zipf_s, bool scramble, std::uint64_t block_bytes)
+    : base_(base),
+      blocks_(size_bytes / block_bytes),
+      block_bytes_(block_bytes),
+      scramble_(scramble),
+      zipf_(size_bytes / block_bytes, zipf_s) {
+  REAP_EXPECTS(blocks_ > 0);
+}
+
+std::uint64_t ZipfHotSet::map_rank(std::uint64_t rank) const {
+  if (!scramble_) return rank;
+  // Cheap stateless permutation: mix and fold into range. Not bijective for
+  // non-power-of-two block counts, but collision harm is only a slight
+  // popularity blend, acceptable for a locality model.
+  return mix64(rank * 0x9e3779b97f4a7c15ULL + 0x51ULL) % blocks_;
+}
+
+std::uint64_t ZipfHotSet::next(common::Rng& rng) {
+  const std::uint64_t rank = zipf_(rng);
+  const std::uint64_t block = map_rank(rank);
+  // Vary the offset within the block so loads look realistic.
+  const std::uint64_t offset = rng.below(block_bytes_ / 8) * 8;
+  return base_ + block * block_bytes_ + offset;
+}
+
+PointerChase::PointerChase(std::uint64_t base, std::uint64_t size_bytes,
+                           std::uint64_t granule)
+    : base_(base), granules_(size_bytes / granule), granule_(granule) {
+  REAP_EXPECTS(granules_ > 0);
+}
+
+std::uint64_t PointerChase::next(common::Rng&) {
+  state_ = mix64(state_ + 0x632be59bd9b4e019ULL);
+  return base_ + (state_ % granules_) * granule_;
+}
+
+SetHammer::SetHammer(std::uint64_t base, std::uint64_t set_period,
+                     std::uint64_t hot_blocks, std::uint64_t resident_blocks,
+                     double resident_prob)
+    : base_(base),
+      period_(set_period),
+      hot_blocks_(hot_blocks),
+      resident_blocks_(resident_blocks),
+      resident_prob_(resident_prob) {
+  REAP_EXPECTS(set_period >= 64);
+  REAP_EXPECTS(hot_blocks >= 1);
+  REAP_EXPECTS(resident_prob >= 0.0 && resident_prob < 1.0);
+}
+
+std::uint64_t SetHammer::next(common::Rng& rng) {
+  if (resident_blocks_ > 0 && rng.chance(resident_prob_)) {
+    const std::uint64_t addr =
+        base_ + (hot_blocks_ + resident_cursor_) * period_;
+    resident_cursor_ = (resident_cursor_ + 1) % resident_blocks_;
+    return addr;
+  }
+  const std::uint64_t addr = base_ + hot_cursor_ * period_;
+  hot_cursor_ = (hot_cursor_ + 1) % hot_blocks_;
+  return addr;
+}
+
+LoopNest::LoopNest(std::uint64_t base, std::uint64_t size_bytes,
+                   std::uint64_t tile_bytes, std::uint64_t inner_repeats,
+                   std::uint64_t stride_bytes)
+    : base_(base),
+      size_(size_bytes),
+      tile_(tile_bytes),
+      repeats_(inner_repeats),
+      stride_(stride_bytes) {
+  REAP_EXPECTS(tile_bytes > 0 && tile_bytes <= size_bytes);
+  REAP_EXPECTS(inner_repeats >= 1);
+  REAP_EXPECTS(stride_bytes > 0 && stride_bytes <= tile_bytes);
+}
+
+std::uint64_t LoopNest::next(common::Rng&) {
+  const std::uint64_t addr = base_ + tile_base_ + cursor_;
+  cursor_ += stride_;
+  if (cursor_ >= tile_) {
+    cursor_ = 0;
+    if (++rep_ >= repeats_) {
+      rep_ = 0;
+      tile_base_ += tile_;
+      if (tile_base_ + tile_ > size_) tile_base_ = 0;
+    }
+  }
+  return addr;
+}
+
+void LoopNest::reset() {
+  tile_base_ = cursor_ = rep_ = 0;
+}
+
+}  // namespace reap::trace

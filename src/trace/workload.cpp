@@ -1,0 +1,95 @@
+#include "reap/trace/workload.hpp"
+
+#include "reap/common/assert.hpp"
+
+namespace reap::trace {
+
+WorkloadTraceSource::WorkloadTraceSource(WorkloadProfile profile)
+    : profile_(std::move(profile)), rng_(profile_.seed), pc_(kCodeBase) {
+  REAP_EXPECTS(!profile_.patterns.empty());
+  REAP_EXPECTS(profile_.loads_per_inst >= 0.0 &&
+               profile_.loads_per_inst <= 1.0);
+  REAP_EXPECTS(profile_.stores_per_inst >= 0.0 &&
+               profile_.stores_per_inst <= 1.0);
+  build_patterns();
+}
+
+void WorkloadTraceSource::build_patterns() {
+  patterns_.clear();
+  weights_.clear();
+  std::uint64_t next_base = kHeapBase;
+  std::size_t index = 0;
+  for (const PatternSpec& s : profile_.patterns) {
+    REAP_EXPECTS(s.weight > 0.0);
+    REAP_EXPECTS(s.region_bytes >= 64);
+    // Regions are disjoint and 1MB-aligned so patterns never alias; the
+    // per-pattern set stagger keeps multiple hammers (whose 1MB-aligned
+    // bases would otherwise all land on set 0) on distinct cache sets.
+    const std::uint64_t base = next_base + index * 97 * 64;
+    next_base += (s.region_bytes + (2 << 20)) & ~std::uint64_t{(1 << 20) - 1};
+    ++index;
+    switch (s.kind) {
+      case PatternSpec::Kind::stream:
+        patterns_.push_back(std::make_unique<SequentialStream>(
+            base, s.region_bytes, s.stride_bytes));
+        break;
+      case PatternSpec::Kind::uniform:
+        patterns_.push_back(
+            std::make_unique<UniformRandom>(base, s.region_bytes));
+        break;
+      case PatternSpec::Kind::zipf:
+        patterns_.push_back(std::make_unique<ZipfHotSet>(
+            base, s.region_bytes, s.zipf_s, s.zipf_scramble));
+        break;
+      case PatternSpec::Kind::chase:
+        patterns_.push_back(
+            std::make_unique<PointerChase>(base, s.region_bytes));
+        break;
+      case PatternSpec::Kind::loop:
+        patterns_.push_back(std::make_unique<LoopNest>(
+            base, s.region_bytes, s.tile_bytes, s.inner_repeats));
+        break;
+      case PatternSpec::Kind::hammer:
+        patterns_.push_back(std::make_unique<SetHammer>(
+            base, s.hammer_set_period, s.hammer_blocks,
+            s.hammer_resident_blocks, s.hammer_resident_prob));
+        break;
+    }
+    weights_.push_back(s.weight);
+  }
+}
+
+bool WorkloadTraceSource::next(MemOp& op) {
+  if (pending_pos_ < pending_count_) {
+    op = pending_[pending_pos_++];
+    return true;
+  }
+  // New instruction: fetch, then queue this instruction's data accesses.
+  op = {OpType::inst_fetch, pc_};
+  if (rng_.chance(profile_.jump_prob)) {
+    pc_ = kCodeBase + rng_.below(profile_.code_bytes / 4) * 4;
+  } else {
+    pc_ += 4;
+    if (pc_ >= kCodeBase + profile_.code_bytes) pc_ = kCodeBase;
+  }
+  pending_count_ = 0;
+  pending_pos_ = 0;
+  if (rng_.chance(profile_.loads_per_inst)) {
+    const std::size_t p = rng_.weighted(weights_);
+    pending_[pending_count_++] = {OpType::load, patterns_[p]->next(rng_)};
+  }
+  if (rng_.chance(profile_.stores_per_inst)) {
+    const std::size_t p = rng_.weighted(weights_);
+    pending_[pending_count_++] = {OpType::store, patterns_[p]->next(rng_)};
+  }
+  return true;
+}
+
+void WorkloadTraceSource::reset() {
+  rng_.reseed(profile_.seed);
+  pc_ = kCodeBase;
+  pending_count_ = pending_pos_ = 0;
+  for (auto& p : patterns_) p->reset();
+}
+
+}  // namespace reap::trace

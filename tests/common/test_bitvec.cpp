@@ -1,0 +1,127 @@
+#include "reap/common/bitvec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace reap::common {
+namespace {
+
+TEST(BitVec, StartsAllZero) {
+  BitVec v(100);
+  EXPECT_EQ(v.size(), 100u);
+  EXPECT_EQ(v.count_ones(), 0u);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_FALSE(v.test(i));
+}
+
+TEST(BitVec, SetResetFlip) {
+  BitVec v(70);
+  v.set(0);
+  v.set(63);
+  v.set(64);
+  v.set(69);
+  EXPECT_EQ(v.count_ones(), 4u);
+  EXPECT_TRUE(v.test(63));
+  EXPECT_TRUE(v.test(64));
+  v.reset(63);
+  EXPECT_FALSE(v.test(63));
+  v.flip(63);
+  EXPECT_TRUE(v.test(63));
+  v.flip(63);
+  EXPECT_FALSE(v.test(63));
+  EXPECT_EQ(v.count_ones(), 3u);
+}
+
+TEST(BitVec, FillOnesRespectsSize) {
+  for (std::size_t n : {1u, 63u, 64u, 65u, 512u, 523u}) {
+    BitVec v(n);
+    v.fill_ones();
+    EXPECT_EQ(v.count_ones(), n) << "n=" << n;
+  }
+}
+
+TEST(BitVec, ClearZeroesEverything) {
+  BitVec v(130);
+  v.fill_ones();
+  v.clear();
+  EXPECT_EQ(v.count_ones(), 0u);
+}
+
+TEST(BitVec, XorComputesHammingDistance) {
+  BitVec a(80), b(80);
+  a.set(3);
+  a.set(40);
+  b.set(40);
+  b.set(79);
+  const BitVec d = a ^ b;
+  EXPECT_EQ(d.count_ones(), 2u);
+  EXPECT_TRUE(d.test(3));
+  EXPECT_TRUE(d.test(79));
+  EXPECT_FALSE(d.test(40));
+}
+
+TEST(BitVec, RoundTripBytes) {
+  BitVec v(64);
+  v.set(0);
+  v.set(9);
+  v.set(63);
+  const auto bytes = v.to_bytes();
+  ASSERT_EQ(bytes.size(), 8u);
+  const BitVec w = BitVec::from_bytes(bytes);
+  EXPECT_EQ(v, w);
+}
+
+TEST(BitVec, RoundTripString) {
+  const std::string s = "1010011100";
+  const BitVec v = BitVec::from_string(s);
+  EXPECT_EQ(v.size(), s.size());
+  EXPECT_EQ(v.to_string(), s);
+  EXPECT_EQ(v.count_ones(), 5u);
+}
+
+TEST(BitVec, OnePositionsMatchesTest) {
+  BitVec v(200);
+  v.set(1);
+  v.set(64);
+  v.set(128);
+  v.set(199);
+  const auto pos = v.one_positions();
+  ASSERT_EQ(pos.size(), 4u);
+  EXPECT_EQ(pos[0], 1u);
+  EXPECT_EQ(pos[1], 64u);
+  EXPECT_EQ(pos[2], 128u);
+  EXPECT_EQ(pos[3], 199u);
+}
+
+TEST(BitVec, EqualityIsValueBased) {
+  BitVec a(32), b(32);
+  EXPECT_EQ(a, b);
+  a.set(5);
+  EXPECT_NE(a, b);
+  b.set(5);
+  EXPECT_EQ(a, b);
+}
+
+TEST(BitVec, FromBytesPreservesBitOrder) {
+  const std::vector<std::uint8_t> bytes = {0x01, 0x80};
+  const BitVec v = BitVec::from_bytes(bytes);
+  EXPECT_TRUE(v.test(0));    // LSB of byte 0
+  EXPECT_TRUE(v.test(15));   // MSB of byte 1
+  EXPECT_EQ(v.count_ones(), 2u);
+}
+
+class BitVecWidths : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BitVecWidths, CountOnesMatchesManualLoop) {
+  const std::size_t n = GetParam();
+  BitVec v(n);
+  for (std::size_t i = 0; i < n; i += 3) v.set(i);
+  std::size_t manual = 0;
+  for (std::size_t i = 0; i < n; ++i) manual += v.test(i) ? 1 : 0;
+  EXPECT_EQ(v.count_ones(), manual);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BitVecWidths,
+                         ::testing::Values(1, 7, 63, 64, 65, 127, 128, 512,
+                                           523, 1000));
+
+}  // namespace
+}  // namespace reap::common

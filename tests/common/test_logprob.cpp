@@ -1,0 +1,134 @@
+#include "reap/common/logprob.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace reap::common {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(LogSumExp, MatchesDirectComputation) {
+  const double la = std::log(0.3), lb = std::log(0.2);
+  EXPECT_NEAR(std::exp(log_sum_exp(la, lb)), 0.5, 1e-12);
+}
+
+TEST(LogSumExp, HandlesNegInfOperands) {
+  EXPECT_EQ(log_sum_exp(-kInf, std::log(0.4)), std::log(0.4));
+  EXPECT_EQ(log_sum_exp(std::log(0.4), -kInf), std::log(0.4));
+  EXPECT_EQ(log_sum_exp(-kInf, -kInf), -kInf);
+}
+
+TEST(LogSumExp, StableForVeryDifferentMagnitudes) {
+  const double big = std::log(1e-5), small = std::log(1e-300);
+  EXPECT_NEAR(log_sum_exp(big, small), big, 1e-12);
+}
+
+TEST(Log1mExp, MatchesNaiveInSafeRange) {
+  for (double x : {-0.1, -0.5, -1.0, -3.0, -10.0}) {
+    EXPECT_NEAR(log1m_exp(x), std::log(1.0 - std::exp(x)), 1e-12) << x;
+  }
+}
+
+TEST(Log1mExp, TinyArgument) {
+  // 1 - exp(-1e-18) ~ 1e-18; naive computation would give -inf.
+  const double r = log1m_exp(-1e-18);
+  EXPECT_NEAR(r, std::log(1e-18), 1e-6);
+}
+
+TEST(LogBinomialCoeff, SmallValuesExact) {
+  EXPECT_NEAR(std::exp(log_binomial_coeff(5, 2)), 10.0, 1e-9);
+  EXPECT_NEAR(std::exp(log_binomial_coeff(10, 0)), 1.0, 1e-12);
+  EXPECT_NEAR(std::exp(log_binomial_coeff(10, 10)), 1.0, 1e-12);
+  EXPECT_NEAR(std::exp(log_binomial_coeff(52, 5)), 2598960.0, 1.0);
+}
+
+TEST(LogBinomialCoeff, KGreaterThanNIsZeroProbability) {
+  EXPECT_EQ(log_binomial_coeff(3, 4), -kInf);
+}
+
+TEST(LogBinomialPmf, SumsToOne) {
+  const std::uint64_t n = 20;
+  const double p = 0.3;
+  double acc = 0.0;
+  for (std::uint64_t k = 0; k <= n; ++k)
+    acc += std::exp(log_binomial_pmf(n, k, p));
+  EXPECT_NEAR(acc, 1.0, 1e-12);
+}
+
+TEST(LogBinomialPmf, DegenerateP) {
+  EXPECT_EQ(log_binomial_pmf(10, 0, 0.0), 0.0);
+  EXPECT_EQ(log_binomial_pmf(10, 1, 0.0), -kInf);
+  EXPECT_EQ(log_binomial_pmf(10, 10, 1.0), 0.0);
+  EXPECT_EQ(log_binomial_pmf(10, 9, 1.0), -kInf);
+}
+
+TEST(BinomialTail, MatchesBruteForceSmall) {
+  const std::uint64_t n = 30;
+  const double p = 0.07;
+  for (unsigned t : {0u, 1u, 2u, 3u}) {
+    double brute = 0.0;
+    for (std::uint64_t k = t + 1; k <= n; ++k)
+      brute += std::exp(log_binomial_pmf(n, k, p));
+    EXPECT_NEAR(binomial_tail_above(n, t, p), brute, 1e-12) << "t=" << t;
+  }
+}
+
+TEST(BinomialTail, RareEventPrecision) {
+  // P(X >= 2), n=100, p=1e-8: ~ C(100,2) p^2 = 4.95e-13. A (1-x) style
+  // computation in doubles would lose everything.
+  const double tail = binomial_tail_above(100, 1, 1e-8);
+  EXPECT_NEAR(tail, 4.95e-13, 5e-15);
+}
+
+TEST(BinomialTail, PaperEquation4) {
+  // Paper Sec. III-B numerical example: n = 100 ones, P_RD = 1e-8, no
+  // concealed reads -> P_err = 5.0e-13 (their quoted value).
+  const double p_err = binomial_tail_above(100, 1, 1e-8);
+  EXPECT_GT(p_err, 4.5e-13);
+  EXPECT_LT(p_err, 5.5e-13);
+}
+
+TEST(BinomialTail, PaperEquation5) {
+  // Same line after 50 reads: trials = 100*50, P_err = 1.3e-9.
+  const double p_err = binomial_tail_above(100 * 50, 1, 1e-8);
+  EXPECT_NEAR(p_err, 1.25e-9, 0.1e-9);
+}
+
+TEST(BinomialTail, EdgeCases) {
+  EXPECT_EQ(binomial_tail_above(10, 10, 0.5), 0.0);   // t >= n
+  EXPECT_EQ(binomial_tail_above(10, 12, 0.5), 0.0);
+  EXPECT_EQ(binomial_tail_above(10, 1, 0.0), 0.0);
+  EXPECT_EQ(binomial_tail_above(10, 1, 1.0), 1.0);
+}
+
+TEST(BinomialTail, MonotonicInN) {
+  double prev = 0.0;
+  for (std::uint64_t n = 10; n <= 100000; n *= 10) {
+    const double tail = binomial_tail_above(n, 1, 1e-7);
+    EXPECT_GT(tail, prev);
+    prev = tail;
+  }
+}
+
+TEST(BinomialTail, MonotonicInP) {
+  double prev = 0.0;
+  for (double p = 1e-10; p < 1e-3; p *= 10) {
+    const double tail = binomial_tail_above(512, 1, p);
+    EXPECT_GT(tail, prev);
+    prev = tail;
+  }
+}
+
+TEST(BinomialCdf, NeverPositive) {
+  for (std::uint64_t n : {1ull, 10ull, 1000ull}) {
+    for (double p : {0.0, 1e-9, 0.5, 0.999}) {
+      EXPECT_LE(log_binomial_cdf_upto(n, 1, p), 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace reap::common

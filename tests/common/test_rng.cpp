@@ -1,0 +1,186 @@
+#include "reap/common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace reap::common {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next()) ? 1 : 0;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng a(7);
+  const auto first = a.next();
+  a.next();
+  a.reseed(7);
+  EXPECT_EQ(a.next(), first);
+}
+
+TEST(Rng, UniformInHalfOpenUnitInterval) {
+  Rng r(99);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng r(5);
+  double acc = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) acc += r.uniform();
+  EXPECT_NEAR(acc / n, 0.5, 0.01);
+}
+
+TEST(Rng, BelowStaysInBound) {
+  Rng r(11);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 100ull, 1ull << 40}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(r.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowOneAlwaysZero) {
+  Rng r(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.below(1), 0u);
+}
+
+TEST(Rng, BelowCoversSmallRangeUniformly) {
+  Rng r(17);
+  std::vector<int> counts(5, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[r.below(5)];
+  for (int c : counts) EXPECT_NEAR(c, n / 5, n / 50);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng r(23);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = r.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(31);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceFrequencyTracksP) {
+  Rng r(37);
+  const int n = 200000;
+  int hits = 0;
+  for (int i = 0; i < n; ++i) hits += r.chance(0.25) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng r(41);
+  const int n = 200000;
+  double sum = 0, sq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, GeometricMeanMatches) {
+  Rng r(43);
+  const double p = 0.2;
+  const int n = 100000;
+  double acc = 0;
+  for (int i = 0; i < n; ++i) acc += static_cast<double>(r.geometric(p));
+  // E[failures before success] = (1-p)/p = 4.
+  EXPECT_NEAR(acc / n, (1 - p) / p, 0.1);
+}
+
+TEST(Rng, GeometricWithPOneIsZero) {
+  Rng r(47);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.geometric(1.0), 0u);
+}
+
+TEST(Rng, WeightedRespectsWeights) {
+  Rng r(53);
+  std::vector<double> w = {1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[r.weighted(w)];
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[0], n * 0.1, n * 0.01);
+  EXPECT_NEAR(counts[1], n * 0.3, n * 0.015);
+  EXPECT_NEAR(counts[3], n * 0.6, n * 0.015);
+}
+
+TEST(ZipfSampler, RanksWithinDomain) {
+  Rng r(59);
+  ZipfSampler z(1000, 1.0);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(z(r), 1000u);
+}
+
+TEST(ZipfSampler, RankZeroIsMostPopular) {
+  Rng r(61);
+  ZipfSampler z(1000, 1.0);
+  std::map<std::size_t, int> counts;
+  for (int i = 0; i < 100000; ++i) ++counts[z(r)];
+  // Rank 0 should dominate every other rank.
+  for (const auto& [rank, c] : counts) {
+    if (rank == 0) continue;
+    EXPECT_GE(counts[0], c) << "rank " << rank;
+  }
+}
+
+TEST(ZipfSampler, PopularityRatioRoughlyZipfian) {
+  Rng r(67);
+  ZipfSampler z(10000, 1.0);
+  std::vector<int> counts(10000, 0);
+  const int n = 2000000;
+  for (int i = 0; i < n; ++i) ++counts[z(r)];
+  // With s=1, P(0)/P(9) = 10; allow generous tolerance.
+  ASSERT_GT(counts[9], 0);
+  const double ratio =
+      static_cast<double>(counts[0]) / static_cast<double>(counts[9]);
+  EXPECT_GT(ratio, 5.0);
+  EXPECT_LT(ratio, 20.0);
+}
+
+TEST(ZipfSampler, SingleElementDomain) {
+  Rng r(71);
+  ZipfSampler z(1, 1.2);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(z(r), 0u);
+}
+
+TEST(ZipfSampler, ZeroExponentIsNearUniform) {
+  Rng r(73);
+  ZipfSampler z(100, 0.0);
+  std::vector<int> counts(100, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[z(r)];
+  for (int c : counts) EXPECT_NEAR(c, n / 100, n / 200);
+}
+
+}  // namespace
+}  // namespace reap::common

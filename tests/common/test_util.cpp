@@ -1,0 +1,107 @@
+// Tests for TextTable, CsvWriter, CliArgs, and the unit types.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "reap/common/cli.hpp"
+#include "reap/common/csv.hpp"
+#include "reap/common/table.hpp"
+#include "reap/common/units.hpp"
+
+namespace reap::common {
+namespace {
+
+TEST(TextTable, RendersAlignedGrid) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"bee", "22222"});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("| name"), std::string::npos);
+  EXPECT_NE(s.find("| alpha"), std::string::npos);
+  EXPECT_NE(s.find("| 22222"), std::string::npos);
+  // Rules above header, below header, below body: 3 lines starting with +.
+  std::size_t rules = 0;
+  std::istringstream lines(s);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (!line.empty() && line[0] == '+') ++rules;
+  }
+  EXPECT_EQ(rules, 3u);
+}
+
+TEST(TextTable, NumberFormatters) {
+  EXPECT_EQ(TextTable::fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::sci(1.3e-9), "1.30e-09");
+  EXPECT_EQ(TextTable::num(12345.0), "1.234e+04");
+}
+
+TEST(CsvWriter, WritesHeaderAndEscapes) {
+  const std::string path = ::testing::TempDir() + "/reap_test.csv";
+  {
+    CsvWriter w(path, {"a", "b"});
+    ASSERT_TRUE(w.ok());
+    w.add_row({"plain", "has,comma"});
+    w.add_row({"has\"quote", "x"});
+  }
+  std::ifstream in(path);
+  std::string l1, l2, l3;
+  std::getline(in, l1);
+  std::getline(in, l2);
+  std::getline(in, l3);
+  EXPECT_EQ(l1, "a,b");
+  EXPECT_EQ(l2, "plain,\"has,comma\"");
+  EXPECT_EQ(l3, "\"has\"\"quote\",x");
+  std::remove(path.c_str());
+}
+
+TEST(CliArgs, ParsesKeyValueAndFlags) {
+  const char* argv[] = {"prog", "--workload=mcf", "--fast", "pos1",
+                        "--n=42"};
+  CliArgs args(5, argv);
+  EXPECT_EQ(args.get_string("workload", "x"), "mcf");
+  EXPECT_TRUE(args.get_bool("fast", false));
+  EXPECT_EQ(args.get_u64("n", 0), 42u);
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "pos1");
+}
+
+TEST(CliArgs, FallbacksWhenMissing) {
+  const char* argv[] = {"prog"};
+  CliArgs args(1, argv);
+  EXPECT_EQ(args.get_string("missing", "dflt"), "dflt");
+  EXPECT_EQ(args.get_u64("missing", 7), 7u);
+  EXPECT_DOUBLE_EQ(args.get_double("missing", 1.5), 1.5);
+  EXPECT_FALSE(args.has("missing"));
+}
+
+TEST(CliArgs, TracksUnconsumed) {
+  const char* argv[] = {"prog", "--used=1", "--typo=2"};
+  CliArgs args(3, argv);
+  (void)args.get_u64("used", 0);
+  const auto un = args.unconsumed();
+  ASSERT_EQ(un.size(), 1u);
+  EXPECT_EQ(un[0], "typo");
+}
+
+TEST(Units, ArithmeticAndConversions) {
+  const Joules e = picojoules(2.0) + picojoules(3.0);
+  EXPECT_NEAR(in_picojoules(e), 5.0, 1e-12);
+  EXPECT_NEAR(in_picojoules(e * 2.0), 10.0, 1e-12);
+  EXPECT_NEAR(in_picojoules(2.0 * e), 10.0, 1e-12);
+  EXPECT_NEAR(e / picojoules(2.5), 2.0, 1e-12);
+
+  const Seconds t = nanoseconds(4.0);
+  const Watts p = e / t;
+  EXPECT_NEAR(in_milliwatts(p), 5e-12 / 4e-9 * 1e3, 1e-9);
+  EXPECT_NEAR((p * t).value, e.value, 1e-18);
+}
+
+TEST(Units, ComparisonOperators) {
+  EXPECT_LT(nanoseconds(1.0), nanoseconds(2.0));
+  EXPECT_EQ(picojoules(1000.0).value, nanojoules(1.0).value);
+}
+
+}  // namespace
+}  // namespace reap::common

@@ -1,0 +1,60 @@
+#include "reap/core/energy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace reap::core {
+namespace {
+
+nvsim::AccessEnergies unit_energies() {
+  nvsim::AccessEnergies e;
+  e.way_data_read = common::picojoules(10.0);
+  e.way_data_write = common::picojoules(50.0);
+  e.tag_read = common::picojoules(2.0);
+  e.tag_write = common::picojoules(1.0);
+  e.periphery = common::picojoules(20.0);
+  e.ecc_decode = common::picojoules(3.0);
+  e.ecc_encode = common::picojoules(2.0);
+  return e;
+}
+
+TEST(Energy, ZeroEventsZeroEnergy) {
+  const auto b = compute_energy(EnergyEvents{}, unit_energies());
+  EXPECT_EQ(b.dynamic_total_j(), 0.0);
+}
+
+TEST(Energy, LinearInEventCounts) {
+  EnergyEvents ev;
+  ev.lookups = 2;
+  ev.way_data_reads = 16;
+  ev.way_data_writes = 1;
+  ev.tag_reads = 2;
+  ev.tag_writes = 1;
+  ev.ecc_decodes = 2;
+  ev.ecc_encodes = 1;
+  const auto b = compute_energy(ev, unit_energies());
+  EXPECT_NEAR(b.data_read_j, 160e-12, 1e-18);
+  EXPECT_NEAR(b.data_write_j, 50e-12, 1e-18);
+  EXPECT_NEAR(b.tag_j, 5e-12, 1e-18);
+  EXPECT_NEAR(b.periphery_j, 40e-12, 1e-18);
+  EXPECT_NEAR(b.ecc_decode_j, 6e-12, 1e-18);
+  EXPECT_NEAR(b.ecc_encode_j, 2e-12, 1e-18);
+  EXPECT_NEAR(b.dynamic_total_j(), 263e-12, 1e-18);
+}
+
+TEST(Energy, ReapVsConventionalDecodeDelta) {
+  // Same traffic, different decode counts: the energy difference must be
+  // exactly the decode-count difference times the unit decode energy.
+  EnergyEvents conv, reap;
+  conv.lookups = reap.lookups = 100;
+  conv.way_data_reads = reap.way_data_reads = 800;
+  conv.tag_reads = reap.tag_reads = 100;
+  conv.ecc_decodes = 90;   // hits only
+  reap.ecc_decodes = 800;  // all ways, all accesses
+  const auto bc = compute_energy(conv, unit_energies());
+  const auto br = compute_energy(reap, unit_energies());
+  EXPECT_NEAR(br.dynamic_total_j() - bc.dynamic_total_j(),
+              (800.0 - 90.0) * 3e-12, 1e-18);
+}
+
+}  // namespace
+}  // namespace reap::core

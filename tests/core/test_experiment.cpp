@@ -1,0 +1,154 @@
+// End-to-end integration tests: full experiments on shrunk workloads,
+// asserting the paper's qualitative claims hold in the pipeline.
+#include "reap/core/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "reap/ecc/secded.hpp"
+#include "reap/trace/spec2006.hpp"
+
+namespace reap::core {
+namespace {
+
+ExperimentConfig quick_cfg(const std::string& workload) {
+  ExperimentConfig cfg;
+  const auto p = trace::spec2006_profile(workload);
+  EXPECT_TRUE(p.has_value());
+  cfg.workload = *p;
+  cfg.instructions = 300'000;
+  cfg.warmup_instructions = 50'000;
+  return cfg;
+}
+
+TEST(Experiment, RunsAndPopulatesResult) {
+  auto cfg = quick_cfg("perlbench");
+  const auto r = run_experiment(cfg);
+  EXPECT_EQ(r.workload, "perlbench");
+  EXPECT_EQ(r.instructions, 300'000u);
+  EXPECT_GT(r.cycles, r.instructions);
+  EXPECT_GT(r.ipc, 0.0);
+  EXPECT_GT(r.sim_seconds, 0.0);
+  EXPECT_GT(r.hier.l2.read_lookups, 0u);
+  EXPECT_GT(r.checks, 0u);
+  EXPECT_GT(r.energy.dynamic_total_j(), 0.0);
+  EXPECT_NEAR(r.p_rd, 1e-8, 1e-8);
+}
+
+TEST(Experiment, DeterministicAcrossRuns) {
+  auto cfg = quick_cfg("gcc");
+  const auto a = run_experiment(cfg);
+  const auto b = run_experiment(cfg);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_DOUBLE_EQ(a.mttf.failure_prob_sum, b.mttf.failure_prob_sum);
+  EXPECT_EQ(a.events.ecc_decodes, b.events.ecc_decodes);
+}
+
+TEST(Experiment, ReapImprovesMttf) {
+  auto cfg = quick_cfg("perlbench");
+  const auto c = compare_policies(cfg, PolicyKind::conventional_parallel,
+                                  PolicyKind::reap);
+  EXPECT_GT(c.mttf_gain, 2.0) << "REAP must clearly beat conventional";
+}
+
+TEST(Experiment, ReapEnergyOverheadSmallPositive) {
+  auto cfg = quick_cfg("perlbench");
+  const auto c = compare_policies(cfg, PolicyKind::conventional_parallel,
+                                  PolicyKind::reap);
+  EXPECT_GT(c.energy_overhead_pct, 0.0);
+  EXPECT_LT(c.energy_overhead_pct, 10.0);
+}
+
+TEST(Experiment, ReapNoSlowdown) {
+  auto cfg = quick_cfg("perlbench");
+  const auto c = compare_policies(cfg, PolicyKind::conventional_parallel,
+                                  PolicyKind::reap);
+  EXPECT_GE(c.speedup, 0.999);
+}
+
+TEST(Experiment, SerialPolicyNoConcealedReads) {
+  auto cfg = quick_cfg("perlbench");
+  cfg.policy = PolicyKind::serial_tag_then_data;
+  const auto r = run_experiment(cfg);
+  EXPECT_EQ(r.max_concealed, 0u);
+}
+
+TEST(Experiment, SerialPolicySlower) {
+  auto cfg = quick_cfg("perlbench");
+  const auto c = compare_policies(cfg, PolicyKind::conventional_parallel,
+                                  PolicyKind::serial_tag_then_data);
+  EXPECT_GT(c.other.l2_hit_cycles, c.base.l2_hit_cycles);
+  EXPECT_LT(c.speedup, 1.0);
+}
+
+TEST(Experiment, RestorePolicyBurnsWriteEnergy) {
+  auto cfg = quick_cfg("perlbench");
+  const auto c = compare_policies(cfg, PolicyKind::conventional_parallel,
+                                  PolicyKind::disruptive_restore);
+  // Restores turn every read into k writes: energy explodes -- the paper's
+  // argument against the approach.
+  EXPECT_GT(c.energy_ratio, 1.5);
+}
+
+TEST(Experiment, ConventionalAccumulatesConcealedReads) {
+  auto cfg = quick_cfg("h264ref");
+  const auto r = run_experiment(cfg);
+  EXPECT_GT(r.max_concealed, 100u)
+      << "hot-set workload must show real accumulation";
+}
+
+TEST(Experiment, HitCyclesOrderingAcrossPolicies) {
+  nvsim::CacheGeometry g;
+  ecc::SecDedCode code(512);
+  const auto mtj = mtj::paper_default();
+  const nvsim::CacheModel model(g, nvsim::tech_32nm(), code, &mtj);
+  const auto t = model.timing();
+  const auto conv =
+      l2_hit_cycles_for(PolicyKind::conventional_parallel, t, 2.0);
+  const auto reap = l2_hit_cycles_for(PolicyKind::reap, t, 2.0);
+  const auto serial =
+      l2_hit_cycles_for(PolicyKind::serial_tag_then_data, t, 2.0);
+  EXPECT_LE(reap, conv);
+  EXPECT_GT(serial, conv);
+}
+
+TEST(Experiment, MakeLineCodeSelectsByT) {
+  const auto sec = make_line_code(512, 1);
+  EXPECT_EQ(sec->correctable_bits(), 1u);
+  const auto bch = make_line_code(512, 2);
+  EXPECT_EQ(bch->correctable_bits(), 2u);
+  EXPECT_GT(bch->parity_bits(), sec->parity_bits());
+}
+
+TEST(Experiment, StrongerEccShrinksConventionalFailureRate) {
+  auto cfg1 = quick_cfg("perlbench");
+  auto cfg2 = quick_cfg("perlbench");
+  cfg2.ecc_t = 2;
+  const auto r1 = run_experiment(cfg1);
+  const auto r2 = run_experiment(cfg2);
+  EXPECT_LT(r2.mttf.failure_prob_sum, r1.mttf.failure_prob_sum);
+}
+
+TEST(Experiment, EvictionCheckExtensionAddsFailureMass) {
+  auto base = quick_cfg("xalancbmk");
+  auto ext = base;
+  ext.check_on_dirty_eviction = true;
+  const auto r1 = run_experiment(base);
+  const auto r2 = run_experiment(ext);
+  EXPECT_GE(r2.mttf.failure_prob_sum, r1.mttf.failure_prob_sum);
+  EXPECT_GE(r2.events.ecc_decodes, r1.events.ecc_decodes);
+}
+
+TEST(Experiment, WarmupExcludedFromStats) {
+  auto with_warmup = quick_cfg("gcc");
+  auto no_warmup = quick_cfg("gcc");
+  no_warmup.warmup_instructions = 0;
+  const auto a = run_experiment(with_warmup);
+  const auto b = run_experiment(no_warmup);
+  // Cold-start misses in the no-warmup run should yield more memory reads
+  // for the same measured instruction count.
+  EXPECT_GT(b.hier.mem_reads, a.hier.mem_reads / 2);
+  EXPECT_EQ(a.instructions, b.instructions);
+}
+
+}  // namespace
+}  // namespace reap::core

@@ -1,0 +1,102 @@
+#include "reap/ecc/gf2.hpp"
+
+#include <gtest/gtest.h>
+
+namespace reap::ecc {
+namespace {
+
+class GfFields : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(GfFields, ExpLogAreInverse) {
+  GaloisField gf(GetParam());
+  for (std::uint32_t x = 1; x < gf.size(); ++x) {
+    EXPECT_EQ(gf.alpha_pow(gf.log(x)), x);
+  }
+}
+
+TEST_P(GfFields, MultiplicationByInverseIsOne) {
+  GaloisField gf(GetParam());
+  for (std::uint32_t x = 1; x < gf.size(); ++x) {
+    EXPECT_EQ(gf.mul(x, gf.inv(x)), 1u);
+  }
+}
+
+TEST_P(GfFields, AlphaHasFullOrder) {
+  GaloisField gf(GetParam());
+  // alpha^i != 1 for 0 < i < order (primitivity).
+  for (std::uint32_t i = 1; i < gf.order(); ++i) {
+    ASSERT_NE(gf.alpha_pow(i), 1u) << "i=" << i;
+  }
+  EXPECT_EQ(gf.alpha_pow(gf.order()), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallFields, GfFields,
+                         ::testing::Values(3u, 4u, 5u, 6u, 8u, 10u));
+
+TEST(GaloisField, MulCommutesAndDistributes) {
+  GaloisField gf(5);
+  for (std::uint32_t a = 0; a < gf.size(); ++a) {
+    for (std::uint32_t b = 0; b < gf.size(); ++b) {
+      EXPECT_EQ(gf.mul(a, b), gf.mul(b, a));
+      for (std::uint32_t c = 0; c < gf.size(); c += 7) {
+        EXPECT_EQ(gf.mul(a, GaloisField::add(b, c)),
+                  GaloisField::add(gf.mul(a, b), gf.mul(a, c)));
+      }
+    }
+  }
+}
+
+TEST(GaloisField, ZeroAbsorbsAndOneIsIdentity) {
+  GaloisField gf(8);
+  for (std::uint32_t x = 0; x < gf.size(); ++x) {
+    EXPECT_EQ(gf.mul(x, 0), 0u);
+    EXPECT_EQ(gf.mul(x, 1), x);
+  }
+}
+
+TEST(GaloisField, DivIsMulByInverse) {
+  GaloisField gf(6);
+  for (std::uint32_t a = 0; a < gf.size(); a += 3) {
+    for (std::uint32_t b = 1; b < gf.size(); b += 5) {
+      EXPECT_EQ(gf.div(a, b), gf.mul(a, gf.inv(b)));
+    }
+  }
+}
+
+TEST(GaloisField, NegativeExponentsWrap) {
+  GaloisField gf(4);
+  EXPECT_EQ(gf.alpha_pow(-1), gf.alpha_pow(gf.order() - 1));
+  EXPECT_EQ(gf.alpha_pow(-static_cast<std::int64_t>(gf.order())),
+            gf.alpha_pow(0));
+}
+
+TEST(GaloisField, EvalPolyHorner) {
+  GaloisField gf(4);
+  // p(x) = x^2 + x + 1 at alpha: alpha^2 ^ alpha ^ 1.
+  const std::vector<std::uint32_t> poly = {1, 1, 1};
+  const std::uint32_t a = gf.alpha_pow(1);
+  const std::uint32_t expected =
+      GaloisField::add(GaloisField::add(gf.mul(a, a), a), 1);
+  EXPECT_EQ(gf.eval_poly(poly, a), expected);
+}
+
+TEST(GaloisField, MinimalPolynomialOfAlphaIsPrimitivePoly) {
+  for (unsigned m : {3u, 4u, 5u, 8u, 10u}) {
+    GaloisField gf(m);
+    EXPECT_EQ(gf.minimal_polynomial(1), gf.primitive_poly()) << "m=" << m;
+  }
+}
+
+TEST(GaloisField, MinimalPolynomialHasRootAlphaPowE) {
+  GaloisField gf(6);
+  for (std::uint32_t e : {1u, 3u, 5u, 9u}) {
+    const std::uint64_t mp = gf.minimal_polynomial(e);
+    // Evaluate the GF(2)-coefficient polynomial at alpha^e over GF(2^m).
+    std::vector<std::uint32_t> poly;
+    for (std::uint64_t mask = mp; mask; mask >>= 1) poly.push_back(mask & 1);
+    EXPECT_EQ(gf.eval_poly(poly, gf.alpha_pow(e)), 0u) << "e=" << e;
+  }
+}
+
+}  // namespace
+}  // namespace reap::ecc

@@ -1,0 +1,81 @@
+#include "reap/ecc/interleave.hpp"
+
+#include <gtest/gtest.h>
+
+#include "reap/common/rng.hpp"
+#include "reap/ecc/secded.hpp"
+
+namespace reap::ecc {
+namespace {
+
+std::unique_ptr<Code> make_secded(std::size_t k) {
+  return std::make_unique<SecDedCode>(k);
+}
+
+common::BitVec random_data(std::size_t n, std::uint64_t seed) {
+  common::Rng rng(seed);
+  common::BitVec v(n);
+  for (std::size_t i = 0; i < n; ++i)
+    if (rng.chance(0.5)) v.set(i);
+  return v;
+}
+
+TEST(Interleave, GeometryIs8x72For512) {
+  InterleavedCode c(512, 8, make_secded);
+  EXPECT_EQ(c.ways(), 8u);
+  EXPECT_EQ(c.data_bits(), 512u);
+  EXPECT_EQ(c.parity_bits(), 8u * 8u);  // 8 chunks x (72,64)+parity = 8 bits
+  EXPECT_EQ(c.codeword_bits(), 512u + 64u);
+  EXPECT_EQ(c.correctable_bits(), 1u);  // worst case: all errors in one chunk
+}
+
+TEST(Interleave, CleanRoundTrip) {
+  InterleavedCode c(512, 8, make_secded);
+  const auto data = random_data(512, 40);
+  const auto res = c.decode(c.encode(data));
+  EXPECT_EQ(res.status, DecodeStatus::clean);
+  EXPECT_EQ(res.data, data);
+}
+
+TEST(Interleave, CorrectsEverySingleBitError) {
+  InterleavedCode c(128, 4, make_secded);
+  const auto data = random_data(128, 41);
+  const auto cw = c.encode(data);
+  for (std::size_t i = 0; i < cw.size(); ++i) {
+    auto bad = cw;
+    bad.flip(i);
+    const auto res = c.decode(bad);
+    ASSERT_EQ(res.status, DecodeStatus::corrected) << i;
+    ASSERT_EQ(res.data, data) << i;
+  }
+}
+
+TEST(Interleave, CorrectsOneErrorPerChunk) {
+  // The interleaving payoff: k errors are fixable when spread across
+  // chunks, which a single (523,512) SEC-DED could never do.
+  InterleavedCode c(512, 8, make_secded);
+  const auto data = random_data(512, 42);
+  auto cw = c.encode(data);
+  // Flip bit 0 of each chunk's data region: chunk i starts at i * 72.
+  for (std::size_t chunk = 0; chunk < 8; ++chunk) cw.flip(chunk * 72);
+  const auto res = c.decode(cw);
+  EXPECT_EQ(res.status, DecodeStatus::corrected);
+  EXPECT_EQ(res.corrected_bits, 8u);
+  EXPECT_EQ(res.data, data);
+}
+
+TEST(Interleave, DoubleErrorInOneChunkDetected) {
+  InterleavedCode c(512, 8, make_secded);
+  const auto data = random_data(512, 43);
+  auto cw = c.encode(data);
+  cw.flip(10);
+  cw.flip(20);  // both inside chunk 0
+  EXPECT_EQ(c.decode(cw).status, DecodeStatus::detected_uncorrectable);
+}
+
+TEST(Interleave, RejectsIndivisibleGeometry) {
+  EXPECT_DEATH(InterleavedCode(100, 8, make_secded), "");
+}
+
+}  // namespace
+}  // namespace reap::ecc

@@ -1,0 +1,60 @@
+#include "reap/ecc/parity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "reap/common/rng.hpp"
+
+namespace reap::ecc {
+namespace {
+
+common::BitVec random_data(std::size_t n, std::uint64_t seed) {
+  common::Rng rng(seed);
+  common::BitVec v(n);
+  for (std::size_t i = 0; i < n; ++i)
+    if (rng.chance(0.5)) v.set(i);
+  return v;
+}
+
+TEST(Parity, Geometry) {
+  ParityCode c(64);
+  EXPECT_EQ(c.data_bits(), 64u);
+  EXPECT_EQ(c.parity_bits(), 1u);
+  EXPECT_EQ(c.codeword_bits(), 65u);
+  EXPECT_EQ(c.correctable_bits(), 0u);
+  EXPECT_EQ(c.detectable_bits(), 1u);
+  EXPECT_EQ(c.name(), "parity(65,64)");
+}
+
+TEST(Parity, CleanRoundTrip) {
+  ParityCode c(32);
+  const auto data = random_data(32, 1);
+  const auto cw = c.encode(data);
+  EXPECT_EQ(cw.count_ones() % 2, 0u);  // even parity
+  const auto res = c.decode(cw);
+  EXPECT_EQ(res.status, DecodeStatus::clean);
+  EXPECT_EQ(res.data, data);
+}
+
+TEST(Parity, DetectsEverySingleBitError) {
+  ParityCode c(16);
+  const auto data = random_data(16, 2);
+  const auto cw = c.encode(data);
+  for (std::size_t i = 0; i < cw.size(); ++i) {
+    auto bad = cw;
+    bad.flip(i);
+    EXPECT_EQ(c.decode(bad).status, DecodeStatus::detected_uncorrectable)
+        << i;
+  }
+}
+
+TEST(Parity, MissesDoubleBitErrors) {
+  ParityCode c(16);
+  const auto cw = c.encode(random_data(16, 3));
+  auto bad = cw;
+  bad.flip(0);
+  bad.flip(5);
+  EXPECT_EQ(c.decode(bad).status, DecodeStatus::clean);  // undetected
+}
+
+}  // namespace
+}  // namespace reap::ecc

@@ -1,0 +1,118 @@
+#include "reap/mtj/read_disturb.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "reap/mtj/mtj_params.hpp"
+
+namespace reap::mtj {
+namespace {
+
+TEST(MtjParams, PresetsAreValid) {
+  for (const auto& p : all_presets()) {
+    EXPECT_TRUE(p.valid()) << p.name;
+  }
+}
+
+TEST(MtjParams, InvalidWhenReadExceedsCritical) {
+  MtjParams p = paper_default();
+  p.read_current = common::microamps(120.0);
+  EXPECT_FALSE(p.valid());
+}
+
+TEST(ReadDisturb, PaperOperatingPointIsTenToMinusEight) {
+  // The paper's numerical example (Eqs. 4/5) uses P_RD-cell = 1e-8; the
+  // paper_default preset is tuned to produce that value.
+  const double p = read_disturb_probability(paper_default());
+  EXPECT_GT(p, 0.5e-8);
+  EXPECT_LT(p, 2.0e-8);
+}
+
+TEST(ReadDisturb, MatchesClosedFormEquation1) {
+  const MtjParams p = paper_default();
+  const double ratio = p.read_current / p.critical_current;
+  const double expected =
+      1.0 - std::exp(-(p.read_pulse / p.attempt_period) *
+                     std::exp(-p.delta * (1.0 - ratio)));
+  // expm1-based implementation vs naive form: relative agreement only.
+  EXPECT_NEAR(read_disturb_probability(p), expected, expected * 1e-6);
+}
+
+TEST(ReadDisturb, IncreasesWithReadCurrent) {
+  double prev = 0.0;
+  for (double ratio : {0.4, 0.5, 0.6, 0.7, 0.8, 0.9}) {
+    const double prd = read_disturb_probability(with_read_ratio(ratio));
+    EXPECT_GT(prd, prev) << ratio;
+    prev = prd;
+  }
+}
+
+TEST(ReadDisturb, DecreasesWithThermalStability) {
+  MtjParams lo = paper_default();
+  lo.delta = 40.0;
+  MtjParams hi = paper_default();
+  hi.delta = 80.0;
+  EXPECT_GT(read_disturb_probability(lo), read_disturb_probability(hi));
+}
+
+TEST(ReadDisturb, IncreasesWithPulseWidth) {
+  MtjParams shrt = paper_default();
+  shrt.read_pulse = common::nanoseconds(0.5);
+  MtjParams lng = paper_default();
+  lng.read_pulse = common::nanoseconds(4.0);
+  EXPECT_GT(read_disturb_probability(lng), read_disturb_probability(shrt));
+}
+
+TEST(ReadDisturb, PerCellDeltaOverrideMatchesGlobal) {
+  const MtjParams p = paper_default();
+  EXPECT_DOUBLE_EQ(read_disturb_probability(p),
+                   read_disturb_probability(p, p.delta));
+  EXPECT_GT(read_disturb_probability(p, 40.0),
+            read_disturb_probability(p, 60.0));
+}
+
+TEST(ReadDisturb, SurvivalMatchesPower) {
+  const MtjParams p = paper_default();
+  const double prd = read_disturb_probability(p);
+  const double s1000 = survive_reads(p, 1000);
+  EXPECT_NEAR(s1000, std::pow(1.0 - prd, 1000.0), 1e-12);
+  EXPECT_DOUBLE_EQ(survive_reads(p, 0), 1.0);
+}
+
+TEST(ReadDisturb, RatioSweepIsMonotonic) {
+  const auto pts = sweep_read_ratio(paper_default(), 0.3, 0.95, 20);
+  ASSERT_EQ(pts.size(), 20u);
+  EXPECT_DOUBLE_EQ(pts.front().ratio, 0.3);
+  EXPECT_DOUBLE_EQ(pts.back().ratio, 0.95);
+  for (std::size_t i = 1; i < pts.size(); ++i)
+    EXPECT_GT(pts[i].p_rd, pts[i - 1].p_rd);
+}
+
+TEST(ReadDisturb, DeltaSweepIsMonotonicDecreasing) {
+  const auto pts = sweep_delta(paper_default(), 40.0, 80.0, 9);
+  ASSERT_EQ(pts.size(), 9u);
+  for (std::size_t i = 1; i < pts.size(); ++i)
+    EXPECT_LT(pts[i].p_rd, pts[i - 1].p_rd);
+}
+
+// Property sweep: P_RD is a probability for any sane operating point.
+class ReadDisturbDomain
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(ReadDisturbDomain, AlwaysAProbability) {
+  const auto [ratio, delta] = GetParam();
+  MtjParams p = with_read_ratio(ratio);
+  p.delta = delta;
+  const double prd = read_disturb_probability(p);
+  EXPECT_GE(prd, 0.0);
+  EXPECT_LE(prd, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Domain, ReadDisturbDomain,
+    ::testing::Combine(::testing::Values(0.1, 0.3, 0.5, 0.7, 0.9, 0.99),
+                       ::testing::Values(20.0, 40.0, 60.0, 80.0, 120.0)));
+
+}  // namespace
+}  // namespace reap::mtj

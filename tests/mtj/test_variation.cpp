@@ -1,0 +1,63 @@
+#include "reap/mtj/variation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "reap/mtj/read_disturb.hpp"
+
+namespace reap::mtj {
+namespace {
+
+TEST(Variation, ZeroSigmaIsDeterministic) {
+  VariationModel m(paper_default(), {.delta_sigma = 0.0});
+  common::Rng rng(1);
+  for (int i = 0; i < 10; ++i)
+    EXPECT_DOUBLE_EQ(m.sample_delta(rng), paper_default().delta);
+  EXPECT_DOUBLE_EQ(m.mean_p_rd(rng, 100),
+                   read_disturb_probability(paper_default()));
+}
+
+TEST(Variation, SamplesRespectFloor) {
+  VariationModel m(paper_default(), {.delta_sigma = 30.0, .delta_floor = 25.0});
+  common::Rng rng(2);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(m.sample_delta(rng), 25.0);
+}
+
+TEST(Variation, SampleMeanNearNominal) {
+  VariationModel m(paper_default(), {.delta_sigma = 5.0});
+  common::Rng rng(3);
+  double acc = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) acc += m.sample_delta(rng);
+  EXPECT_NEAR(acc / n, paper_default().delta, 0.1);
+}
+
+TEST(Variation, VariationInflatesMeanDisturbProbability) {
+  // exp(-Delta) is convex in Delta, so E[P_RD(Delta)] > P_RD(E[Delta]):
+  // the weak-cell tail dominates -- the key systems consequence of process
+  // variation (paper ref [2]).
+  const double nominal = read_disturb_probability(paper_default());
+  VariationModel m(paper_default(), {.delta_sigma = 6.0});
+  common::Rng rng(4);
+  const double mean = m.mean_p_rd(rng, 200000);
+  EXPECT_GT(mean, nominal * 2.0);
+}
+
+TEST(Variation, QuantilesAreOrdered) {
+  VariationModel m(paper_default(), {.delta_sigma = 6.0});
+  common::Rng rng(5);
+  const auto qs = m.p_rd_quantiles(rng, 20000, {0.5, 0.9, 0.99, 0.999});
+  ASSERT_EQ(qs.size(), 4u);
+  for (std::size_t i = 1; i < qs.size(); ++i) EXPECT_GE(qs[i], qs[i - 1]);
+  // The 99.9th percentile cell should be far worse than the median.
+  EXPECT_GT(qs[3], qs[0] * 10.0);
+}
+
+TEST(Variation, QuantilesDeterministicPerSeed) {
+  VariationModel m(paper_default(), {.delta_sigma = 4.0});
+  common::Rng a(42), b(42);
+  EXPECT_EQ(m.p_rd_quantiles(a, 5000, {0.5}),
+            m.p_rd_quantiles(b, 5000, {0.5}));
+}
+
+}  // namespace
+}  // namespace reap::mtj

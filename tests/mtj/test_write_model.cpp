@@ -1,0 +1,64 @@
+#include "reap/mtj/write_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "reap/mtj/mtj_params.hpp"
+
+namespace reap::mtj {
+namespace {
+
+TEST(WriteModel, FailureIsAProbability) {
+  for (const auto& p : all_presets()) {
+    const double wf = write_failure_probability(p);
+    EXPECT_GE(wf, 0.0) << p.name;
+    EXPECT_LE(wf, 1.0) << p.name;
+  }
+}
+
+TEST(WriteModel, LongerPulseFailsLess) {
+  MtjParams shrt = paper_default();
+  shrt.write_pulse = common::nanoseconds(2.0);
+  MtjParams lng = paper_default();
+  lng.write_pulse = common::nanoseconds(30.0);
+  EXPECT_GT(write_failure_probability(shrt), write_failure_probability(lng));
+}
+
+TEST(WriteModel, MoreOverdriveFailsLess) {
+  MtjParams weak = paper_default();
+  weak.write_current = common::microamps(110.0);
+  MtjParams strong = paper_default();
+  strong.write_current = common::microamps(250.0);
+  EXPECT_GT(write_failure_probability(weak),
+            write_failure_probability(strong));
+}
+
+TEST(WriteModel, MeanSwitchingTimeShrinksWithOverdrive) {
+  MtjParams weak = paper_default();
+  weak.write_current = common::microamps(120.0);
+  MtjParams strong = paper_default();
+  strong.write_current = common::microamps(300.0);
+  EXPECT_GT(mean_switching_time(weak).value,
+            mean_switching_time(strong).value);
+}
+
+TEST(WriteModel, PulseEnergiesScaleWithCurrentSquared) {
+  const MtjParams p = paper_default();
+  const double r = 2000.0;
+  const common::Joules we = write_pulse_energy(p, r);
+  const common::Joules re = read_pulse_energy(p, r);
+  // I_write = 150uA for 10ns vs I_read = 69.3uA for 1ns.
+  const double expected_ratio = (150.0 * 150.0 * 10.0) / (69.3 * 69.3 * 1.0);
+  EXPECT_NEAR(we / re, expected_ratio, expected_ratio * 1e-9);
+  EXPECT_GT(we.value, 0.0);
+}
+
+TEST(WriteModel, WriteEnergyDominatesReadEnergy) {
+  // The STT-MRAM write-vs-read energy asymmetry the restore-policy critique
+  // rests on.
+  const MtjParams p = paper_default();
+  EXPECT_GT(write_pulse_energy(p, 2000.0) / read_pulse_energy(p, 2000.0),
+            10.0);
+}
+
+}  // namespace
+}  // namespace reap::mtj

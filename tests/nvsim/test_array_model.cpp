@@ -1,0 +1,83 @@
+#include "reap/nvsim/array_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "reap/mtj/mtj_params.hpp"
+
+namespace reap::nvsim {
+namespace {
+
+ArrayGeometry geom(std::size_t rows, std::size_t cols, CellType cell) {
+  return {.rows = rows, .cols = cols, .cell = cell};
+}
+
+TEST(ArrayModel, CapacityArithmetic) {
+  ArrayModel a(geom(2048, 4184, CellType::stt_mram), tech_32nm(), nullptr);
+  EXPECT_EQ(a.capacity_bits(), 2048u * 4184u);
+  EXPECT_NEAR(a.capacity_kb(), 2048.0 * 4184.0 / 8.0 / 1024.0, 1e-9);
+}
+
+TEST(ArrayModel, ReadEnergyScalesWithBits) {
+  ArrayModel a(geom(1024, 512, CellType::sram), tech_32nm(), nullptr);
+  const auto e1 = a.read_energy(64);
+  const auto e2 = a.read_energy(128);
+  EXPECT_NEAR(e2.value, 2.0 * e1.value, 1e-18);
+}
+
+TEST(ArrayModel, SttWriteMuchCostlierThanRead) {
+  const auto mtj = mtj::paper_default();
+  ArrayModel a(geom(2048, 4184, CellType::stt_mram), tech_32nm(), &mtj);
+  EXPECT_GT(a.write_energy(512).value, 10.0 * a.read_energy(512).value);
+}
+
+TEST(ArrayModel, SramWriteComparableToRead) {
+  ArrayModel a(geom(128, 256, CellType::sram), tech_32nm(), nullptr);
+  const double ratio = a.write_energy(256) / a.read_energy(256);
+  EXPECT_GT(ratio, 0.5);
+  EXPECT_LT(ratio, 3.0);
+}
+
+TEST(ArrayModel, MtjParamsRefineSttEnergies) {
+  const auto mtj = mtj::paper_default();
+  ArrayModel with(geom(1024, 512, CellType::stt_mram), tech_32nm(), &mtj);
+  ArrayModel without(geom(1024, 512, CellType::stt_mram), tech_32nm(),
+                     nullptr);
+  // Both must be in the same order of magnitude but need not match.
+  const double r = with.read_energy(512) / without.read_energy(512);
+  EXPECT_GT(r, 0.05);
+  EXPECT_LT(r, 20.0);
+}
+
+TEST(ArrayModel, SttDenserThanSram) {
+  ArrayModel stt(geom(1024, 512, CellType::stt_mram), tech_32nm(), nullptr);
+  ArrayModel sram(geom(1024, 512, CellType::sram), tech_32nm(), nullptr);
+  EXPECT_LT(stt.area().value, sram.area().value);
+}
+
+TEST(ArrayModel, SttCellsDoNotLeak) {
+  ArrayModel stt(geom(1024, 512, CellType::stt_mram), tech_32nm(), nullptr);
+  ArrayModel sram(geom(1024, 512, CellType::sram), tech_32nm(), nullptr);
+  // Equal periphery, but SRAM adds per-bit cell leakage.
+  EXPECT_LT(stt.leakage().value, sram.leakage().value);
+}
+
+TEST(ArrayModel, BiggerArraysSlowerDecode) {
+  ArrayModel small(geom(128, 512, CellType::sram), tech_32nm(), nullptr);
+  ArrayModel large(geom(8192, 512, CellType::sram), tech_32nm(), nullptr);
+  EXPECT_LT(small.decode_delay().value, large.decode_delay().value);
+}
+
+TEST(ArrayModel, SttSensingSlowerThanSram) {
+  ArrayModel stt(geom(1024, 512, CellType::stt_mram), tech_32nm(), nullptr);
+  ArrayModel sram(geom(1024, 512, CellType::sram), tech_32nm(), nullptr);
+  EXPECT_GT(stt.sense_delay().value, sram.sense_delay().value);
+}
+
+TEST(ArrayModel, PeripheryGrowsWithCapacity) {
+  ArrayModel small(geom(256, 512, CellType::sram), tech_32nm(), nullptr);
+  ArrayModel large(geom(16384, 512, CellType::sram), tech_32nm(), nullptr);
+  EXPECT_LT(small.periphery_energy().value, large.periphery_energy().value);
+}
+
+}  // namespace
+}  // namespace reap::nvsim

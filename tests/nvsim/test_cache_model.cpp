@@ -1,0 +1,121 @@
+#include "reap/nvsim/cache_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "reap/ecc/secded.hpp"
+#include "reap/mtj/mtj_params.hpp"
+#include "reap/nvsim/report.hpp"
+
+namespace reap::nvsim {
+namespace {
+
+CacheGeometry paper_l2() {
+  CacheGeometry g;
+  g.capacity_bytes = 1 << 20;
+  g.ways = 8;
+  g.block_bytes = 64;
+  g.data_cell = CellType::stt_mram;
+  return g;
+}
+
+class CacheModelTest : public ::testing::Test {
+ protected:
+  CacheModelTest()
+      : code_(512),
+        mtj_(mtj::paper_default()),
+        model_(paper_l2(), tech_32nm(), code_, &mtj_) {}
+
+  ecc::SecDedCode code_;
+  mtj::MtjParams mtj_;
+  CacheModel model_;
+};
+
+TEST_F(CacheModelTest, GeometryDerivations) {
+  const auto& g = model_.geometry();
+  EXPECT_EQ(g.sets(), 2048u);
+  EXPECT_EQ(g.index_bits(), 11u);
+  EXPECT_EQ(g.offset_bits(), 6u);
+  EXPECT_EQ(g.tag_bits(), 48u - 11u - 6u);
+  EXPECT_EQ(g.block_bits(), 512u);
+}
+
+TEST_F(CacheModelTest, EccDecodeEnergyShareIsSmall) {
+  // Paper Sec. V-B: "the contribution of ECC decoder unit in total energy
+  // consumption of the cache is less than 1%".
+  const auto e = model_.energies();
+  const double access = model_.parallel_read_access_energy(1).value;
+  const double share = e.ecc_decode.value / access;
+  EXPECT_GT(share, 0.0005);
+  EXPECT_LT(share, 0.01);
+}
+
+TEST_F(CacheModelTest, ReapEnergyOverheadMatchesPaperBand) {
+  // Eight decoders instead of one: the incremental read-access energy must
+  // land in the paper's observed 1%..6.5% band (Fig. 6).
+  const double e1 = model_.parallel_read_access_energy(1).value;
+  const double e8 = model_.parallel_read_access_energy(8).value;
+  const double overhead = (e8 - e1) / e1;
+  EXPECT_GT(overhead, 0.005);
+  EXPECT_LT(overhead, 0.08);
+}
+
+TEST_F(CacheModelTest, AreaOverheadUnderOnePercent) {
+  // Paper: "area overhead due to increasing the number of ECC decoder units
+  // from one to eight ... is less than 1%".
+  const auto a1 = model_.area(1);
+  const auto a8 = model_.area(8);
+  const double overhead = (a8.total.value - a1.total.value) / a1.total.value;
+  EXPECT_GT(overhead, 0.0);
+  EXPECT_LT(overhead, 0.01);
+}
+
+TEST_F(CacheModelTest, SingleDecoderAreaShareTiny) {
+  // Paper: "the contribution of ECC decoder unit in total cache area is
+  // about 0.1%".
+  const auto a = model_.area(1);
+  const double share = a.ecc_decoders.value / a.total.value;
+  EXPECT_LT(share, 0.005);
+}
+
+TEST_F(CacheModelTest, ReapReadPathNotSlower) {
+  // Paper Sec. V-B: REAP's read path is <= the conventional one because the
+  // ECC decode overlaps the tag compare.
+  const auto t = model_.timing();
+  EXPECT_LE(t.reap_total.value, t.conventional_total.value);
+  EXPECT_GT(t.conventional_total.value, 0.0);
+}
+
+TEST_F(CacheModelTest, WriteEnergyExceedsReadEnergy) {
+  const auto e = model_.energies();
+  EXPECT_GT(e.way_data_write.value, e.way_data_read.value);
+}
+
+TEST_F(CacheModelTest, TagArrayMuchSmallerThanData) {
+  const auto a = model_.area(1);
+  EXPECT_LT(a.tag_array.value, a.data_array.value / 5.0);
+}
+
+TEST_F(CacheModelTest, ReportMentionsKeySections) {
+  const std::string r = render_report(model_, "L2");
+  EXPECT_NE(r.find("geometry"), std::string::npos);
+  EXPECT_NE(r.find("ECC decode"), std::string::npos);
+  EXPECT_NE(r.find("REAP"), std::string::npos);
+  EXPECT_NE(r.find("leakage"), std::string::npos);
+}
+
+TEST(CacheModelSram, L1UsesSramCells) {
+  CacheGeometry g;
+  g.capacity_bytes = 32 * 1024;
+  g.ways = 4;
+  g.block_bytes = 64;
+  g.data_cell = CellType::sram;
+  ecc::SecDedCode code(512);
+  CacheModel m(g, tech_32nm(), code, nullptr);
+  EXPECT_EQ(m.geometry().sets(), 128u);
+  // SRAM read and write within 3x of each other (no MTJ pulse asymmetry).
+  const auto e = m.energies();
+  EXPECT_LT(e.way_data_write.value, 3.0 * e.way_data_read.value);
+}
+
+}  // namespace
+}  // namespace reap::nvsim

@@ -1,0 +1,133 @@
+#include "reap/reliability/binomial.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace reap::reliability {
+namespace {
+
+TEST(Binomial, PaperEquation4NoAccumulation) {
+  // Sec. III-B: n = 100 ones, P_RD = 1e-8, no concealed reads:
+  // P_err = 1 - P_corr = ~5.0e-13.
+  const double p_err = p_uncorrectable_block(100, 1e-8);
+  EXPECT_NEAR(p_err, 4.95e-13, 0.1e-13);
+}
+
+TEST(Binomial, PaperEquation5FiftyConcealedReads) {
+  // Same line with 50 total reads accumulated: P_err = ~1.3e-9.
+  const double p_err = p_uncorrectable_block_acc(100, 50, 1e-8);
+  EXPECT_GT(p_err, 1.0e-9);
+  EXPECT_LT(p_err, 1.5e-9);
+}
+
+TEST(Binomial, PaperSectionIVReapExample) {
+  // Sec. IV: REAP on the same example gives ~2.6e-11, i.e. ~50x lower than
+  // the conventional accumulation case.
+  const double p_reap = p_uncorrectable_block_reap(100, 50, 1e-8);
+  EXPECT_GT(p_reap, 2.0e-11);
+  EXPECT_LT(p_reap, 3.0e-11);
+
+  const double p_conv = p_uncorrectable_block_acc(100, 50, 1e-8);
+  EXPECT_NEAR(p_conv / p_reap, 50.0, 2.0);
+}
+
+TEST(Binomial, ReapGainApproachesN) {
+  // For rare events the conventional/REAP failure ratio tends to N (the
+  // analytical heart of Fig. 5: MTTF gain tracks accumulated reads).
+  for (std::uint64_t n_reads : {2ull, 10ull, 100ull, 1000ull}) {
+    const double conv = p_uncorrectable_block_acc(128, n_reads, 1e-9);
+    const double reap = p_uncorrectable_block_reap(128, n_reads, 1e-9);
+    EXPECT_NEAR(conv / reap, static_cast<double>(n_reads),
+                static_cast<double>(n_reads) * 0.02)
+        << n_reads;
+  }
+}
+
+TEST(Binomial, CorrectAndUncorrectableSumToOne) {
+  for (double p : {1e-9, 1e-6, 1e-3}) {
+    for (std::uint64_t n : {10ull, 100ull, 512ull}) {
+      const double c = p_correct_block(n, p);
+      const double u = p_uncorrectable_block(n, p);
+      EXPECT_NEAR(c + u, 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(Binomial, NoOnesMeansNoFailure) {
+  EXPECT_EQ(p_uncorrectable_block(0, 1e-3), 0.0);
+  EXPECT_EQ(p_uncorrectable_block_acc(0, 1000, 1e-3), 0.0);
+  EXPECT_EQ(p_uncorrectable_block_reap(0, 1000, 1e-3), 0.0);
+}
+
+TEST(Binomial, SingleReadIsSpecialCaseOfBoth) {
+  // With N = 1, Eq. (3) and Eq. (6) both reduce to Eq. (2).
+  for (std::uint64_t n : {50ull, 100ull, 512ull}) {
+    const double base = p_uncorrectable_block(n, 1e-8);
+    EXPECT_NEAR(p_uncorrectable_block_acc(n, 1, 1e-8), base, base * 1e-9);
+    EXPECT_NEAR(p_uncorrectable_block_reap(n, 1, 1e-8), base, base * 1e-9);
+  }
+}
+
+TEST(Binomial, ReapNeverWorseThanConventional) {
+  for (std::uint64_t n : {10ull, 100ull, 512ull}) {
+    for (std::uint64_t reads : {1ull, 5ull, 50ull, 5000ull}) {
+      for (double p : {1e-10, 1e-8, 1e-5}) {
+        EXPECT_LE(p_uncorrectable_block_reap(n, reads, p),
+                  p_uncorrectable_block_acc(n, reads, p) * (1.0 + 1e-9))
+            << n << " " << reads << " " << p;
+      }
+    }
+  }
+}
+
+TEST(Binomial, StrongerEccReducesFailure) {
+  const double t1 = p_uncorrectable(512 * 50, 1, 1e-8);
+  const double t2 = p_uncorrectable(512 * 50, 2, 1e-8);
+  const double t3 = p_uncorrectable(512 * 50, 3, 1e-8);
+  EXPECT_GT(t1, t2);
+  EXPECT_GT(t2, t3);
+  EXPECT_GT(t2, 0.0);
+}
+
+TEST(Binomial, AccumulationMonotonicInReads) {
+  double prev = 0.0;
+  for (std::uint64_t reads = 1; reads <= 100000; reads *= 10) {
+    const double p = p_uncorrectable_block_acc(100, reads, 1e-9);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(UncorrectableModel, MatchesDirectFormulas) {
+  UncorrectableModel m(1e-8, 1, 512);
+  for (std::uint64_t n : {1ull, 100ull, 317ull, 512ull}) {
+    EXPECT_NEAR(m.single(n), p_uncorrectable_block(n, 1e-8),
+                p_uncorrectable_block(n, 1e-8) * 1e-9 + 1e-300)
+        << n;
+    for (std::uint64_t reads : {1ull, 7ull, 100ull}) {
+      EXPECT_NEAR(m.conventional(n, reads),
+                  p_uncorrectable_block_acc(n, reads, 1e-8),
+                  p_uncorrectable_block_acc(n, reads, 1e-8) * 1e-9 + 1e-300);
+      EXPECT_NEAR(m.reap(n, reads),
+                  p_uncorrectable_block_reap(n, reads, 1e-8),
+                  p_uncorrectable_block_reap(n, reads, 1e-8) * 1e-9 + 1e-300);
+    }
+  }
+}
+
+TEST(UncorrectableModel, BeyondCacheFallsBack) {
+  UncorrectableModel m(1e-8, 1, 64);
+  // n = 100 exceeds the cache size of 64; must still be correct.
+  EXPECT_NEAR(m.single(100), p_uncorrectable_block(100, 1e-8),
+              p_uncorrectable_block(100, 1e-8) * 1e-9);
+}
+
+TEST(UncorrectableModel, HoldsParameters) {
+  UncorrectableModel m(1e-7, 2, 512);
+  EXPECT_DOUBLE_EQ(m.p_rd(), 1e-7);
+  EXPECT_EQ(m.t(), 2u);
+}
+
+}  // namespace
+}  // namespace reap::reliability

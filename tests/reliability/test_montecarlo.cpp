@@ -1,0 +1,135 @@
+// Monte Carlo vs analytic model cross-validation -- the strongest evidence
+// that the paper's Eqs. (3)/(6) implementation and the real SEC-DED codec
+// agree with each other.
+#include "reap/reliability/montecarlo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "reap/reliability/binomial.hpp"
+#include "reap/ecc/secded.hpp"
+#include "reap/trace/datavalue.hpp"
+
+namespace reap::reliability {
+namespace {
+
+common::BitVec payload_with_ones(std::size_t bits, std::size_t ones) {
+  common::BitVec v(bits);
+  for (std::size_t i = 0; i < ones; ++i) v.set(i * (bits / ones));
+  return v;
+}
+
+TEST(MonteCarlo, NoDisturbanceNoFailures) {
+  ecc::SecDedCode code(64);
+  FaultInjector inj(code, 0.0, 1);
+  const auto payload = payload_with_ones(64, 20);
+  const auto out = inj.run_conventional(payload, 10, 200);
+  EXPECT_EQ(out.clean, 200u);
+  EXPECT_EQ(out.failure_rate(), 0.0);
+}
+
+TEST(MonteCarlo, ConventionalMatchesAnalyticEq3) {
+  // Inflated p so events are observable: p = 2e-3, n_ones ~ codeword ones,
+  // N = 8 reads. Compare against Eq. (3) with the codeword popcount.
+  ecc::SecDedCode code(64);
+  const auto payload = payload_with_ones(64, 32);
+  const auto cw_ones = code.encode(payload).count_ones();
+  const double p = 2e-3;
+  const std::uint64_t reads = 8;
+
+  FaultInjector inj(code, p, 42);
+  const auto out = inj.run_conventional(payload, reads, 40000);
+
+  // Analytic: >= 2 disturbed cells among the accumulated trials. The
+  // analytic form slightly overcounts because once a cell flips it cannot
+  // flip again (trials shrink), so allow a modest band.
+  const double analytic = p_uncorrectable_block_acc(cw_ones, reads, p);
+  EXPECT_GT(out.failure_rate(), analytic * 0.6);
+  EXPECT_LT(out.failure_rate(), analytic * 1.4);
+}
+
+TEST(MonteCarlo, ReapMatchesAnalyticEq6) {
+  ecc::SecDedCode code(64);
+  const auto payload = payload_with_ones(64, 32);
+  const auto cw_ones = code.encode(payload).count_ones();
+  const double p = 2e-3;
+  const std::uint64_t reads = 8;
+
+  FaultInjector inj(code, p, 43);
+  const auto out = inj.run_reap(payload, reads, 60000);
+
+  const double analytic = p_uncorrectable_block_reap(cw_ones, reads, p);
+  EXPECT_GT(out.failure_rate(), analytic * 0.5);
+  EXPECT_LT(out.failure_rate(), analytic * 1.6);
+}
+
+TEST(MonteCarlo, ReapBeatsConventionalEmpirically) {
+  // The paper's core claim, measured on real bits with a real decoder.
+  ecc::SecDedCode code(64);
+  const auto payload = payload_with_ones(64, 32);
+  const double p = 2e-3;
+  const std::uint64_t reads = 16;
+
+  FaultInjector inj_c(code, p, 44);
+  FaultInjector inj_r(code, p, 45);
+  const auto conv = inj_c.run_conventional(payload, reads, 30000);
+  const auto reap = inj_r.run_reap(payload, reads, 30000);
+
+  ASSERT_GT(conv.failure_rate(), 0.0);
+  ASSERT_GT(reap.failure_rate(), 0.0);
+  const double gain = conv.failure_rate() / reap.failure_rate();
+  // Expected gain ~ N = 16; require it to be clearly > 4.
+  EXPECT_GT(gain, 4.0);
+}
+
+TEST(MonteCarlo, OutcomeCountsAreConsistent) {
+  ecc::SecDedCode code(64);
+  FaultInjector inj(code, 5e-3, 46);
+  const auto payload = payload_with_ones(64, 30);
+  const auto out = inj.run_conventional(payload, 4, 5000);
+  EXPECT_EQ(out.clean + out.corrected + out.detected + out.miscorrected,
+            out.trials);
+}
+
+TEST(MonteCarlo, SingleReadMostlyCleanOrCorrected) {
+  ecc::SecDedCode code(512);
+  trace::DataValueModel values({.mean_density = 0.35, .stddev_density = 0.1});
+  FaultInjector inj(code, 1e-4, 47);
+  const auto out = inj.run_conventional(values.payload_for(0x1000), 1, 5000);
+  // E[flips] per read ~ 523 * 0.35 * 1e-4 ~ 0.018: nearly all trials clean,
+  // occasionally one corrected, double flips vanishingly rare.
+  EXPECT_GT(out.clean, 4800u);
+  EXPECT_EQ(out.miscorrected, 0u);
+  EXPECT_LT(out.detected, 5u);
+}
+
+TEST(MonteCarlo, ScrubPreventsAccumulationAcrossManyReads) {
+  // p = 1e-3 over ~36 codeword ones: a single-read double flip has
+  // probability ~C(36,2) p^2 ~ 6e-4, so 64 scrubbed reads stay mostly
+  // clean, while 64 *accumulated* reads collect ~2.3 expected flips and
+  // fail often.
+  ecc::SecDedCode code(64);
+  const auto payload = payload_with_ones(64, 32);
+  const double p = 1e-3;
+
+  FaultInjector inj_c(code, p, 48);
+  FaultInjector inj_r(code, p, 49);
+  const auto conv = inj_c.run_conventional(payload, 64, 4000);
+  const auto reap = inj_r.run_reap(payload, 64, 4000);
+  EXPECT_GT(conv.failure_rate(), 0.3);   // accumulation is fatal
+  EXPECT_LT(reap.failure_rate(), 0.15);  // scrubbing contains it
+}
+
+TEST(MonteCarlo, DetectedDominatesMiscorrection) {
+  // SEC-DED turns double flips into *detected* failures; silent corruption
+  // needs >= 3 flips between checks. At ~0.3 expected flips per window the
+  // 3-flip mass is ~10x rarer than the 2-flip mass.
+  ecc::SecDedCode code(64);
+  const auto payload = payload_with_ones(64, 32);
+  FaultInjector inj(code, 1e-3, 50);
+  const auto out = inj.run_conventional(payload, 8, 40000);
+  ASSERT_GT(out.detected, 0u);
+  EXPECT_LT(out.miscorrected * 3, out.detected);
+}
+
+}  // namespace
+}  // namespace reap::reliability

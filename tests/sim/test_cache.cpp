@@ -1,0 +1,265 @@
+#include "reap/sim/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace reap::sim {
+namespace {
+
+CacheConfig small_cfg() {
+  // 4 sets x 2 ways x 64B = 512B.
+  return {.name = "t",
+          .capacity_bytes = 512,
+          .ways = 2,
+          .block_bytes = 64,
+          .replacement = ReplacementKind::lru};
+}
+
+// Builds an address with the given tag and set for a 64B-block, 4-set cache.
+std::uint64_t mk_addr(std::uint64_t tag, std::uint64_t set) {
+  return (tag << (6 + 2)) | (set << 6);
+}
+
+TEST(Cache, GeometryChecks) {
+  SetAssocCache c(small_cfg());
+  EXPECT_EQ(c.config().sets(), 4u);
+  EXPECT_EQ(c.set_of(mk_addr(5, 3)), 3u);
+  EXPECT_EQ(c.tag_of(mk_addr(5, 3)), 5u);
+  EXPECT_EQ(c.line_addr(5, 3), mk_addr(5, 3));
+}
+
+TEST(Cache, ColdMissesThenHits) {
+  SetAssocCache c(small_cfg());
+  const auto a = mk_addr(1, 0);
+  EXPECT_FALSE(c.read(a));
+  c.fill(a, false);
+  EXPECT_TRUE(c.read(a));
+  EXPECT_EQ(c.stats().read_lookups, 2u);
+  EXPECT_EQ(c.stats().read_hits, 1u);
+  EXPECT_EQ(c.stats().fills, 1u);
+}
+
+TEST(Cache, OffsetBitsIgnored) {
+  SetAssocCache c(small_cfg());
+  c.fill(mk_addr(1, 0), false);
+  EXPECT_TRUE(c.read(mk_addr(1, 0) + 63));
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed) {
+  SetAssocCache c(small_cfg());
+  const auto a = mk_addr(1, 0), b = mk_addr(2, 0), d = mk_addr(3, 0);
+  c.fill(a, false);
+  c.fill(b, false);
+  EXPECT_TRUE(c.read(a));  // a is now MRU
+  const auto ev = c.fill(d, false);
+  ASSERT_TRUE(ev.any);
+  EXPECT_EQ(ev.addr, b);  // b was LRU
+  EXPECT_TRUE(c.probe(a));
+  EXPECT_FALSE(c.probe(b));
+  EXPECT_TRUE(c.probe(d));
+}
+
+TEST(Cache, FifoEvictsOldestFill) {
+  CacheConfig cfg = small_cfg();
+  cfg.replacement = ReplacementKind::fifo;
+  SetAssocCache c(cfg);
+  const auto a = mk_addr(1, 0), b = mk_addr(2, 0), d = mk_addr(3, 0);
+  c.fill(a, false);
+  c.fill(b, false);
+  EXPECT_TRUE(c.read(a));  // touching does not save a under FIFO
+  const auto ev = c.fill(d, false);
+  ASSERT_TRUE(ev.any);
+  EXPECT_EQ(ev.addr, a);
+}
+
+TEST(Cache, RandomReplacementEvictsSomething) {
+  CacheConfig cfg = small_cfg();
+  cfg.replacement = ReplacementKind::random_repl;
+  SetAssocCache c(cfg, 99);
+  c.fill(mk_addr(1, 0), false);
+  c.fill(mk_addr(2, 0), false);
+  const auto ev = c.fill(mk_addr(3, 0), false);
+  EXPECT_TRUE(ev.any);
+  EXPECT_TRUE(ev.addr == mk_addr(1, 0) || ev.addr == mk_addr(2, 0));
+}
+
+TEST(Cache, LerEvictsMostAccumulatedLine) {
+  CacheConfig cfg = small_cfg();
+  cfg.replacement = ReplacementKind::least_error_rate;
+  SetAssocCache c(cfg);
+  const auto a = mk_addr(1, 0), b = mk_addr(2, 0), d = mk_addr(3, 0);
+  c.fill(a, false);
+  c.fill(b, false);
+  // Simulate accumulation via a hooks-free read pattern: directly bump the
+  // counter through repeated reads is not possible without hooks, so use
+  // the public surface: reads touch LRU only. Force distinct accumulation
+  // through a policy-style mutation is internal; instead verify the LRU
+  // tie-break first (equal counters -> LRU victim).
+  EXPECT_TRUE(c.read(a));  // a becomes MRU; counters equal (0)
+  const auto ev = c.fill(d, false);
+  ASSERT_TRUE(ev.any);
+  EXPECT_EQ(ev.addr, b);  // tie on accumulation -> LRU (b) leaves
+}
+
+TEST(Cache, LerPrefersAccumulationOverRecency) {
+  CacheConfig cfg = small_cfg();
+  cfg.replacement = ReplacementKind::least_error_rate;
+  SetAssocCache c(cfg);
+
+  // Attach a hook that marks way 0 as heavily accumulated.
+  class Bumper : public L2PolicyHooks {
+   public:
+    void on_read_lookup(std::span<CacheLine> ways, int hit_way) override {
+      if (hit_way >= 0) ways[0].reads_since_check = 100;
+    }
+    void on_write_lookup(std::span<CacheLine>, int) override {}
+    void on_fill(CacheLine&) override {}
+    void on_evict(CacheLine&) override {}
+  } bumper;
+
+  const auto a = mk_addr(1, 0), b = mk_addr(2, 0), d = mk_addr(3, 0);
+  c.fill(a, false);  // way 0
+  c.fill(b, false);  // way 1
+  c.set_hooks(&bumper);
+  EXPECT_TRUE(c.read(a));  // bumps way 0's accumulation, a is MRU
+  c.set_hooks(nullptr);
+
+  // LRU would evict b; LER must evict the accumulated a despite recency.
+  const auto ev = c.fill(d, false);
+  ASSERT_TRUE(ev.any);
+  EXPECT_EQ(ev.addr, a);
+}
+
+TEST(Cache, InvalidWaysFillFirst) {
+  SetAssocCache c(small_cfg());
+  c.fill(mk_addr(1, 0), false);
+  const auto ev = c.fill(mk_addr(2, 0), false);
+  EXPECT_FALSE(ev.any);  // second way was free
+}
+
+TEST(Cache, DirtyEvictionReported) {
+  SetAssocCache c(small_cfg());
+  c.fill(mk_addr(1, 0), true);
+  c.fill(mk_addr(2, 0), false);
+  const auto ev = c.fill(mk_addr(3, 0), false);
+  ASSERT_TRUE(ev.any);
+  EXPECT_TRUE(ev.dirty);
+  EXPECT_EQ(ev.addr, mk_addr(1, 0));
+  EXPECT_EQ(c.stats().dirty_evictions, 1u);
+}
+
+TEST(Cache, WriteHitDirtiesAndRefreshes) {
+  SetAssocCache c(small_cfg());
+  std::uint32_t next_ones = 100;
+  c.set_ones_model([&next_ones](std::uint64_t) { return next_ones; });
+  c.fill(mk_addr(1, 0), false);
+  const auto view = c.set_view(0);
+  EXPECT_EQ(view[0].ones, 100u);
+  EXPECT_FALSE(view[0].dirty);
+
+  next_ones = 200;
+  EXPECT_TRUE(c.write(mk_addr(1, 0)));
+  EXPECT_TRUE(view[0].dirty);
+  EXPECT_EQ(view[0].ones, 200u);
+  EXPECT_EQ(view[0].reads_since_check, 0u);
+}
+
+TEST(Cache, WriteMissDoesNotAllocate) {
+  SetAssocCache c(small_cfg());
+  EXPECT_FALSE(c.write(mk_addr(1, 0)));
+  EXPECT_FALSE(c.probe(mk_addr(1, 0)));
+  EXPECT_EQ(c.stats().write_lookups, 1u);
+  EXPECT_EQ(c.stats().write_hits, 0u);
+}
+
+TEST(Cache, InvalidateClearsLine) {
+  SetAssocCache c(small_cfg());
+  c.fill(mk_addr(1, 0), true);
+  EXPECT_TRUE(c.invalidate(mk_addr(1, 0)));  // was dirty
+  EXPECT_FALSE(c.probe(mk_addr(1, 0)));
+  EXPECT_FALSE(c.invalidate(mk_addr(1, 0)));
+}
+
+TEST(Cache, DefaultOnesIsHalfBlockBits) {
+  SetAssocCache c(small_cfg());
+  c.fill(mk_addr(1, 2), false);
+  EXPECT_EQ(c.set_view(2)[0].ones, 256u);
+}
+
+// Hook recording for interface verification.
+class RecordingHooks : public L2PolicyHooks {
+ public:
+  void on_read_lookup(std::span<CacheLine> ways, int hit_way) override {
+    ++reads;
+    last_ways = ways.size();
+    last_hit = hit_way;
+  }
+  void on_write_lookup(std::span<CacheLine>, int hit_way) override {
+    ++writes;
+    last_hit = hit_way;
+  }
+  void on_fill(CacheLine&) override { ++fills; }
+  void on_evict(CacheLine& line) override {
+    ++evicts;
+    last_evicted_valid = line.valid;
+  }
+
+  int reads = 0, writes = 0, fills = 0, evicts = 0;
+  std::size_t last_ways = 0;
+  int last_hit = -2;
+  bool last_evicted_valid = false;
+};
+
+TEST(CacheHooks, ReadLookupSeesAllWaysAndHitIndex) {
+  SetAssocCache c(small_cfg());
+  RecordingHooks h;
+  c.set_hooks(&h);
+  c.read(mk_addr(1, 0));
+  EXPECT_EQ(h.reads, 1);
+  EXPECT_EQ(h.last_ways, 2u);
+  EXPECT_EQ(h.last_hit, -1);
+  c.fill(mk_addr(1, 0), false);
+  EXPECT_EQ(h.fills, 1);
+  c.read(mk_addr(1, 0));
+  EXPECT_EQ(h.last_hit, 0);
+}
+
+TEST(CacheHooks, EvictFiresBeforeInvalidation) {
+  SetAssocCache c(small_cfg());
+  RecordingHooks h;
+  c.set_hooks(&h);
+  c.fill(mk_addr(1, 0), false);
+  c.fill(mk_addr(2, 0), false);
+  c.fill(mk_addr(3, 0), false);  // evicts one
+  EXPECT_EQ(h.evicts, 1);
+  EXPECT_TRUE(h.last_evicted_valid);
+  EXPECT_EQ(h.fills, 3);
+}
+
+TEST(CacheHooks, WriteLookupFiresOnMissToo) {
+  SetAssocCache c(small_cfg());
+  RecordingHooks h;
+  c.set_hooks(&h);
+  c.write(mk_addr(9, 1));
+  EXPECT_EQ(h.writes, 1);
+  EXPECT_EQ(h.last_hit, -1);
+}
+
+TEST(Cache, StatsResetKeepsContents) {
+  SetAssocCache c(small_cfg());
+  c.fill(mk_addr(1, 0), false);
+  c.read(mk_addr(1, 0));
+  c.reset_stats();
+  EXPECT_EQ(c.stats().read_lookups, 0u);
+  EXPECT_TRUE(c.probe(mk_addr(1, 0)));  // contents survive
+}
+
+TEST(Cache, RejectsNonPowerOfTwoGeometry) {
+  CacheConfig cfg = small_cfg();
+  cfg.block_bytes = 48;
+  EXPECT_DEATH(SetAssocCache c(cfg), "");
+}
+
+}  // namespace
+}  // namespace reap::sim

@@ -1,0 +1,97 @@
+#include "reap/sim/cpu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "reap/trace/trace_io.hpp"
+
+namespace reap::sim {
+namespace {
+
+HierarchyConfig tiny_cfg() {
+  HierarchyConfig cfg;
+  cfg.l1i = {.name = "L1I", .capacity_bytes = 256, .ways = 2, .block_bytes = 64};
+  cfg.l1d = {.name = "L1D", .capacity_bytes = 256, .ways = 2, .block_bytes = 64};
+  cfg.l2 = {.name = "L2", .capacity_bytes = 512, .ways = 2, .block_bytes = 64};
+  cfg.l2_hit_cycles = 10;
+  cfg.mem_cycles = 100;
+  return cfg;
+}
+
+TEST(TraceCpu, CountsInstructionsNotDataOps) {
+  trace::VectorTraceSource src({
+      {trace::OpType::inst_fetch, 0x400000},
+      {trace::OpType::load, 0x1000},
+      {trace::OpType::inst_fetch, 0x400004},
+      {trace::OpType::store, 0x2000},
+      {trace::OpType::inst_fetch, 0x400008},
+  });
+  MemoryHierarchy mem(tiny_cfg());
+  TraceCpu cpu(src, mem);
+  EXPECT_EQ(cpu.run(100), 3u);
+  EXPECT_EQ(cpu.instructions(), 3u);
+}
+
+TEST(TraceCpu, StopsAtInstructionBudget) {
+  std::vector<trace::MemOp> ops;
+  for (int i = 0; i < 100; ++i)
+    ops.push_back({trace::OpType::inst_fetch, 0x400000u + i * 4u});
+  trace::VectorTraceSource src(ops);
+  MemoryHierarchy mem(tiny_cfg());
+  TraceCpu cpu(src, mem);
+  EXPECT_EQ(cpu.run(30), 30u);
+  EXPECT_EQ(cpu.run(30), 30u);
+  EXPECT_EQ(cpu.run(100), 40u);  // trace exhausted
+}
+
+TEST(TraceCpu, CyclesIncludeMemoryStalls) {
+  trace::VectorTraceSource src({
+      {trace::OpType::inst_fetch, 0x400000},
+      {trace::OpType::load, 0x1000},
+  });
+  MemoryHierarchy mem(tiny_cfg());
+  TraceCpu cpu(src, mem);
+  cpu.run(10);
+  // 1 cycle for the instruction + I-fetch cold miss (100) + load cold miss
+  // (100).
+  EXPECT_EQ(cpu.cycles(), 201u);
+  EXPECT_LT(cpu.ipc(), 1.0);
+}
+
+TEST(TraceCpu, PerfectL1GivesIpcNearOne) {
+  std::vector<trace::MemOp> ops;
+  for (int i = 0; i < 1000; ++i)
+    ops.push_back({trace::OpType::inst_fetch, 0x400000});  // same block
+  trace::VectorTraceSource src(ops);
+  MemoryHierarchy mem(tiny_cfg());
+  TraceCpu cpu(src, mem);
+  cpu.run(1000);
+  EXPECT_GT(cpu.ipc(), 0.9);
+}
+
+TEST(TraceCpu, SecondsUsesClock) {
+  trace::VectorTraceSource src({{trace::OpType::inst_fetch, 0x400000}});
+  MemoryHierarchy mem(tiny_cfg());
+  TraceCpu cpu(src, mem, /*clock_ghz=*/1.0);
+  cpu.run(1);
+  // 1 + 100 cycles at 1 GHz = 101 ns.
+  EXPECT_NEAR(cpu.seconds(), 101e-9, 1e-12);
+}
+
+TEST(TraceCpu, ResetCountersKeepsCacheState) {
+  trace::VectorTraceSource src({
+      {trace::OpType::inst_fetch, 0x400000},
+      {trace::OpType::load, 0x1000},
+      {trace::OpType::inst_fetch, 0x400004},
+      {trace::OpType::load, 0x1000},
+  });
+  MemoryHierarchy mem(tiny_cfg());
+  TraceCpu cpu(src, mem);
+  cpu.run(1);  // first instruction + cold load
+  cpu.reset_counters();
+  EXPECT_EQ(cpu.instructions(), 0u);
+  cpu.run(1);  // second instruction: warm load, few cycles
+  EXPECT_LT(cpu.cycles(), 10u);
+}
+
+}  // namespace
+}  // namespace reap::sim

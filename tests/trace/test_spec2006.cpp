@@ -1,0 +1,114 @@
+#include "reap/trace/spec2006.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace reap::trace {
+namespace {
+
+TEST(Spec2006, BundlesAtLeastTwentyWorkloads) {
+  EXPECT_GE(spec2006_all().size(), 20u);
+}
+
+TEST(Spec2006, NamesUniqueAndNonEmpty) {
+  const auto names = spec2006_names();
+  std::set<std::string> uniq(names.begin(), names.end());
+  EXPECT_EQ(uniq.size(), names.size());
+  for (const auto& n : names) EXPECT_FALSE(n.empty());
+}
+
+TEST(Spec2006, LookupByNameRoundTrips) {
+  for (const auto& name : spec2006_names()) {
+    const auto p = spec2006_profile(name);
+    ASSERT_TRUE(p.has_value()) << name;
+    EXPECT_EQ(p->name, name);
+  }
+  EXPECT_FALSE(spec2006_profile("not-a-benchmark").has_value());
+}
+
+TEST(Spec2006, ProfilesAreWellFormed) {
+  for (const auto& p : spec2006_all()) {
+    EXPECT_FALSE(p.patterns.empty()) << p.name;
+    EXPECT_GT(p.loads_per_inst, 0.0) << p.name;
+    EXPECT_LT(p.loads_per_inst + p.stores_per_inst, 1.0) << p.name;
+    EXPECT_GT(p.code_bytes, 0u) << p.name;
+    EXPECT_GT(p.values.mean_density, 0.0) << p.name;
+    EXPECT_LT(p.values.mean_density, 1.0) << p.name;
+    for (const auto& s : p.patterns) {
+      EXPECT_GT(s.weight, 0.0) << p.name;
+      EXPECT_GE(s.region_bytes, 64u) << p.name;
+    }
+  }
+}
+
+TEST(Spec2006, SeedsDifferAcrossWorkloads) {
+  std::set<std::uint64_t> seeds;
+  for (const auto& p : spec2006_all()) seeds.insert(p.seed);
+  EXPECT_EQ(seeds.size(), spec2006_all().size());
+}
+
+TEST(Spec2006, Fig3WorkloadsExist) {
+  for (const auto& name : fig3_names()) {
+    EXPECT_TRUE(spec2006_profile(name).has_value()) << name;
+  }
+  EXPECT_EQ(fig3_names().size(), 4u);
+}
+
+TEST(Spec2006, KeyPaperWorkloadsPresent) {
+  // The workloads the paper's text singles out must all be available.
+  for (const char* name : {"mcf", "namd", "dealII", "h264ref", "cactusADM",
+                           "xalancbmk", "perlbench", "calculix"}) {
+    EXPECT_TRUE(spec2006_profile(name).has_value()) << name;
+  }
+}
+
+TEST(Spec2006, McfIsPointerChaseHeavy) {
+  const auto p = spec2006_profile("mcf");
+  ASSERT_TRUE(p.has_value());
+  double chase_weight = 0.0, total = 0.0;
+  for (const auto& s : p->patterns) {
+    total += s.weight;
+    if (s.kind == PatternSpec::Kind::chase) chase_weight += s.weight;
+  }
+  EXPECT_GT(chase_weight / total, 0.5);
+}
+
+TEST(Spec2006, HighGainWorkloadsHaveHammerComponents) {
+  for (const char* name : {"h264ref", "namd", "dealII", "calculix"}) {
+    const auto p = spec2006_profile(name);
+    ASSERT_TRUE(p.has_value());
+    bool has_hammer = false;
+    for (const auto& s : p->patterns)
+      has_hammer |= s.kind == PatternSpec::Kind::hammer;
+    EXPECT_TRUE(has_hammer) << name;
+  }
+}
+
+TEST(Spec2006, CactusAdmReadDominated) {
+  const auto p = spec2006_profile("cactusADM");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_GT(p->loads_per_inst / p->stores_per_inst, 4.0);
+}
+
+TEST(Spec2006, XalancbmkStoreHeavy) {
+  const auto p = spec2006_profile("xalancbmk");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_GT(p->stores_per_inst, 0.2);
+}
+
+TEST(Spec2006, ProfilesGenerateTraces) {
+  for (const auto& prof : spec2006_all()) {
+    WorkloadTraceSource src(prof);
+    MemOp op;
+    int fetches = 0;
+    for (int i = 0; i < 2000; ++i) {
+      ASSERT_TRUE(src.next(op)) << prof.name;
+      fetches += op.type == OpType::inst_fetch ? 1 : 0;
+    }
+    EXPECT_GT(fetches, 1000) << prof.name;
+  }
+}
+
+}  // namespace
+}  // namespace reap::trace

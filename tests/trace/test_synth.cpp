@@ -1,0 +1,196 @@
+#include "reap/trace/synth.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace reap::trace {
+namespace {
+
+TEST(SequentialStream, WalksAndWraps) {
+  common::Rng rng(1);
+  SequentialStream s(1000, 256, 64);
+  EXPECT_EQ(s.next(rng), 1000u);
+  EXPECT_EQ(s.next(rng), 1064u);
+  EXPECT_EQ(s.next(rng), 1128u);
+  EXPECT_EQ(s.next(rng), 1192u);
+  EXPECT_EQ(s.next(rng), 1000u);  // wrapped
+}
+
+TEST(SequentialStream, ResetRestarts) {
+  common::Rng rng(1);
+  SequentialStream s(0, 1024, 8);
+  s.next(rng);
+  s.next(rng);
+  s.reset();
+  EXPECT_EQ(s.next(rng), 0u);
+}
+
+TEST(UniformRandom, StaysInRegionAndAligned) {
+  common::Rng rng(2);
+  UniformRandom u(4096, 8192, 8);
+  for (int i = 0; i < 10000; ++i) {
+    const auto a = u.next(rng);
+    EXPECT_GE(a, 4096u);
+    EXPECT_LT(a, 4096u + 8192u);
+    EXPECT_EQ(a % 8, 0u);
+  }
+}
+
+TEST(UniformRandom, CoversRegion) {
+  common::Rng rng(3);
+  UniformRandom u(0, 64 * 8, 64);  // 8 blocks
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(u.next(rng) / 64);
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(ZipfHotSet, StaysInRegion) {
+  common::Rng rng(4);
+  ZipfHotSet z(1 << 20, 1 << 16, 1.0, true);
+  for (int i = 0; i < 10000; ++i) {
+    const auto a = z.next(rng);
+    EXPECT_GE(a, 1u << 20);
+    EXPECT_LT(a, (1u << 20) + (1u << 16));
+  }
+}
+
+TEST(ZipfHotSet, SkewConcentratesOnFewBlocks) {
+  common::Rng rng(5);
+  ZipfHotSet z(0, 64 * 4096, 1.1, false);
+  std::map<std::uint64_t, int> counts;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[z.next(rng) / 64];
+  // Top block should own a large share of accesses.
+  int max_count = 0;
+  for (const auto& [b, c] : counts) max_count = std::max(max_count, c);
+  EXPECT_GT(max_count, n / 20);
+}
+
+TEST(ZipfHotSet, ScramblePreservesDistribution) {
+  common::Rng r1(6), r2(6);
+  ZipfHotSet plain(0, 64 * 1024, 1.0, false);
+  ZipfHotSet scrambled(0, 64 * 1024, 1.0, true);
+  // Both must produce valid addresses; the scrambled one should differ from
+  // the plain one in where the hot block lives.
+  std::map<std::uint64_t, int> cp, cs;
+  for (int i = 0; i < 20000; ++i) {
+    ++cp[plain.next(r1) / 64];
+    ++cs[scrambled.next(r2) / 64];
+  }
+  auto hottest = [](const std::map<std::uint64_t, int>& m) {
+    std::uint64_t best = 0;
+    int bc = -1;
+    for (const auto& [b, c] : m)
+      if (c > bc) {
+        bc = c;
+        best = b;
+      }
+    return best;
+  };
+  EXPECT_EQ(hottest(cp), 0u);       // unscrambled rank 0 = block 0
+  EXPECT_NE(hottest(cs), 0u);       // scrambled hot block moved
+}
+
+TEST(PointerChase, DeterministicWalkInRegion) {
+  common::Rng rng(7);
+  PointerChase c1(0, 1 << 20), c2(0, 1 << 20);
+  for (int i = 0; i < 1000; ++i) {
+    const auto a = c1.next(rng), b = c2.next(rng);
+    EXPECT_EQ(a, b);  // state-driven, not rng-driven
+    EXPECT_LT(a, 1u << 20);
+    EXPECT_EQ(a % 64, 0u);
+  }
+}
+
+TEST(PointerChase, ResetReplays) {
+  common::Rng rng(8);
+  PointerChase c(4096, 1 << 16);
+  const auto first = c.next(rng);
+  c.next(rng);
+  c.reset();
+  EXPECT_EQ(c.next(rng), first);
+}
+
+TEST(PointerChase, LowReuseOverLargeRegion) {
+  common::Rng rng(9);
+  PointerChase c(0, 1 << 24);  // 16 MB, 262144 blocks
+  std::set<std::uint64_t> seen;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) seen.insert(c.next(rng));
+  // Nearly all accesses should be distinct (mcf-like).
+  EXPECT_GT(seen.size(), static_cast<std::size_t>(n) * 95 / 100);
+}
+
+TEST(LoopNest, RepeatsTileThenAdvances) {
+  common::Rng rng(10);
+  // Region 256B, tile 128B, 2 repeats, stride 64: expect tile0 x2, tile1 x2.
+  LoopNest l(0, 256, 128, 2, 64);
+  std::vector<std::uint64_t> addrs;
+  for (int i = 0; i < 8; ++i) addrs.push_back(l.next(rng));
+  EXPECT_EQ(addrs, (std::vector<std::uint64_t>{0, 64, 0, 64, 128, 192, 128,
+                                               192}));
+  // Wraps back to tile 0.
+  EXPECT_EQ(l.next(rng), 0u);
+}
+
+TEST(SetHammer, HotBlocksCycleOneSetPeriodApart) {
+  common::Rng rng(20);
+  SetHammer h(0x1000, 128 * 1024, 5, 0, 0.0);
+  std::vector<std::uint64_t> addrs;
+  for (int i = 0; i < 10; ++i) addrs.push_back(h.next(rng));
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(addrs[i], 0x1000u + i * 128u * 1024u);
+    EXPECT_EQ(addrs[i + 5], addrs[i]);  // cycles
+  }
+}
+
+TEST(SetHammer, AllAddressesShareTheCacheSet) {
+  // 2048-set, 64B-block geometry: set = (addr >> 6) & 2047. Every hammer
+  // address (hot and resident) must land in the same set.
+  common::Rng rng(21);
+  SetHammer h(0x40000000, 128 * 1024, 5, 3, 0.2);
+  const std::uint64_t set0 = (0x40000000u >> 6) & 2047u;
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_EQ((h.next(rng) >> 6) & 2047u, set0);
+  }
+}
+
+TEST(SetHammer, ResidentTouchRateMatchesProbability) {
+  common::Rng rng(22);
+  SetHammer h(0, 128 * 1024, 5, 2, 0.01);
+  int resident = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    if (h.next(rng) >= 5u * 128u * 1024u) ++resident;
+  }
+  EXPECT_NEAR(static_cast<double>(resident) / n, 0.01, 0.002);
+}
+
+TEST(SetHammer, ZeroResidentProbNeverTouchesResidents) {
+  common::Rng rng(23);
+  SetHammer h(0, 128 * 1024, 5, 2, 0.0);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(h.next(rng), 5u * 128u * 1024u);
+}
+
+TEST(SetHammer, ResetRestartsCycle) {
+  common::Rng rng(24);
+  SetHammer h(0x2000, 4096, 3, 1, 0.0);
+  const auto first = h.next(rng);
+  h.next(rng);
+  h.reset();
+  EXPECT_EQ(h.next(rng), first);
+}
+
+TEST(LoopNest, ResetRestoresStart) {
+  common::Rng rng(11);
+  LoopNest l(512, 4096, 1024, 3, 8);
+  l.next(rng);
+  l.next(rng);
+  l.reset();
+  EXPECT_EQ(l.next(rng), 512u);
+}
+
+}  // namespace
+}  // namespace reap::trace

@@ -1,0 +1,128 @@
+#include "reap/trace/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace reap::trace {
+namespace {
+
+std::vector<MemOp> sample_ops() {
+  return {
+      {OpType::inst_fetch, 0x400000},
+      {OpType::load, 0x10000040},
+      {OpType::store, 0x10000080},
+      {OpType::inst_fetch, 0x400004},
+      {OpType::load, 0xdeadbeef},
+  };
+}
+
+TEST(VectorTraceSource, YieldsInOrderAndEnds) {
+  VectorTraceSource src(sample_ops());
+  MemOp op;
+  ASSERT_TRUE(src.next(op));
+  EXPECT_EQ(op.type, OpType::inst_fetch);
+  EXPECT_EQ(op.addr, 0x400000u);
+  int count = 1;
+  while (src.next(op)) ++count;
+  EXPECT_EQ(count, 5);
+  EXPECT_FALSE(src.next(op));
+}
+
+TEST(VectorTraceSource, ResetRestarts) {
+  VectorTraceSource src(sample_ops());
+  MemOp op;
+  while (src.next(op)) {
+  }
+  src.reset();
+  ASSERT_TRUE(src.next(op));
+  EXPECT_EQ(op.addr, 0x400000u);
+}
+
+TEST(TextTrace, RoundTrip) {
+  const std::string path = ::testing::TempDir() + "/reap_trace.txt";
+  VectorTraceSource src(sample_ops());
+  ASSERT_TRUE(write_text_trace(path, src, 1000));
+
+  TextTraceReader rd(path);
+  ASSERT_TRUE(rd.ok());
+  MemOp op;
+  for (const MemOp& want : sample_ops()) {
+    ASSERT_TRUE(rd.next(op));
+    EXPECT_EQ(op.type, want.type);
+    EXPECT_EQ(op.addr, want.addr);
+  }
+  EXPECT_FALSE(rd.next(op));
+  std::remove(path.c_str());
+}
+
+TEST(TextTrace, ReaderResetRewinds) {
+  const std::string path = ::testing::TempDir() + "/reap_trace2.txt";
+  VectorTraceSource src(sample_ops());
+  ASSERT_TRUE(write_text_trace(path, src, 1000));
+  TextTraceReader rd(path);
+  MemOp op;
+  ASSERT_TRUE(rd.next(op));
+  rd.reset();
+  MemOp op2;
+  ASSERT_TRUE(rd.next(op2));
+  EXPECT_EQ(op.addr, op2.addr);
+  std::remove(path.c_str());
+}
+
+TEST(TextTrace, CommentsSkipped) {
+  const std::string path = ::testing::TempDir() + "/reap_trace3.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("# header comment\nI 400000\n# mid comment\nL 10\n", f);
+  std::fclose(f);
+  TextTraceReader rd(path);
+  MemOp op;
+  ASSERT_TRUE(rd.next(op));
+  EXPECT_EQ(op.type, OpType::inst_fetch);
+  ASSERT_TRUE(rd.next(op));
+  EXPECT_EQ(op.type, OpType::load);
+  EXPECT_EQ(op.addr, 0x10u);
+  EXPECT_FALSE(rd.next(op));
+  std::remove(path.c_str());
+}
+
+TEST(TextTrace, MissingFileReportsError) {
+  TextTraceReader rd("/nonexistent/path/trace.txt");
+  EXPECT_FALSE(rd.ok());
+  MemOp op;
+  EXPECT_FALSE(rd.next(op));
+  EXPECT_FALSE(rd.error().empty());
+}
+
+TEST(BinaryTrace, RoundTrip) {
+  const std::string path = ::testing::TempDir() + "/reap_trace.bin";
+  VectorTraceSource src(sample_ops());
+  ASSERT_TRUE(write_binary_trace(path, src, 1000));
+
+  BinaryTraceReader rd(path);
+  ASSERT_TRUE(rd.ok());
+  MemOp op;
+  for (const MemOp& want : sample_ops()) {
+    ASSERT_TRUE(rd.next(op));
+    EXPECT_EQ(op.type, want.type);
+    EXPECT_EQ(op.addr, want.addr);
+  }
+  EXPECT_FALSE(rd.next(op));
+  std::remove(path.c_str());
+}
+
+TEST(BinaryTrace, MaxOpsTruncates) {
+  const std::string path = ::testing::TempDir() + "/reap_trace2.bin";
+  VectorTraceSource src(sample_ops());
+  ASSERT_TRUE(write_binary_trace(path, src, 2));
+  BinaryTraceReader rd(path);
+  MemOp op;
+  EXPECT_TRUE(rd.next(op));
+  EXPECT_TRUE(rd.next(op));
+  EXPECT_FALSE(rd.next(op));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace reap::trace

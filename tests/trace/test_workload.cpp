@@ -1,0 +1,125 @@
+#include "reap/trace/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace reap::trace {
+namespace {
+
+WorkloadProfile tiny_profile() {
+  WorkloadProfile p;
+  p.name = "tiny";
+  p.loads_per_inst = 0.5;
+  p.stores_per_inst = 0.25;
+  p.code_bytes = 4096;
+  p.jump_prob = 0.1;
+  PatternSpec s;
+  s.kind = PatternSpec::Kind::uniform;
+  s.region_bytes = 64 * 1024;
+  s.weight = 1.0;
+  p.patterns = {s};
+  p.seed = 77;
+  return p;
+}
+
+TEST(Workload, FirstOpIsInstructionFetch) {
+  WorkloadTraceSource src(tiny_profile());
+  MemOp op;
+  ASSERT_TRUE(src.next(op));
+  EXPECT_EQ(op.type, OpType::inst_fetch);
+}
+
+TEST(Workload, DeterministicForSameProfile) {
+  WorkloadTraceSource a(tiny_profile()), b(tiny_profile());
+  MemOp oa, ob;
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_TRUE(a.next(oa));
+    ASSERT_TRUE(b.next(ob));
+    ASSERT_EQ(oa.type, ob.type);
+    ASSERT_EQ(oa.addr, ob.addr);
+  }
+}
+
+TEST(Workload, ResetReplaysExactly) {
+  WorkloadTraceSource src(tiny_profile());
+  std::vector<MemOp> first;
+  MemOp op;
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(src.next(op));
+    first.push_back(op);
+  }
+  src.reset();
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(src.next(op));
+    EXPECT_EQ(op.addr, first[i].addr);
+    EXPECT_EQ(op.type, first[i].type);
+  }
+}
+
+TEST(Workload, MixRatiosApproximatelyHonored) {
+  WorkloadTraceSource src(tiny_profile());
+  MemOp op;
+  std::map<OpType, int> counts;
+  for (int i = 0; i < 300000; ++i) {
+    ASSERT_TRUE(src.next(op));
+    ++counts[op.type];
+  }
+  const double inst = counts[OpType::inst_fetch];
+  EXPECT_NEAR(counts[OpType::load] / inst, 0.5, 0.02);
+  EXPECT_NEAR(counts[OpType::store] / inst, 0.25, 0.02);
+}
+
+TEST(Workload, FetchAddressesStayInCodeRegion) {
+  WorkloadTraceSource src(tiny_profile());
+  MemOp op;
+  for (int i = 0; i < 50000; ++i) {
+    ASSERT_TRUE(src.next(op));
+    if (op.type == OpType::inst_fetch) {
+      EXPECT_GE(op.addr, 0x400000u);
+      EXPECT_LT(op.addr, 0x400000u + 4096u);
+    }
+  }
+}
+
+TEST(Workload, DataAddressesOutsideCodeRegion) {
+  WorkloadTraceSource src(tiny_profile());
+  MemOp op;
+  for (int i = 0; i < 50000; ++i) {
+    ASSERT_TRUE(src.next(op));
+    if (op.type != OpType::inst_fetch) {
+      EXPECT_GE(op.addr, 0x10000000u);
+    }
+  }
+}
+
+TEST(Workload, MultiplePatternRegionsAreDisjoint) {
+  WorkloadProfile p = tiny_profile();
+  PatternSpec s2;
+  s2.kind = PatternSpec::Kind::stream;
+  s2.region_bytes = 1 << 20;
+  s2.weight = 1.0;
+  p.patterns.push_back(s2);
+  WorkloadTraceSource src(p);
+  // Pattern 0 occupies [heap, heap + 64K); pattern 1 starts at a 1MB-aligned
+  // base past a 2MB-rounded gap plus the per-pattern set stagger (97 sets).
+  constexpr std::uint64_t kR0 = 0x10000000u;
+  constexpr std::uint64_t kR1 = 0x10200000u + 97 * 64;
+  MemOp op;
+  for (int i = 0; i < 50000; ++i) {
+    ASSERT_TRUE(src.next(op));
+    if (op.type == OpType::inst_fetch) continue;
+    const bool in_r0 = op.addr >= kR0 && op.addr < kR0 + 0x10000u;
+    const bool in_r1 = op.addr >= kR1 && op.addr < kR1 + 0x100000u;
+    EXPECT_TRUE(in_r0 || in_r1) << std::hex << op.addr;
+  }
+}
+
+TEST(Workload, NeverEnds) {
+  WorkloadTraceSource src(tiny_profile());
+  MemOp op;
+  for (int i = 0; i < 1000; ++i) ASSERT_TRUE(src.next(op));
+}
+
+}  // namespace
+}  // namespace reap::trace
