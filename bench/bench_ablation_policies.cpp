@@ -1,16 +1,20 @@
 // Policy-space ablation: the full reliability / energy / performance
-// triangle across all four read-path policies (Sec. IV discusses the two
+// triangle across all read-path policies (Sec. IV discusses the two
 // alternatives to REAP; Sec. II the restore-based related work).
 //
 // Expected shape: serial matches REAP's reliability but pays latency;
 // restore matches it but pays enormous write energy (plus write-failure
 // risk); REAP pays only the small decode-energy premium.
 //
-// Flags: --instructions=N --warmup=N --workloads=a,b,c
+// Driven by the campaign engine: one {workload x policy} grid, sharded
+// across cores, aggregated against the conventional baseline.
+//
+// Flags: --instructions=N --warmup=N --workloads=a,b,c --threads=N
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "reap/campaign/campaign.hpp"
 #include "reap/common/cli.hpp"
 #include "reap/common/table.hpp"
 #include "reap/core/experiment.hpp"
@@ -35,47 +39,66 @@ std::vector<std::string> split_csv(const std::string& s) {
 
 int main(int argc, char** argv) {
   common::CliArgs args(argc, argv);
-  const std::uint64_t instructions = args.get_u64("instructions", 1'500'000);
-  const std::uint64_t warmup = args.get_u64("warmup", 150'000);
-  std::vector<std::string> workloads = {"perlbench", "mcf", "h264ref"};
+
+  campaign::CampaignSpec spec;
+  spec.name = "ablation-policies";
+  spec.workloads = {"perlbench", "mcf", "h264ref"};
   if (args.has("workloads"))
-    workloads = split_csv(args.get_string("workloads", ""));
+    spec.workloads = split_csv(args.get_string("workloads", ""));
+  spec.policies = core::all_policies();
+  spec.base.instructions = args.get_u64("instructions", 1'500'000);
+  spec.base.warmup_instructions = args.get_u64("warmup", 150'000);
 
   std::puts("=== Ablation: read-path policy space ===");
-  for (const auto& name : workloads) {
-    const auto profile = trace::spec2006_profile(name);
-    if (!profile) {
-      std::fprintf(stderr, "unknown workload: %s\n", name.c_str());
-      return 1;
-    }
-    std::printf("\n--- %s ---\n", name.c_str());
+
+  std::vector<campaign::CampaignPoint> points;
+  try {
+    points = campaign::expand(spec);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+
+  campaign::RunnerOptions opts;
+  opts.threads = static_cast<unsigned>(args.get_u64("threads", 0));
+  campaign::ProgressReporter progress;
+  opts.on_progress = [&progress](std::size_t d, std::size_t t) {
+    progress(d, t);
+  };
+  const auto results = campaign::CampaignRunner(opts).run(points);
+
+  // Per-workload tables, every policy normalized to conventional.
+  for (std::size_t wi = 0; wi < spec.workloads.size(); ++wi) {
+    std::printf("\n--- %s ---\n", spec.workloads[wi].c_str());
     TextTable t({"policy", "MTTF vs conv (x)", "energy vs conv (%)",
                  "IPC vs conv (%)", "L2 hit cycles", "max concealed"});
+    // The baseline (conventional) row first, by definition 1x/100%.
+    const core::ExperimentResult* base = nullptr;
+    for (const auto& pt : points)
+      if (pt.workload_i == wi &&
+          pt.config.policy == core::PolicyKind::conventional_parallel)
+        base = &results[pt.index];
+    if (!base) continue;
 
-    core::ExperimentConfig cfg;
-    cfg.workload = *profile;
-    cfg.instructions = instructions;
-    cfg.warmup_instructions = warmup;
-    cfg.policy = core::PolicyKind::conventional_parallel;
-    const auto base = core::run_experiment(cfg);
-
-    for (const auto kind : core::all_policies()) {
-      cfg.policy = kind;
-      const auto r =
-          kind == core::PolicyKind::conventional_parallel
-              ? base
-              : core::run_experiment(cfg);
-      const double mttf_x = reliability::mttf_ratio(r.mttf, base.mttf);
+    for (const auto& pt : points) {
+      if (pt.workload_i != wi) continue;
+      const auto& r = results[pt.index];
+      const double mttf_x = reliability::mttf_ratio(r.mttf, base->mttf);
       const double energy_pct = 100.0 * r.energy.dynamic_total_j() /
-                                base.energy.dynamic_total_j();
-      const double ipc_pct = 100.0 * r.ipc / base.ipc;
-      t.add_row({core::to_string(kind), TextTable::fixed(mttf_x, 1),
-                 TextTable::fixed(energy_pct, 1),
+                                base->energy.dynamic_total_j();
+      const double ipc_pct = 100.0 * r.ipc / base->ipc;
+      t.add_row({core::to_string(pt.config.policy),
+                 TextTable::fixed(mttf_x, 1), TextTable::fixed(energy_pct, 1),
                  TextTable::fixed(ipc_pct, 1),
                  std::to_string(r.l2_hit_cycles),
                  std::to_string(r.max_concealed)});
     }
     std::fputs(t.render().c_str(), stdout);
   }
+
+  // Cross-workload summary from the aggregate layer.
+  const auto agg = campaign::aggregate(
+      spec, points, results, core::PolicyKind::conventional_parallel);
+  if (agg) std::printf("\n%s", agg->render().c_str());
   return 0;
 }

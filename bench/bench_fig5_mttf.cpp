@@ -4,11 +4,16 @@
 // Paper numbers to compare shapes against: average 171x, worst case 7.9x
 // (mcf), above 1000x for namd / dealII / h264ref.
 //
-// Flags: --instructions=N --warmup=N --csv=path
+// Driven by the campaign engine: the {workload x policy} grid is expanded
+// into one deterministic spec and sharded across cores; output is identical
+// to a serial run.
+//
+// Flags: --instructions=N --warmup=N --csv=path --threads=N
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "reap/campaign/campaign.hpp"
 #include "reap/common/cli.hpp"
 #include "reap/common/csv.hpp"
 #include "reap/common/stats.hpp"
@@ -21,36 +26,50 @@ using common::TextTable;
 
 int main(int argc, char** argv) {
   common::CliArgs args(argc, argv);
-  const std::uint64_t instructions = args.get_u64("instructions", 3'000'000);
-  const std::uint64_t warmup = args.get_u64("warmup", 200'000);
+
+  campaign::CampaignSpec spec;
+  spec.name = "fig5-mttf";
+  spec.workloads = trace::spec2006_names();
+  spec.policies = {core::PolicyKind::conventional_parallel,
+                   core::PolicyKind::reap};
+  spec.base.instructions = args.get_u64("instructions", 3'000'000);
+  spec.base.warmup_instructions = args.get_u64("warmup", 200'000);
   const std::string csv_path = args.get_string("csv", "");
 
   std::puts("=== Fig. 5: MTTF of REAP-cache normalized to conventional ===");
   std::printf("%llu instructions per run (+%llu warmup), P_RD ~ 1e-8\n\n",
-              static_cast<unsigned long long>(instructions),
-              static_cast<unsigned long long>(warmup));
+              static_cast<unsigned long long>(spec.base.instructions),
+              static_cast<unsigned long long>(spec.base.warmup_instructions));
+
+  const auto points = campaign::expand(spec);
+  campaign::RunnerOptions opts;
+  opts.threads = static_cast<unsigned>(args.get_u64("threads", 0));
+  campaign::ProgressReporter progress;
+  opts.on_progress = [&progress](std::size_t d, std::size_t t) {
+    progress(d, t);
+  };
+  const auto results = campaign::CampaignRunner(opts).run(points);
+
+  const auto agg = campaign::aggregate(
+      spec, points, results, core::PolicyKind::conventional_parallel);
 
   TextTable t({"workload", "MTTF gain (x)", "max concealed", "L2 hit rate",
                "conv fail-sum", "reap fail-sum"});
   std::vector<double> gains;
   std::vector<std::pair<std::string, double>> by_name;
 
-  for (const auto& profile : trace::spec2006_all()) {
-    core::ExperimentConfig cfg;
-    cfg.workload = profile;
-    cfg.instructions = instructions;
-    cfg.warmup_instructions = warmup;
-    const auto c = core::compare_policies(
-        cfg, core::PolicyKind::conventional_parallel, core::PolicyKind::reap);
-
+  // One comparison per workload (single ecc/ratio/seed point on each).
+  for (const auto& c : agg->comparisons) {
+    const auto& base = results[c.baseline_index];
+    const auto& reap_r = results[c.index];
     gains.push_back(c.mttf_gain);
-    by_name.emplace_back(profile.name, c.mttf_gain);
-    t.add_row({profile.name, TextTable::fixed(c.mttf_gain, 1),
-               std::to_string(c.base.max_concealed),
-               TextTable::fixed(100.0 * c.base.hier.l2.read_hit_rate(), 1) +
+    by_name.emplace_back(base.workload, c.mttf_gain);
+    t.add_row({base.workload, TextTable::fixed(c.mttf_gain, 1),
+               std::to_string(base.max_concealed),
+               TextTable::fixed(100.0 * base.hier.l2.read_hit_rate(), 1) +
                    " %",
-               TextTable::sci(c.base.mttf.failure_prob_sum),
-               TextTable::sci(c.other.mttf.failure_prob_sum)});
+               TextTable::sci(base.mttf.failure_prob_sum),
+               TextTable::sci(reap_r.mttf.failure_prob_sum)});
   }
   std::fputs(t.render().c_str(), stdout);
 

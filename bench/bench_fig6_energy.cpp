@@ -5,11 +5,14 @@
 // (cactusADM), best 1.0% (xalancbmk); the overhead tracks the share of read
 // accesses (k-1 extra ECC decodes per read) in total dynamic energy.
 //
-// Flags: --instructions=N --warmup=N --csv=path
+// Driven by the campaign engine (multi-threaded, deterministic).
+//
+// Flags: --instructions=N --warmup=N --csv=path --threads=N
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "reap/campaign/campaign.hpp"
 #include "reap/common/cli.hpp"
 #include "reap/common/csv.hpp"
 #include "reap/common/stats.hpp"
@@ -22,41 +25,54 @@ using common::TextTable;
 
 int main(int argc, char** argv) {
   common::CliArgs args(argc, argv);
-  const std::uint64_t instructions = args.get_u64("instructions", 2'000'000);
-  const std::uint64_t warmup = args.get_u64("warmup", 200'000);
+
+  campaign::CampaignSpec spec;
+  spec.name = "fig6-energy";
+  spec.workloads = trace::spec2006_names();
+  spec.policies = {core::PolicyKind::conventional_parallel,
+                   core::PolicyKind::reap};
+  spec.base.instructions = args.get_u64("instructions", 2'000'000);
+  spec.base.warmup_instructions = args.get_u64("warmup", 200'000);
   const std::string csv_path = args.get_string("csv", "");
 
   std::puts(
       "=== Fig. 6: dynamic L2 energy, REAP normalized to conventional ===");
   std::printf("%llu instructions per run (+%llu warmup)\n\n",
-              static_cast<unsigned long long>(instructions),
-              static_cast<unsigned long long>(warmup));
+              static_cast<unsigned long long>(spec.base.instructions),
+              static_cast<unsigned long long>(spec.base.warmup_instructions));
+
+  const auto points = campaign::expand(spec);
+  campaign::RunnerOptions opts;
+  opts.threads = static_cast<unsigned>(args.get_u64("threads", 0));
+  campaign::ProgressReporter progress;
+  opts.on_progress = [&progress](std::size_t d, std::size_t t) {
+    progress(d, t);
+  };
+  const auto results = campaign::CampaignRunner(opts).run(points);
+
+  const auto agg = campaign::aggregate(
+      spec, points, results, core::PolicyKind::conventional_parallel);
 
   TextTable t({"workload", "REAP energy (%)", "overhead (%)",
                "L2 read share", "decode energy share"});
   std::vector<double> overheads;
   std::vector<std::pair<std::string, double>> by_name;
 
-  for (const auto& profile : trace::spec2006_all()) {
-    core::ExperimentConfig cfg;
-    cfg.workload = profile;
-    cfg.instructions = instructions;
-    cfg.warmup_instructions = warmup;
-    const auto c = core::compare_policies(
-        cfg, core::PolicyKind::conventional_parallel, core::PolicyKind::reap);
-
-    const auto& s = c.base.hier.l2;
+  for (const auto& c : agg->comparisons) {
+    const auto& base = results[c.baseline_index];
+    const auto& reap_r = results[c.index];
+    const auto& s = base.hier.l2;
     const double read_share =
         s.read_lookups + s.write_lookups == 0
             ? 0.0
             : static_cast<double>(s.read_lookups) /
                   static_cast<double>(s.read_lookups + s.write_lookups);
     const double decode_share =
-        c.other.energy.ecc_decode_j / c.other.energy.dynamic_total_j();
+        reap_r.energy.ecc_decode_j / reap_r.energy.dynamic_total_j();
 
     overheads.push_back(c.energy_overhead_pct);
-    by_name.emplace_back(profile.name, c.energy_overhead_pct);
-    t.add_row({profile.name, TextTable::fixed(c.energy_ratio * 100.0, 1),
+    by_name.emplace_back(base.workload, c.energy_overhead_pct);
+    t.add_row({base.workload, TextTable::fixed(c.energy_ratio * 100.0, 1),
                TextTable::fixed(c.energy_overhead_pct, 2),
                TextTable::fixed(read_share * 100.0, 1) + " %",
                TextTable::fixed(decode_share * 100.0, 2) + " %"});

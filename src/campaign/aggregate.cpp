@@ -1,0 +1,155 @@
+#include "reap/campaign/aggregate.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "reap/common/table.hpp"
+#include "reap/reliability/mttf.hpp"
+
+namespace reap::campaign {
+namespace {
+
+PointComparison compare(std::size_t index, std::size_t baseline_index,
+                        const core::ExperimentResult& r,
+                        const core::ExperimentResult& base) {
+  PointComparison c;
+  c.index = index;
+  c.baseline_index = baseline_index;
+  c.mttf_gain = reliability::mttf_ratio(r.mttf, base.mttf);
+  const double eb = base.energy.dynamic_total_j();
+  const double eo = r.energy.dynamic_total_j();
+  c.energy_ratio = eb > 0.0 ? eo / eb : 1.0;
+  c.energy_overhead_pct = (c.energy_ratio - 1.0) * 100.0;
+  c.speedup = base.ipc > 0.0 ? r.ipc / base.ipc : 1.0;
+  return c;
+}
+
+}  // namespace
+
+std::optional<CampaignAggregates> aggregate(
+    const CampaignSpec& spec, const std::vector<CampaignPoint>& points,
+    const std::vector<core::ExperimentResult>& results,
+    core::PolicyKind baseline) {
+  std::size_t baseline_pi = spec.policies.size();
+  for (std::size_t i = 0; i < spec.policies.size(); ++i)
+    if (spec.policies[i] == baseline) baseline_pi = i;
+  if (baseline_pi == spec.policies.size()) return std::nullopt;
+
+  CampaignAggregates agg;
+  agg.baseline = baseline;
+
+  // The expansion is row-major (workload, policy, ecc, ratio, seed), so the
+  // baseline partner of a point differs only in the policy digit.
+  const std::size_t n_ratios =
+      spec.read_ratios.empty() ? 1 : spec.read_ratios.size();
+  const std::size_t inner = spec.ecc_ts.size() * n_ratios * spec.seeds.size();
+  const auto index_of = [&](const CampaignPoint& pt, std::size_t policy_i) {
+    return ((pt.workload_i * spec.policies.size() + policy_i) *
+                spec.ecc_ts.size() +
+            pt.ecc_i) *
+               n_ratios * spec.seeds.size() +
+           pt.ratio_i * spec.seeds.size() + pt.seed_i;
+  };
+  (void)inner;
+
+  for (const auto& pt : points) {
+    if (pt.policy_i == baseline_pi) continue;
+    const std::size_t bi = index_of(pt, baseline_pi);
+    agg.comparisons.push_back(
+        compare(pt.index, bi, results[pt.index], results[bi]));
+  }
+
+  // Per-policy summaries, in spec policy order.
+  for (std::size_t pi = 0; pi < spec.policies.size(); ++pi) {
+    if (pi == baseline_pi) continue;
+    PolicySummary s;
+    s.policy = spec.policies[pi];
+    double sum_gain = 0.0, sum_log_gain = 0.0, sum_ovh = 0.0, sum_spd = 0.0;
+    bool geo_ok = true;
+    for (const auto& c : agg.comparisons) {
+      if (points[c.index].policy_i != pi) continue;
+      if (s.n == 0) {
+        s.min_mttf_gain = s.max_mttf_gain = c.mttf_gain;
+        s.max_energy_overhead_pct = c.energy_overhead_pct;
+      }
+      ++s.n;
+      sum_gain += c.mttf_gain;
+      if (c.mttf_gain > 0.0 && std::isfinite(c.mttf_gain))
+        sum_log_gain += std::log(c.mttf_gain);
+      else
+        geo_ok = false;
+      sum_ovh += c.energy_overhead_pct;
+      sum_spd += c.speedup;
+      s.min_mttf_gain = std::min(s.min_mttf_gain, c.mttf_gain);
+      s.max_mttf_gain = std::max(s.max_mttf_gain, c.mttf_gain);
+      s.max_energy_overhead_pct =
+          std::max(s.max_energy_overhead_pct, c.energy_overhead_pct);
+    }
+    if (s.n > 0) {
+      const double n = static_cast<double>(s.n);
+      s.mean_mttf_gain = sum_gain / n;
+      s.geomean_mttf_gain = geo_ok ? std::exp(sum_log_gain / n) : 0.0;
+      s.mean_energy_overhead_pct = sum_ovh / n;
+      s.mean_speedup = sum_spd / n;
+    }
+    agg.by_policy.push_back(s);
+  }
+
+  // Per-workload x policy summaries (the Fig. 5 / Fig. 6 bars).
+  for (std::size_t wi = 0; wi < spec.workloads.size(); ++wi) {
+    for (std::size_t pi = 0; pi < spec.policies.size(); ++pi) {
+      if (pi == baseline_pi) continue;
+      WorkloadSummary ws;
+      ws.workload = spec.workloads[wi];
+      ws.policy = spec.policies[pi];
+      double sum_gain = 0.0, sum_ovh = 0.0;
+      std::size_t n = 0;
+      for (const auto& c : agg.comparisons) {
+        const auto& pt = points[c.index];
+        if (pt.workload_i != wi || pt.policy_i != pi) continue;
+        ++n;
+        sum_gain += c.mttf_gain;
+        sum_ovh += c.energy_overhead_pct;
+      }
+      if (n > 0) {
+        ws.mean_mttf_gain = sum_gain / static_cast<double>(n);
+        ws.mean_energy_overhead_pct = sum_ovh / static_cast<double>(n);
+        agg.by_workload.push_back(ws);
+      }
+    }
+  }
+  return agg;
+}
+
+std::string CampaignAggregates::render() const {
+  using common::TextTable;
+  std::ostringstream out;
+
+  out << "per-policy summary (vs " << core::to_string(baseline) << "):\n";
+  TextTable pol({"policy", "n", "MTTF gain (mean)", "MTTF gain (geo)",
+                 "MTTF gain [min,max]", "energy ovh % (mean)",
+                 "energy ovh % (max)", "speedup (mean)"});
+  for (const auto& s : by_policy) {
+    pol.add_row({core::to_string(s.policy), std::to_string(s.n),
+                 TextTable::fixed(s.mean_mttf_gain, 2),
+                 TextTable::fixed(s.geomean_mttf_gain, 2),
+                 "[" + TextTable::fixed(s.min_mttf_gain, 2) + ", " +
+                     TextTable::fixed(s.max_mttf_gain, 2) + "]",
+                 TextTable::fixed(s.mean_energy_overhead_pct, 2),
+                 TextTable::fixed(s.max_energy_overhead_pct, 2),
+                 TextTable::fixed(s.mean_speedup, 3)});
+  }
+  out << pol.render();
+
+  out << "\nper-workload summary:\n";
+  TextTable wl({"workload", "policy", "MTTF gain", "energy ovh %"});
+  for (const auto& w : by_workload) {
+    wl.add_row({w.workload, core::to_string(w.policy),
+                TextTable::fixed(w.mean_mttf_gain, 2),
+                TextTable::fixed(w.mean_energy_overhead_pct, 2)});
+  }
+  out << wl.render();
+  return out.str();
+}
+
+}  // namespace reap::campaign

@@ -1,0 +1,69 @@
+// Cross-experiment aggregates: the paper's headline numbers computed over
+// a whole campaign.
+//
+// Every non-baseline point is matched with the baseline-policy point that
+// shares its (workload, ecc_t, operating point, seed) coordinates, giving
+// per-point MTTF gain / energy overhead / IPC delta (Figs. 5 and 6); these
+// are then summarized per policy and per workload. Aggregation always
+// iterates in grid-index order over an index-ordered results vector, so the
+// numbers -- and their rendered text -- are bit-identical for any runner
+// thread count.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "reap/campaign/spec.hpp"
+#include "reap/core/experiment.hpp"
+
+namespace reap::campaign {
+
+// One matched (policy point, baseline point) comparison.
+struct PointComparison {
+  std::size_t index = 0;           // the non-baseline point
+  std::size_t baseline_index = 0;  // its baseline partner
+  double mttf_gain = 0.0;          // MTTF_point / MTTF_baseline (Fig. 5)
+  double energy_ratio = 0.0;       // E_point / E_baseline       (Fig. 6)
+  double energy_overhead_pct = 0.0;
+  double speedup = 0.0;  // IPC_point / IPC_baseline
+};
+
+struct PolicySummary {
+  core::PolicyKind policy;
+  std::size_t n = 0;
+  double mean_mttf_gain = 0.0;
+  double geomean_mttf_gain = 0.0;
+  double min_mttf_gain = 0.0;
+  double max_mttf_gain = 0.0;
+  double mean_energy_overhead_pct = 0.0;
+  double max_energy_overhead_pct = 0.0;
+  double mean_speedup = 0.0;
+};
+
+struct WorkloadSummary {
+  std::string workload;
+  core::PolicyKind policy;
+  double mean_mttf_gain = 0.0;
+  double mean_energy_overhead_pct = 0.0;
+};
+
+struct CampaignAggregates {
+  core::PolicyKind baseline;
+  std::vector<PointComparison> comparisons;
+  std::vector<PolicySummary> by_policy;      // spec policy order, no baseline
+  std::vector<WorkloadSummary> by_workload;  // workload-major, policy-minor
+
+  // ASCII report (TextTable-based) of both summaries.
+  std::string render() const;
+};
+
+// Computes aggregates for `spec`'s expansion `points` with `results`
+// indexed by CampaignPoint::index. Returns nullopt when `baseline` is not
+// one of the spec's policies (nothing to normalize against).
+std::optional<CampaignAggregates> aggregate(
+    const CampaignSpec& spec, const std::vector<CampaignPoint>& points,
+    const std::vector<core::ExperimentResult>& results,
+    core::PolicyKind baseline);
+
+}  // namespace reap::campaign

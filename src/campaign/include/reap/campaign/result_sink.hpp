@@ -1,0 +1,80 @@
+// ResultSink: streams per-experiment rows to durable formats.
+//
+// Rows are emitted in grid-index order regardless of completion order (the
+// runner returns an index-ordered vector), and every row ends with the full
+// config_kv string, so each line of output is independently reproducible:
+// paste the kv string back into `reap_campaign --config="..."` (or
+// core::config_from_kv) to re-run exactly that point.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "reap/campaign/spec.hpp"
+#include "reap/core/experiment.hpp"
+
+namespace reap::campaign {
+
+// Column names of the flattened per-experiment row.
+std::vector<std::string> result_header();
+
+// One row; cells align 1:1 with result_header(). Numeric formatting is
+// deterministic (shortest round-trip form), which the byte-identical
+// determinism guarantee depends on.
+std::vector<std::string> result_cells(const CampaignPoint& point,
+                                      const core::ExperimentResult& r);
+
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+  virtual void add(const CampaignPoint& point,
+                   const core::ExperimentResult& r) = 0;
+};
+
+// CSV file with result_header() columns.
+class CsvResultSink final : public ResultSink {
+ public:
+  explicit CsvResultSink(const std::string& path);
+  ~CsvResultSink() override;
+  bool ok() const;
+  void add(const CampaignPoint& point,
+           const core::ExperimentResult& r) override;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+// One JSON object per line (JSONL); keys are result_header() names.
+class JsonlResultSink final : public ResultSink {
+ public:
+  explicit JsonlResultSink(const std::string& path);
+  ~JsonlResultSink() override;
+  bool ok() const;
+  void add(const CampaignPoint& point,
+           const core::ExperimentResult& r) override;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+// Fans one add() out to several sinks.
+class MultiSink final : public ResultSink {
+ public:
+  void attach(ResultSink* sink);  // non-owning; ignores nullptr
+  void add(const CampaignPoint& point,
+           const core::ExperimentResult& r) override;
+
+ private:
+  std::vector<ResultSink*> sinks_;
+};
+
+// Convenience: streams every (point, result) pair into `sink` in index
+// order.
+void emit_all(const std::vector<CampaignPoint>& points,
+              const std::vector<core::ExperimentResult>& results,
+              ResultSink& sink);
+
+}  // namespace reap::campaign

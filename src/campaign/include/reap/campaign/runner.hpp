@@ -1,0 +1,48 @@
+// CampaignRunner: shards expanded grid points across worker threads.
+//
+// Work distribution is a bounded-range work-stealing scheme: the point list
+// is pre-split into one contiguous shard per worker; a worker pops from the
+// front of its own shard and, when empty, steals the back half of the
+// largest remaining shard. Experiments are pure functions of their config
+// and every result is written to results[point.index], so the output -- and
+// any aggregate computed from it in index order -- is bit-identical for any
+// thread count, including 1 (the determinism contract tested in
+// tests/campaign/test_runner_determinism.cpp).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "reap/campaign/spec.hpp"
+#include "reap/core/experiment.hpp"
+
+namespace reap::campaign {
+
+struct RunnerOptions {
+  // 0 = std::thread::hardware_concurrency().
+  unsigned threads = 0;
+
+  // Called after each finished experiment with (done, total). Invoked from
+  // worker threads under a mutex; keep it cheap.
+  std::function<void(std::size_t done, std::size_t total)> on_progress;
+
+  // Test seam; defaults to core::run_experiment.
+  std::function<core::ExperimentResult(const core::ExperimentConfig&)> run_fn;
+};
+
+class CampaignRunner {
+ public:
+  explicit CampaignRunner(RunnerOptions opts = {});
+
+  // Runs every point; returns results indexed by CampaignPoint::index.
+  std::vector<core::ExperimentResult> run(
+      const std::vector<CampaignPoint>& points) const;
+
+  unsigned effective_threads(std::size_t n_points) const;
+
+ private:
+  RunnerOptions opts_;
+};
+
+}  // namespace reap::campaign

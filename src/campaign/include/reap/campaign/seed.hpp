@@ -1,0 +1,42 @@
+// Per-experiment seed derivation for campaign grids.
+//
+// A campaign must hand every grid point an independent, reproducible RNG
+// seed that depends only on (campaign_seed, grid_index, replica) -- never on
+// thread count or completion order -- so a K-thread run is bit-identical to
+// a serial run. We use splitmix64 (Steele, Lea & Flood; the seeding
+// generator of java.util.SplittableRandom): the campaign seed selects a
+// stream, the grid index jumps along it by the 64-bit golden ratio, and the
+// finalizer decorrelates neighbouring indices.
+#pragma once
+
+#include <cstdint>
+
+namespace reap::campaign {
+
+inline constexpr std::uint64_t kGolden = 0x9E3779B97F4A7C15ULL;
+
+// splitmix64 finalizer: bijective 64-bit mix.
+constexpr std::uint64_t splitmix64(std::uint64_t z) {
+  z += kGolden;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+// Seed for grid point `grid_index` whose seed-axis value is `replica_seed`.
+// O(1), order-independent, and stable across releases (tested against
+// golden values in tests/campaign/test_seed_derivation.cpp).
+constexpr std::uint64_t derive_seed(std::uint64_t campaign_seed,
+                                    std::uint64_t grid_index,
+                                    std::uint64_t replica_seed) {
+  const std::uint64_t stream = splitmix64(campaign_seed + grid_index * kGolden);
+  return splitmix64(stream ^ replica_seed);
+}
+
+// Decorrelated companion seed (e.g. the workload trace seed) for the same
+// grid point.
+constexpr std::uint64_t derive_companion_seed(std::uint64_t derived) {
+  return splitmix64(derived ^ 0xA5A5A5A55A5A5A5AULL);
+}
+
+}  // namespace reap::campaign

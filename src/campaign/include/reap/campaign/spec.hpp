@@ -1,0 +1,80 @@
+// CampaignSpec: a declarative parameter grid over ExperimentConfig.
+//
+// A campaign is the cross-product
+//
+//   workloads x policies x ecc_t x mtj operating points x seed replicas
+//
+// expanded -- in that fixed row-major order, seeds fastest -- into a
+// deterministic list of CampaignPoints. Each point's RNG seeds are derived
+// via seed.hpp from the campaign seed and the point's *environment*
+// coordinates (workload, operating point, seed replica); the design axes
+// under test (policy, ecc_t) are deliberately excluded so that the points
+// of one paired comparison replay identical traces. The expansion is a
+// pure function of the spec: any two processes that expand the same spec
+// agree on every config, which is what makes sharding across threads (or
+// machines) safe.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "reap/core/experiment.hpp"
+
+namespace reap::campaign {
+
+struct CampaignSpec {
+  std::string name = "campaign";
+
+  // Template for every point; the grid axes below overwrite their fields.
+  core::ExperimentConfig base;
+
+  // Grid axes. `workloads` and `policies` must be non-empty to expand.
+  std::vector<std::string> workloads;        // spec2006 profile names
+  std::vector<core::PolicyKind> policies;
+  std::vector<unsigned> ecc_ts = {1};
+  // MTJ operating points as I_read/I_C0 ratios; empty = keep base.mtj.
+  std::vector<double> read_ratios;
+  // Seed-axis values (replica ids); each is folded into the derived seed.
+  std::vector<std::uint64_t> seeds = {0};
+
+  std::uint64_t campaign_seed = 0x5EEDCA3DULL;
+
+  std::size_t size() const;
+
+  // Parses a key=value map (from CLI flags or a spec file). Recognized
+  // keys: name, workloads, policies, ecc, read_ratios, seeds,
+  // campaign_seed, instructions, warmup, clock_ghz, scrub_every,
+  // dirty_check, l2_kb, l2_ways, block_bytes. List values are
+  // comma-separated; `policies=all` selects every policy. Returns nullopt
+  // and sets `error` on unknown keys/values.
+  static std::optional<CampaignSpec> from_kv(
+      const std::map<std::string, std::string>& kv,
+      std::string* error = nullptr);
+};
+
+// One expanded grid point. Axis indices are retained so downstream
+// aggregation can regroup points without re-deriving the mixed-radix
+// decomposition.
+struct CampaignPoint {
+  std::size_t index = 0;  // position in expansion order
+  std::size_t workload_i = 0;
+  std::size_t policy_i = 0;
+  std::size_t ecc_i = 0;
+  std::size_t ratio_i = 0;  // 0 when the ratio axis is empty
+  std::size_t seed_i = 0;
+  core::ExperimentConfig config;
+};
+
+// Expands the grid. Throws std::invalid_argument on an invalid spec
+// (empty mandatory axis, unknown workload name).
+std::vector<CampaignPoint> expand(const CampaignSpec& spec);
+
+// Parses a spec file: one `key = value` per line, '#' comments, blank
+// lines ignored. Returns the raw map; feed it to CampaignSpec::from_kv.
+std::optional<std::map<std::string, std::string>> parse_spec_file(
+    const std::string& path, std::string* error = nullptr);
+
+}  // namespace reap::campaign

@@ -1,0 +1,197 @@
+// reap_campaign: expand a campaign spec, run it across threads, emit rows
+// and aggregates. See docs/campaign.md.
+//
+// Usage:
+//   reap_campaign --spec=grid.spec [overrides]
+//   reap_campaign --workloads=mcf,h264ref --policies=conventional,reap
+//                 --ecc=1,2 --seeds=0,1 --threads=8 --csv=out.csv
+//   reap_campaign --config="workload=mcf policy=reap ..."   # one row re-run
+//   reap_campaign --list-workloads | --list-policies
+#include <cstdio>
+#include <string>
+
+#include "reap/campaign/campaign.hpp"
+#include "reap/common/cli.hpp"
+#include "reap/core/config_kv.hpp"
+#include "reap/trace/spec2006.hpp"
+
+using namespace reap;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::printf(
+      "usage: %s [--spec=FILE] [--key=value ...]\n"
+      "\n"
+      "spec keys (file or flags; flags override the file):\n"
+      "  workloads=a,b|all     policies=conventional,reap,...|all\n"
+      "  ecc=1,2               read_ratios=0.55,0.693,0.8\n"
+      "  seeds=0,1,2           campaign_seed=N\n"
+      "  instructions=N        warmup=N        clock_ghz=G\n"
+      "  scrub_every=N         dirty_check=0|1\n"
+      "  l2_kb=N  l2_ways=N    block_bytes=N   name=STR\n"
+      "\n"
+      "runner/output flags:\n"
+      "  --threads=N           worker threads (0 = all cores)\n"
+      "  --baseline=POLICY     aggregate vs this policy (default\n"
+      "                        conventional; 'none' to skip aggregates)\n"
+      "  --csv=PATH            per-experiment rows as CSV\n"
+      "  --jsonl=PATH          per-experiment rows as JSONL\n"
+      "  --quiet               no progress line\n"
+      "  --dry-run             expand and list the grid, run nothing\n"
+      "\n"
+      "other modes:\n"
+      "  --config=\"k=v ...\"    run exactly one experiment from a row's\n"
+      "                        config string and print its row\n"
+      "  --list-workloads      bundled workload profile names\n"
+      "  --list-policies       read-path policy names\n",
+      argv0);
+  return 0;
+}
+
+void print_row(const campaign::CampaignPoint& pt,
+               const core::ExperimentResult& r) {
+  const auto header = campaign::result_header();
+  const auto cells = campaign::result_cells(pt, r);
+  for (std::size_t i = 0; i < header.size(); ++i)
+    std::printf("%-20s %s\n", header[i].c_str(), cells[i].c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::CliArgs args(argc, argv);
+  if (args.has("help")) return usage(argv[0]);
+
+  if (args.has("list-workloads")) {
+    for (const auto& name : trace::spec2006_names()) std::puts(name.c_str());
+    return 0;
+  }
+  if (args.has("list-policies")) {
+    for (const auto kind : core::all_policies())
+      std::puts(core::to_string(kind).c_str());
+    return 0;
+  }
+
+  // Single-config mode: reproduce one emitted row.
+  if (args.has("config")) {
+    std::string error;
+    const auto cfg = core::config_from_kv(args.get_string("config", ""), &error);
+    if (!cfg) {
+      std::fprintf(stderr, "bad --config: %s\n", error.c_str());
+      return 1;
+    }
+    campaign::CampaignPoint pt;
+    pt.config = *cfg;
+    print_row(pt, core::run_experiment(*cfg));
+    return 0;
+  }
+
+  // Assemble the spec key/value map: file first, flags override.
+  std::map<std::string, std::string> kv;
+  std::string error;
+  if (args.has("spec")) {
+    const auto file_kv =
+        campaign::parse_spec_file(args.get_string("spec", ""), &error);
+    if (!file_kv) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    kv = *file_kv;
+  }
+  for (const char* key :
+       {"name", "workloads", "policies", "ecc", "read_ratios", "seeds",
+        "campaign_seed", "instructions", "warmup", "clock_ghz", "scrub_every",
+        "dirty_check", "l2_kb", "l2_ways", "block_bytes"}) {
+    if (args.has(key)) kv[key] = args.get_string(key, "");
+  }
+  if (kv.empty()) return usage(argv[0]);
+
+  const auto spec = campaign::CampaignSpec::from_kv(kv, &error);
+  if (!spec) {
+    std::fprintf(stderr, "bad spec: %s\n", error.c_str());
+    return 1;
+  }
+
+  std::vector<campaign::CampaignPoint> points;
+  try {
+    points = campaign::expand(*spec);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+
+  if (args.has("dry-run")) {
+    std::printf("campaign '%s': %zu points\n", spec->name.c_str(),
+                points.size());
+    for (const auto& pt : points)
+      std::printf("%4zu  %s\n", pt.index,
+                  core::to_kv_string(pt.config).c_str());
+    return 0;
+  }
+
+  // Open sinks before running so an unwritable path fails fast instead of
+  // after the whole grid has been simulated.
+  campaign::MultiSink sinks;
+  std::unique_ptr<campaign::CsvResultSink> csv;
+  std::unique_ptr<campaign::JsonlResultSink> jsonl;
+  if (args.has("csv")) {
+    csv = std::make_unique<campaign::CsvResultSink>(
+        args.get_string("csv", ""));
+    if (!csv->ok()) {
+      std::fprintf(stderr, "cannot write csv output: %s\n",
+                   args.get_string("csv", "").c_str());
+      return 1;
+    }
+    sinks.attach(csv.get());
+  }
+  if (args.has("jsonl")) {
+    jsonl = std::make_unique<campaign::JsonlResultSink>(
+        args.get_string("jsonl", ""));
+    if (!jsonl->ok()) {
+      std::fprintf(stderr, "cannot write jsonl output: %s\n",
+                   args.get_string("jsonl", "").c_str());
+      return 1;
+    }
+    sinks.attach(jsonl.get());
+  }
+
+  campaign::RunnerOptions opts;
+  opts.threads = static_cast<unsigned>(args.get_u64("threads", 0));
+  campaign::ProgressReporter progress;
+  const bool quiet = args.has("quiet");
+  if (!quiet)
+    opts.on_progress = [&progress](std::size_t d, std::size_t t) {
+      progress(d, t);
+    };
+
+  campaign::CampaignRunner runner(opts);
+  std::printf("campaign '%s': %zu points on %u threads\n", spec->name.c_str(),
+              points.size(), runner.effective_threads(points.size()));
+  const auto results = runner.run(points);
+  campaign::emit_all(points, results, sinks);
+
+  // Aggregates.
+  const std::string baseline_name =
+      args.get_string("baseline", "conventional");
+  if (baseline_name != "none") {
+    const auto baseline = core::policy_from_string(baseline_name);
+    if (!baseline) {
+      std::fprintf(stderr, "unknown --baseline policy: %s\n",
+                   baseline_name.c_str());
+      return 1;
+    }
+    const auto agg =
+        campaign::aggregate(*spec, points, results, *baseline);
+    if (agg) {
+      std::printf("\n%s", agg->render().c_str());
+    } else {
+      std::printf("\n(baseline %s not in the grid; no aggregates)\n",
+                  baseline_name.c_str());
+    }
+  }
+
+  for (const auto& key : args.unconsumed())
+    std::fprintf(stderr, "warning: unused flag --%s\n", key.c_str());
+  return 0;
+}

@@ -1,0 +1,172 @@
+#include "reap/campaign/result_sink.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+
+#include "reap/common/csv.hpp"
+#include "reap/common/strings.hpp"
+#include "reap/core/config_kv.hpp"
+
+namespace reap::campaign {
+namespace {
+
+std::string fmt(double v) { return common::fmt_double(v); }
+std::string fmt(std::uint64_t v) { return std::to_string(v); }
+
+}  // namespace
+
+std::vector<std::string> result_header() {
+  return {"index",
+          "workload",
+          "policy",
+          "ecc_t",
+          "mtj",
+          "seed",
+          "p_rd",
+          "instructions",
+          "cycles",
+          "ipc",
+          "sim_seconds",
+          "l2_hit_cycles",
+          "l2_read_hit_rate",
+          "mttf_seconds",
+          "failure_rate_per_s",
+          "failure_prob_sum",
+          "checks",
+          "max_concealed",
+          "energy_dynamic_j",
+          "energy_ecc_decode_j",
+          "energy_data_write_j",
+          "config"};
+}
+
+std::vector<std::string> result_cells(const CampaignPoint& point,
+                                      const core::ExperimentResult& r) {
+  const auto& cfg = point.config;
+  return {fmt(std::uint64_t(point.index)),
+          r.workload,
+          core::to_string(r.policy),
+          fmt(std::uint64_t(cfg.ecc_t)),
+          cfg.mtj.name,
+          fmt(cfg.seed),
+          fmt(r.p_rd),
+          fmt(r.instructions),
+          fmt(r.cycles),
+          fmt(r.ipc),
+          fmt(r.sim_seconds),
+          fmt(std::uint64_t(r.l2_hit_cycles)),
+          fmt(r.hier.l2.read_hit_rate()),
+          fmt(r.mttf.mttf_seconds),
+          fmt(r.mttf.failure_rate_per_s),
+          fmt(r.mttf.failure_prob_sum),
+          fmt(r.checks),
+          fmt(r.max_concealed),
+          fmt(r.energy.dynamic_total_j()),
+          fmt(r.energy.ecc_decode_j),
+          fmt(r.energy.data_write_j),
+          core::to_kv_string(cfg)};
+}
+
+// ---------------------------------------------------------------- CSV sink
+
+struct CsvResultSink::Impl {
+  explicit Impl(const std::string& path)
+      : writer(path, result_header()) {}
+  common::CsvWriter writer;
+};
+
+CsvResultSink::CsvResultSink(const std::string& path)
+    : impl_(std::make_unique<Impl>(path)) {}
+CsvResultSink::~CsvResultSink() = default;
+bool CsvResultSink::ok() const { return impl_->writer.ok(); }
+
+void CsvResultSink::add(const CampaignPoint& point,
+                        const core::ExperimentResult& r) {
+  impl_->writer.add_row(result_cells(point, r));
+}
+
+// -------------------------------------------------------------- JSONL sink
+
+namespace {
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+// Cells that are plain *finite* numbers representable in a double are
+// emitted unquoted; everything else becomes a JSON string. Two traps this
+// avoids: strtod happily parses "inf"/"nan" (bare inf is invalid JSON),
+// and 64-bit seeds exceed 2^53, so double-based JSON parsers would
+// silently round them -- those go out quoted.
+bool emit_unquoted(const std::string& s) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const double d = std::strtod(s.c_str(), &end);
+  if (!end || *end != '\0' || !std::isfinite(d)) return false;
+  // Integers above 2^53 are not exactly representable as doubles.
+  if (s.find_first_of(".eE") == std::string::npos) {
+    std::uint64_t u = 0;
+    if (!common::parse_u64(s, u)) return false;
+    if (u > (1ULL << 53)) return false;
+  }
+  return true;
+}
+}  // namespace
+
+struct JsonlResultSink::Impl {
+  explicit Impl(const std::string& path) : out(path) {}
+  std::ofstream out;
+  std::vector<std::string> header = result_header();
+};
+
+JsonlResultSink::JsonlResultSink(const std::string& path)
+    : impl_(std::make_unique<Impl>(path)) {}
+JsonlResultSink::~JsonlResultSink() = default;
+bool JsonlResultSink::ok() const { return static_cast<bool>(impl_->out); }
+
+void JsonlResultSink::add(const CampaignPoint& point,
+                          const core::ExperimentResult& r) {
+  if (!impl_->out) return;
+  const auto cells = result_cells(point, r);
+  impl_->out << '{';
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) impl_->out << ',';
+    impl_->out << '"' << impl_->header[i] << "\":";
+    if (emit_unquoted(cells[i]) && impl_->header[i] != "workload")
+      impl_->out << cells[i];
+    else
+      impl_->out << '"' << json_escape(cells[i]) << '"';
+  }
+  impl_->out << "}\n";
+}
+
+// -------------------------------------------------------------- multi sink
+
+void MultiSink::attach(ResultSink* sink) {
+  if (sink) sinks_.push_back(sink);
+}
+
+void MultiSink::add(const CampaignPoint& point,
+                    const core::ExperimentResult& r) {
+  for (auto* s : sinks_) s->add(point, r);
+}
+
+void emit_all(const std::vector<CampaignPoint>& points,
+              const std::vector<core::ExperimentResult>& results,
+              ResultSink& sink) {
+  for (std::size_t i = 0; i < points.size() && i < results.size(); ++i)
+    sink.add(points[i], results[i]);
+}
+
+}  // namespace reap::campaign

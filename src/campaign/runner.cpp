@@ -1,0 +1,149 @@
+#include "reap/campaign/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+namespace reap::campaign {
+namespace {
+
+// A contiguous, mutex-guarded range of point indices. Owners pop from the
+// front; thieves take the back half. Each pop corresponds to one whole
+// experiment (milliseconds to seconds of work), so the lock is cold.
+class Shard {
+ public:
+  void assign(std::size_t begin, std::size_t end) {
+    std::lock_guard lock(mu_);
+    begin_ = begin;
+    end_ = end;
+  }
+
+  bool pop(std::size_t& idx) {
+    std::lock_guard lock(mu_);
+    if (begin_ >= end_) return false;
+    idx = begin_++;
+    return true;
+  }
+
+  // Removes the back half (at least one element) of the range; returns
+  // false if fewer than two elements remain (stealing a lone element from
+  // a worker that is about to pop it would just bounce work around).
+  bool steal(std::size_t& begin, std::size_t& end) {
+    std::lock_guard lock(mu_);
+    const std::size_t remaining = end_ - begin_;
+    if (remaining < 2) return false;
+    const std::size_t take = remaining / 2;
+    begin = end_ - take;
+    end = end_;
+    end_ -= take;
+    return true;
+  }
+
+  std::size_t remaining() {
+    std::lock_guard lock(mu_);
+    return end_ - begin_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::size_t begin_ = 0;
+  std::size_t end_ = 0;
+};
+
+}  // namespace
+
+CampaignRunner::CampaignRunner(RunnerOptions opts) : opts_(std::move(opts)) {
+  if (!opts_.run_fn) opts_.run_fn = core::run_experiment;
+}
+
+unsigned CampaignRunner::effective_threads(std::size_t n_points) const {
+  unsigned n = opts_.threads;
+  if (n == 0) n = std::max(1u, std::thread::hardware_concurrency());
+  return static_cast<unsigned>(
+      std::min<std::size_t>(n, std::max<std::size_t>(1, n_points)));
+}
+
+std::vector<core::ExperimentResult> CampaignRunner::run(
+    const std::vector<CampaignPoint>& points) const {
+  const std::size_t total = points.size();
+  std::vector<core::ExperimentResult> results(total);
+  if (total == 0) return results;
+
+  const unsigned n_threads = effective_threads(total);
+
+  // Pre-split [0, total) into one contiguous shard per worker.
+  std::vector<Shard> shards(n_threads);
+  for (unsigned t = 0; t < n_threads; ++t) {
+    const std::size_t begin = total * t / n_threads;
+    const std::size_t end = total * (t + 1) / n_threads;
+    shards[t].assign(begin, end);
+  }
+
+  std::atomic<std::size_t> done{0};
+  // Exact termination: a stolen range is briefly invisible between the
+  // victim's steal() and the thief's assign(), so scanning shard sizes can
+  // transiently read zero while work remains. `unclaimed` counts points
+  // not yet popped anywhere and is decremented only at pop time, making
+  // "nothing left" an exact condition.
+  std::atomic<std::size_t> unclaimed{total};
+  std::mutex progress_mu;
+
+  const auto run_one = [&](std::size_t idx) {
+    unclaimed.fetch_sub(1, std::memory_order_relaxed);
+    results[idx] = opts_.run_fn(points[idx].config);
+    const std::size_t d = done.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (opts_.on_progress) {
+      std::lock_guard lock(progress_mu);
+      opts_.on_progress(d, total);
+    }
+  };
+
+  const auto worker = [&](unsigned self) {
+    for (;;) {
+      std::size_t idx;
+      if (shards[self].pop(idx)) {
+        run_one(idx);
+        continue;
+      }
+      // Own shard drained: steal the back half of the fullest victim, or
+      // take its lone element directly when halving is not worthwhile.
+      std::size_t best = 0, best_remaining = 0;
+      for (unsigned v = 0; v < n_threads; ++v) {
+        if (v == self) continue;
+        const std::size_t r = shards[v].remaining();
+        if (r > best_remaining) {
+          best_remaining = r;
+          best = v;
+        }
+      }
+      if (best_remaining == 0) {
+        if (unclaimed.load(std::memory_order_relaxed) == 0)
+          return;  // every point has been popped somewhere
+        std::this_thread::yield();  // a steal is mid-flight; rescan
+        continue;
+      }
+      std::size_t b, e;
+      if (best_remaining >= 2 && shards[best].steal(b, e)) {
+        shards[self].assign(b, e);
+      } else if (shards[best].pop(idx)) {
+        run_one(idx);
+      } else {
+        std::this_thread::yield();  // lost a race; rescan
+      }
+    }
+  };
+
+  if (n_threads == 1) {
+    worker(0);
+    return results;
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(n_threads);
+  for (unsigned t = 0; t < n_threads; ++t) threads.emplace_back(worker, t);
+  for (auto& th : threads) th.join();
+  return results;
+}
+
+}  // namespace reap::campaign

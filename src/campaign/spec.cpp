@@ -1,0 +1,245 @@
+#include "reap/campaign/spec.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "reap/campaign/seed.hpp"
+#include "reap/common/strings.hpp"
+#include "reap/trace/spec2006.hpp"
+
+namespace reap::campaign {
+namespace {
+
+std::vector<std::string> split_list(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    const auto comma = s.find(',', pos);
+    const auto end = comma == std::string::npos ? s.size() : comma;
+    if (end > pos) out.push_back(s.substr(pos, end - pos));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+bool set_error(std::string* error, const std::string& msg) {
+  if (error) *error = msg;
+  return false;
+}
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+}  // namespace
+
+std::size_t CampaignSpec::size() const {
+  const std::size_t ratios = read_ratios.empty() ? 1 : read_ratios.size();
+  return workloads.size() * policies.size() * ecc_ts.size() * ratios *
+         seeds.size();
+}
+
+std::vector<CampaignPoint> expand(const CampaignSpec& spec) {
+  if (spec.workloads.empty())
+    throw std::invalid_argument("campaign spec: no workloads");
+  if (spec.policies.empty())
+    throw std::invalid_argument("campaign spec: no policies");
+  if (spec.ecc_ts.empty())
+    throw std::invalid_argument("campaign spec: no ecc_t values");
+  if (spec.seeds.empty())
+    throw std::invalid_argument("campaign spec: no seeds");
+
+  std::vector<trace::WorkloadProfile> profiles;
+  profiles.reserve(spec.workloads.size());
+  for (const auto& name : spec.workloads) {
+    const auto p = trace::spec2006_profile(name);
+    if (!p) throw std::invalid_argument("campaign spec: unknown workload " + name);
+    profiles.push_back(*p);
+  }
+
+  const std::size_t n_ratios =
+      spec.read_ratios.empty() ? 1 : spec.read_ratios.size();
+
+  std::vector<CampaignPoint> points;
+  points.reserve(spec.size());
+  for (std::size_t w = 0; w < profiles.size(); ++w)
+    for (std::size_t p = 0; p < spec.policies.size(); ++p)
+      for (std::size_t e = 0; e < spec.ecc_ts.size(); ++e)
+        for (std::size_t r = 0; r < n_ratios; ++r)
+          for (std::size_t s = 0; s < spec.seeds.size(); ++s) {
+            CampaignPoint pt;
+            pt.index = points.size();
+            pt.workload_i = w;
+            pt.policy_i = p;
+            pt.ecc_i = e;
+            pt.ratio_i = r;
+            pt.seed_i = s;
+
+            core::ExperimentConfig cfg = spec.base;
+            cfg.workload = profiles[w];
+            cfg.policy = spec.policies[p];
+            cfg.ecc_t = spec.ecc_ts[e];
+            if (!spec.read_ratios.empty())
+              cfg.mtj = mtj::with_read_ratio(spec.read_ratios[r]);
+
+            // Seeds are derived from the *environment* coordinates only
+            // (workload, operating point, replica) -- never from the
+            // design axes under test (policy, ecc_t) -- so that, e.g.,
+            // the REAP and conventional points of one comparison replay
+            // the exact same trace (paired comparison, as the paper's
+            // figures require).
+            const std::uint64_t env_index =
+                (w * n_ratios + r) * spec.seeds.size() + s;
+            const std::uint64_t derived =
+                derive_seed(spec.campaign_seed, env_index, spec.seeds[s]);
+            cfg.seed = derived;
+            cfg.workload.seed = derive_companion_seed(derived);
+
+            pt.config = std::move(cfg);
+            points.push_back(std::move(pt));
+          }
+  return points;
+}
+
+std::optional<CampaignSpec> CampaignSpec::from_kv(
+    const std::map<std::string, std::string>& kv, std::string* error) {
+  CampaignSpec spec;
+  bool ok = true;
+
+  // Strict value parsers: reject garbage, trailing text, and empty lists
+  // rather than silently running a wrong-but-plausible campaign.
+  const auto u64_value = [&](const std::string& key, const std::string& v,
+                             std::uint64_t& out) {
+    if (common::parse_u64(v, out)) return true;
+    ok = set_error(error, "bad value for " + key + ": '" + v + "'");
+    return false;
+  };
+  const auto u64_list = [&](const std::string& key, const std::string& v,
+                            std::vector<std::uint64_t>& out) {
+    out.clear();
+    for (const auto& item : split_list(v)) {
+      std::uint64_t n = 0;
+      if (!u64_value(key, item, n)) return;
+      out.push_back(n);
+    }
+    if (out.empty()) ok = set_error(error, "empty list for " + key);
+  };
+
+  for (const auto& [key, value] : kv) {
+    if (!ok) break;
+    if (key == "name") {
+      spec.name = value;
+    } else if (key == "workloads") {
+      spec.workloads = value == "all" ? trace::spec2006_names()
+                                      : split_list(value);
+      if (spec.workloads.empty())
+        ok = set_error(error, "empty list for workloads");
+    } else if (key == "policies") {
+      spec.policies.clear();
+      if (value == "all") {
+        spec.policies = core::all_policies();
+      } else {
+        for (const auto& name : split_list(value)) {
+          const auto kind = core::policy_from_string(name);
+          if (!kind) {
+            ok = set_error(error, "unknown policy: " + name);
+            break;
+          }
+          spec.policies.push_back(*kind);
+        }
+        if (ok && spec.policies.empty())
+          ok = set_error(error, "empty list for policies");
+      }
+    } else if (key == "ecc") {
+      std::vector<std::uint64_t> raw;
+      u64_list(key, value, raw);
+      spec.ecc_ts.clear();
+      for (const auto n : raw) spec.ecc_ts.push_back(unsigned(n));
+    } else if (key == "read_ratios") {
+      spec.read_ratios.clear();
+      for (const auto& v : split_list(value)) {
+        double d = 0.0;
+        if (!common::parse_double(v, d)) {
+          ok = set_error(error, "bad value for read_ratios: '" + v + "'");
+          break;
+        }
+        spec.read_ratios.push_back(d);
+      }
+      if (ok && spec.read_ratios.empty())
+        ok = set_error(error, "empty list for read_ratios");
+    } else if (key == "seeds") {
+      u64_list(key, value, spec.seeds);
+    } else if (key == "campaign_seed") {
+      u64_value(key, value, spec.campaign_seed);
+    } else if (key == "instructions") {
+      u64_value(key, value, spec.base.instructions);
+    } else if (key == "warmup") {
+      u64_value(key, value, spec.base.warmup_instructions);
+    } else if (key == "clock_ghz") {
+      if (!common::parse_double(value, spec.base.clock_ghz))
+        ok = set_error(error, "bad value for clock_ghz: '" + value + "'");
+    } else if (key == "scrub_every") {
+      u64_value(key, value, spec.base.scrub_every);
+    } else if (key == "dirty_check") {
+      spec.base.check_on_dirty_eviction = value == "1" || value == "true";
+    } else if (key == "l2_kb") {
+      std::uint64_t n = 0;
+      if (u64_value(key, value, n))
+        spec.base.hierarchy.l2.capacity_bytes = n * 1024;
+    } else if (key == "l2_ways") {
+      std::uint64_t n = 0;
+      if (u64_value(key, value, n))
+        spec.base.hierarchy.l2.ways = std::size_t(n);
+    } else if (key == "block_bytes") {
+      std::uint64_t n = 0;
+      if (u64_value(key, value, n))
+        spec.base.hierarchy.l2.block_bytes = std::size_t(n);
+    } else {
+      ok = set_error(error, "unknown spec key: " + key);
+    }
+  }
+  if (!ok) return std::nullopt;
+  if (spec.workloads.empty()) {
+    set_error(error, "spec missing: workloads");
+    return std::nullopt;
+  }
+  if (spec.policies.empty()) {
+    set_error(error, "spec missing: policies");
+    return std::nullopt;
+  }
+  return spec;
+}
+
+std::optional<std::map<std::string, std::string>> parse_spec_file(
+    const std::string& path, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    set_error(error, "cannot open spec file: " + path);
+    return std::nullopt;
+  }
+  std::map<std::string, std::string> kv;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      set_error(error, path + ":" + std::to_string(lineno) +
+                           ": expected `key = value`");
+      return std::nullopt;
+    }
+    kv[trim(line.substr(0, eq))] = trim(line.substr(eq + 1));
+  }
+  return kv;
+}
+
+}  // namespace reap::campaign

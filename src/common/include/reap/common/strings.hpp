@@ -1,0 +1,41 @@
+// Strict numeric parsing and deterministic number formatting, shared by
+// the config kv round-trip, campaign spec parsing, and result sinks.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace reap::common {
+
+// Parse an entire string as an unsigned integer / double; reject empty
+// input and trailing garbage ("1e6" is NOT a valid u64, "two" is nothing).
+inline bool parse_u64(const std::string& s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  out = std::strtoull(s.c_str(), &end, 10);
+  return end && *end == '\0';
+}
+
+inline bool parse_double(const std::string& s, double& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  out = std::strtod(s.c_str(), &end);
+  return end && *end == '\0';
+}
+
+// Shortest decimal form that parses back to the same double ("%.17g" is
+// exact but writes 2.0 as 2.0000000000000000e+00; try increasing precision
+// until the round trip holds). The campaign byte-determinism guarantee
+// rests on this being a pure function of the value.
+inline std::string fmt_double(double v) {
+  char buf[64];
+  for (int prec = 6; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+}  // namespace reap::common

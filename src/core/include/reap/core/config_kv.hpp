@@ -1,0 +1,39 @@
+// Human-readable key/value round-trip for ExperimentConfig.
+//
+// Every campaign result row and log line carries the exact configuration
+// that produced it, as a single "k=v k=v ..." string with a fixed key order,
+// so any emitted row can be re-run verbatim:
+//
+//   workload=mcf policy=reap ecc_t=1 mtj=paper_default mtj_read_ratio=0.693
+//   instructions=3000000 warmup=200000 clock_ghz=2 seed=42
+//   workload_seed=24285 scrub_every=64 dirty_check=0 l2_kb=1024 l2_ways=8
+//   block_bytes=64
+//
+// Workloads are referenced by spec2006 profile name (custom profiles are
+// not representable; config_from_kv reports them as an error).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "reap/core/experiment.hpp"
+
+namespace reap::core {
+
+// Serializes the experiment-defining fields. Round-trip guarantee:
+// config_from_kv(to_kv_string(cfg)) reproduces cfg bit-for-bit for any cfg
+// whose workload is a bundled spec2006 profile.
+std::string to_kv_string(const ExperimentConfig& cfg);
+
+// Parses a "k=v k=v" string (whitespace-separated). Unknown keys are
+// errors, as is a missing/unknown workload or policy. On failure returns
+// nullopt and, if `error` is non-null, stores a description.
+std::optional<ExperimentConfig> config_from_kv(const std::string& text,
+                                               std::string* error = nullptr);
+
+// Shared low-level parser: splits "k=v k=v ..." into a map. Later
+// duplicates win. Tokens without '=' produce an empty-string value.
+std::map<std::string, std::string> kv_parse(const std::string& text);
+
+}  // namespace reap::core

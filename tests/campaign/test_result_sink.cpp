@@ -1,0 +1,193 @@
+// Result rows: header/cell alignment, sink output, and the config kv
+// round-trip that makes every row self-describing.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "reap/campaign/result_sink.hpp"
+#include "reap/core/config_kv.hpp"
+
+namespace reap::campaign {
+namespace {
+
+CampaignPoint sample_point() {
+  CampaignPoint pt;
+  pt.index = 3;
+  const auto cfg = core::config_from_kv(
+      "workload=mcf policy=reap ecc_t=2 instructions=1234 seed=77");
+  EXPECT_TRUE(cfg);
+  pt.config = *cfg;
+  return pt;
+}
+
+core::ExperimentResult sample_result() {
+  core::ExperimentResult r;
+  r.workload = "mcf";
+  r.policy = core::PolicyKind::reap;
+  r.instructions = 1234;
+  r.cycles = 4321;
+  r.ipc = 0.2856;
+  r.sim_seconds = 2.1605e-6;
+  r.mttf.mttf_seconds = 3.7e11;
+  r.energy.ecc_decode_j = 1.25e-7;
+  r.p_rd = 1e-8;
+  return r;
+}
+
+TEST(ResultRow, HeaderAndCellsAlign) {
+  const auto header = result_header();
+  const auto cells = result_cells(sample_point(), sample_result());
+  EXPECT_EQ(header.size(), cells.size());
+  EXPECT_EQ(header.front(), "index");
+  EXPECT_EQ(header.back(), "config");
+  EXPECT_EQ(cells[0], "3");
+  EXPECT_EQ(cells[1], "mcf");
+  EXPECT_EQ(cells[2], "reap");
+}
+
+TEST(ResultRow, ConfigColumnRoundTrips) {
+  const auto pt = sample_point();
+  const auto cells = result_cells(pt, sample_result());
+  std::string error;
+  const auto cfg = core::config_from_kv(cells.back(), &error);
+  ASSERT_TRUE(cfg) << error;
+  EXPECT_EQ(cfg->workload.name, pt.config.workload.name);
+  EXPECT_EQ(cfg->workload.seed, pt.config.workload.seed);
+  EXPECT_EQ(cfg->policy, pt.config.policy);
+  EXPECT_EQ(cfg->ecc_t, pt.config.ecc_t);
+  EXPECT_EQ(cfg->instructions, pt.config.instructions);
+  EXPECT_EQ(cfg->seed, pt.config.seed);
+  // And the re-serialized form is byte-identical (a fixed point).
+  EXPECT_EQ(core::to_kv_string(*cfg), cells.back());
+}
+
+TEST(ConfigKv, DefaultConfigRoundTripsBitForBit) {
+  core::ExperimentConfig cfg;
+  const auto wl = core::config_from_kv("workload=perlbench");
+  ASSERT_TRUE(wl);
+  cfg = *wl;
+  cfg.policy = core::PolicyKind::scrub_piggyback;
+  cfg.ecc_t = 3;
+  cfg.clock_ghz = 3.7;
+  cfg.scrub_every = 17;
+  cfg.check_on_dirty_eviction = true;
+  cfg.hierarchy.l2.ways = 16;
+  cfg.mtj = mtj::with_read_ratio(0.75);
+
+  const std::string kv = core::to_kv_string(cfg);
+  std::string error;
+  const auto back = core::config_from_kv(kv, &error);
+  ASSERT_TRUE(back) << error;
+  EXPECT_EQ(core::to_kv_string(*back), kv);
+  EXPECT_EQ(back->policy, cfg.policy);
+  EXPECT_EQ(back->ecc_t, cfg.ecc_t);
+  EXPECT_DOUBLE_EQ(back->clock_ghz, cfg.clock_ghz);
+  EXPECT_EQ(back->scrub_every, cfg.scrub_every);
+  EXPECT_EQ(back->check_on_dirty_eviction, cfg.check_on_dirty_eviction);
+  EXPECT_EQ(back->hierarchy.l2.ways, cfg.hierarchy.l2.ways);
+  EXPECT_DOUBLE_EQ(back->mtj.read_current.value, cfg.mtj.read_current.value);
+}
+
+TEST(ConfigKv, RejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(core::config_from_kv("", &error));
+  EXPECT_FALSE(core::config_from_kv("policy=reap", &error))
+      << "workload is mandatory";
+  EXPECT_FALSE(core::config_from_kv("workload=nope", &error));
+  EXPECT_FALSE(core::config_from_kv("workload=mcf policy=bogus", &error));
+  EXPECT_FALSE(core::config_from_kv("workload=mcf ecc_t=abc", &error));
+  EXPECT_FALSE(core::config_from_kv("workload=mcf surprise=1", &error));
+  EXPECT_NE(error.find("unknown key"), std::string::npos);
+}
+
+TEST(CsvSink, WritesHeaderAndRows) {
+  const std::string path = ::testing::TempDir() + "/reap_sink_test.csv";
+  {
+    CsvResultSink sink(path);
+    ASSERT_TRUE(sink.ok());
+    sink.add(sample_point(), sample_result());
+  }
+  std::ifstream in(path);
+  std::string header, row;
+  ASSERT_TRUE(std::getline(in, header));
+  ASSERT_TRUE(std::getline(in, row));
+  EXPECT_EQ(header.rfind("index,workload,policy", 0), 0u);
+  EXPECT_EQ(row.rfind("3,mcf,reap", 0), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(JsonlSink, WritesOneObjectPerLine) {
+  const std::string path = ::testing::TempDir() + "/reap_sink_test.jsonl";
+  {
+    JsonlResultSink sink(path);
+    ASSERT_TRUE(sink.ok());
+    sink.add(sample_point(), sample_result());
+    sink.add(sample_point(), sample_result());
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"workload\":\"mcf\""), std::string::npos);
+    EXPECT_NE(line.find("\"config\":\""), std::string::npos);
+  }
+  EXPECT_EQ(lines, 2u);
+  std::remove(path.c_str());
+}
+
+TEST(JsonlSink, QuotesNonFiniteAndBigIntValues) {
+  const std::string path = ::testing::TempDir() + "/reap_sink_inf.jsonl";
+  {
+    JsonlResultSink sink(path);
+    ASSERT_TRUE(sink.ok());
+    auto pt = sample_point();
+    pt.config.seed = 13354106692959041800ULL;  // > 2^53
+    auto r = sample_result();
+    r.mttf.mttf_seconds =
+        std::numeric_limits<double>::infinity();  // no failure mass
+    sink.add(pt, r);
+  }
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  // Bare inf is invalid JSON; it must be quoted.
+  EXPECT_EQ(line.find("\"mttf_seconds\":inf"), std::string::npos);
+  EXPECT_NE(line.find("\"mttf_seconds\":\"inf\""), std::string::npos);
+  // 64-bit seeds exceed 2^53 and would be rounded by double-based JSON
+  // parsers; they must be quoted too.
+  EXPECT_NE(line.find("\"seed\":\"13354106692959041800\""),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(MultiSink, FansOut) {
+  const std::string p1 = ::testing::TempDir() + "/reap_multi1.csv";
+  const std::string p2 = ::testing::TempDir() + "/reap_multi2.jsonl";
+  {
+    CsvResultSink csv(p1);
+    JsonlResultSink jsonl(p2);
+    MultiSink multi;
+    multi.attach(&csv);
+    multi.attach(&jsonl);
+    multi.attach(nullptr);  // ignored
+    multi.add(sample_point(), sample_result());
+  }
+  std::ifstream a(p1), b(p2);
+  std::string line;
+  std::size_t a_lines = 0, b_lines = 0;
+  while (std::getline(a, line)) ++a_lines;
+  while (std::getline(b, line)) ++b_lines;
+  EXPECT_EQ(a_lines, 2u);  // header + row
+  EXPECT_EQ(b_lines, 1u);
+  std::remove(p1.c_str());
+  std::remove(p2.c_str());
+}
+
+}  // namespace
+}  // namespace reap::campaign

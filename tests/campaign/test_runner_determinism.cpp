@@ -1,0 +1,185 @@
+// The campaign determinism contract: a K-thread run is bit-identical to a
+// serial run of the same spec -- per-experiment results, emitted rows, and
+// rendered aggregates alike.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <thread>
+
+#include "reap/campaign/aggregate.hpp"
+#include "reap/campaign/result_sink.hpp"
+#include "reap/campaign/runner.hpp"
+#include "reap/campaign/spec.hpp"
+
+namespace reap::campaign {
+namespace {
+
+// Cheap stand-in for run_experiment: a pure function of the config that
+// still exercises every field the sinks/aggregates read.
+core::ExperimentResult fake_run(const core::ExperimentConfig& cfg) {
+  core::ExperimentResult r;
+  r.workload = cfg.workload.name;
+  r.policy = cfg.policy;
+  r.instructions = cfg.instructions;
+  r.cycles = cfg.seed % 100000 + cfg.ecc_t;
+  r.ipc = 1.0 + double(cfg.seed % 7) / 10.0;
+  r.sim_seconds = 0.001 * double(cfg.seed % 13 + 1);
+  r.mttf.failure_prob_sum = 1e-9 * double(cfg.seed % 97 + 1);
+  r.mttf.sim_seconds = r.sim_seconds;
+  r.mttf.failure_rate_per_s = r.mttf.failure_prob_sum / r.sim_seconds;
+  r.mttf.mttf_seconds = 1.0 / r.mttf.failure_rate_per_s;
+  r.energy.data_read_j = 1e-6 * double(cfg.seed % 11 + 1);
+  r.energy.ecc_decode_j = 1e-7 * double(cfg.ecc_t);
+  r.p_rd = 1e-8;
+  return r;
+}
+
+CampaignSpec grid_24() {
+  // The acceptance-criteria grid: 2 workloads x 3 policies x 2 ecc x 2
+  // seeds = 24 points.
+  CampaignSpec spec;
+  spec.workloads = {"mcf", "h264ref"};
+  spec.policies = {core::PolicyKind::conventional_parallel,
+                   core::PolicyKind::reap,
+                   core::PolicyKind::serial_tag_then_data};
+  spec.ecc_ts = {1, 2};
+  spec.seeds = {0, 1};
+  return spec;
+}
+
+std::string render_run(const CampaignSpec& spec, unsigned threads) {
+  const auto points = expand(spec);
+  RunnerOptions opts;
+  opts.threads = threads;
+  opts.run_fn = fake_run;
+  const auto results = CampaignRunner(opts).run(points);
+
+  std::ostringstream out;
+  for (std::size_t i = 0; i < points.size(); ++i)
+    for (const auto& cell : result_cells(points[i], results[i]))
+      out << cell << '|';
+  const auto agg = aggregate(spec, points, results,
+                             core::PolicyKind::conventional_parallel);
+  if (agg) out << agg->render();
+  return out.str();
+}
+
+TEST(CampaignRunner, FourThreadsByteIdenticalToOneThread) {
+  const auto spec = grid_24();
+  ASSERT_GE(spec.size(), 24u);
+  const std::string serial = render_run(spec, 1);
+  const std::string parallel = render_run(spec, 4);
+  EXPECT_EQ(serial, parallel);
+  // More threads than points must also be identical.
+  EXPECT_EQ(serial, render_run(spec, 64));
+}
+
+TEST(CampaignRunner, RunsEveryPointExactlyOnce) {
+  const auto spec = grid_24();
+  const auto points = expand(spec);
+  std::vector<std::atomic<int>> hits(points.size());
+  RunnerOptions opts;
+  opts.threads = 8;
+  opts.run_fn = [&hits](const core::ExperimentConfig& cfg) {
+    // Recover the point index from the instruction count we stash below.
+    hits[cfg.instructions]++;
+    core::ExperimentResult r;
+    return r;
+  };
+  auto tagged = points;
+  for (std::size_t i = 0; i < tagged.size(); ++i)
+    tagged[i].config.instructions = i;
+  CampaignRunner(opts).run(tagged);
+  for (std::size_t i = 0; i < hits.size(); ++i)
+    EXPECT_EQ(hits[i].load(), 1) << "point " << i;
+}
+
+TEST(CampaignRunner, ResultsIndexedByGridIndex) {
+  const auto spec = grid_24();
+  const auto points = expand(spec);
+  RunnerOptions opts;
+  opts.threads = 4;
+  opts.run_fn = fake_run;
+  const auto results = CampaignRunner(opts).run(points);
+  ASSERT_EQ(results.size(), points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(results[i].workload, points[i].config.workload.name);
+    EXPECT_EQ(results[i].policy, points[i].config.policy);
+  }
+}
+
+TEST(CampaignRunner, ProgressReachesTotal) {
+  const auto spec = grid_24();
+  const auto points = expand(spec);
+  RunnerOptions opts;
+  opts.threads = 4;
+  opts.run_fn = fake_run;
+  std::size_t last_done = 0, calls = 0;
+  opts.on_progress = [&](std::size_t done, std::size_t total) {
+    ++calls;
+    last_done = std::max(last_done, done);
+    EXPECT_EQ(total, points.size());
+  };
+  CampaignRunner(opts).run(points);
+  EXPECT_EQ(calls, points.size());
+  EXPECT_EQ(last_done, points.size());
+}
+
+TEST(CampaignRunner, HandlesEmptyAndTinyGrids) {
+  RunnerOptions opts;
+  opts.run_fn = fake_run;
+  CampaignRunner runner(opts);
+  EXPECT_TRUE(runner.run({}).empty());
+
+  CampaignSpec spec;
+  spec.workloads = {"mcf"};
+  spec.policies = {core::PolicyKind::reap};
+  const auto points = expand(spec);
+  ASSERT_EQ(points.size(), 1u);
+  const auto results = runner.run(points);
+  EXPECT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].workload, "mcf");
+}
+
+// End-to-end determinism through the real simulator on a tiny grid. This
+// is the expensive test in the suite (~a few seconds): real experiments,
+// 1 vs 4 threads, byte-compared aggregate reports.
+TEST(CampaignRunnerEndToEnd, RealExperimentsDeterministicAcrossThreads) {
+  CampaignSpec spec;
+  spec.workloads = {"mcf", "h264ref"};
+  spec.policies = {core::PolicyKind::conventional_parallel,
+                   core::PolicyKind::reap};
+  spec.seeds = {0, 1};
+  spec.base.instructions = 30'000;
+  spec.base.warmup_instructions = 3'000;
+
+  const auto points = expand(spec);
+  ASSERT_EQ(points.size(), 8u);
+
+  RunnerOptions serial_opts;
+  serial_opts.threads = 1;
+  RunnerOptions parallel_opts;
+  parallel_opts.threads = 4;
+
+  const auto serial = CampaignRunner(serial_opts).run(points);
+  const auto parallel = CampaignRunner(parallel_opts).run(points);
+
+  std::ostringstream a, b;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (const auto& cell : result_cells(points[i], serial[i])) a << cell << '|';
+    for (const auto& cell : result_cells(points[i], parallel[i]))
+      b << cell << '|';
+  }
+  const auto agg_a = aggregate(spec, points, serial,
+                               core::PolicyKind::conventional_parallel);
+  const auto agg_b = aggregate(spec, points, parallel,
+                               core::PolicyKind::conventional_parallel);
+  ASSERT_TRUE(agg_a && agg_b);
+  a << agg_a->render();
+  b << agg_b->render();
+  EXPECT_EQ(a.str(), b.str());
+}
+
+}  // namespace
+}  // namespace reap::campaign
