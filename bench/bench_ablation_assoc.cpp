@@ -2,9 +2,15 @@
 // conventional cache's accumulation and REAP's decode-energy premium grow
 // with associativity. Sweeps k at fixed capacity.
 //
-// Flags: --instructions=N --warmup=N --workload=name
+// Driven by the campaign engine: one {conventional, reap} campaign per
+// associativity (ways is hierarchy geometry, not a grid axis); all
+// campaigns share the campaign seed so each sweep point replays the
+// identical trace for both policies.
+//
+// Flags: --instructions=N --warmup=N --workload=name --threads=N
 #include <cstdio>
 
+#include "reap/campaign/campaign.hpp"
 #include "reap/common/cli.hpp"
 #include "reap/common/table.hpp"
 #include "reap/core/experiment.hpp"
@@ -15,32 +21,40 @@ using common::TextTable;
 
 int main(int argc, char** argv) {
   common::CliArgs args(argc, argv);
-  const std::uint64_t instructions = args.get_u64("instructions", 1'000'000);
-  const std::uint64_t warmup = args.get_u64("warmup", 100'000);
   const std::string workload = args.get_string("workload", "perlbench");
-
-  const auto profile = trace::spec2006_profile(workload);
-  if (!profile) {
+  if (!trace::spec2006_profile(workload)) {
     std::fprintf(stderr, "unknown workload: %s\n", workload.c_str());
     return 1;
   }
+
+  campaign::RunnerOptions opts;
+  opts.threads = static_cast<unsigned>(args.get_u64("threads", 0));
+  campaign::CampaignRunner runner(opts);
 
   std::puts("=== Ablation: L2 associativity sweep (1MB capacity) ===");
   std::printf("workload: %s\n", workload.c_str());
   TextTable t({"ways", "L2 hit rate", "max concealed", "MTTF gain (x)",
                "energy overhead (%)"});
   for (const std::size_t ways : {2u, 4u, 8u, 16u}) {
-    core::ExperimentConfig cfg;
-    cfg.workload = *profile;
-    cfg.instructions = instructions;
-    cfg.warmup_instructions = warmup;
-    cfg.hierarchy.l2.ways = ways;
-    const auto c = core::compare_policies(
-        cfg, core::PolicyKind::conventional_parallel, core::PolicyKind::reap);
+    campaign::CampaignSpec spec;
+    spec.name = "ablation-assoc-" + std::to_string(ways);
+    spec.workloads = {workload};
+    spec.policies = {core::PolicyKind::conventional_parallel,
+                     core::PolicyKind::reap};
+    spec.base.instructions = args.get_u64("instructions", 1'000'000);
+    spec.base.warmup_instructions = args.get_u64("warmup", 100'000);
+    spec.base.hierarchy.l2.ways = ways;
+
+    const auto points = campaign::expand(spec);
+    const auto results = runner.run(points);
+    const auto agg = campaign::aggregate(
+        spec, points, results, core::PolicyKind::conventional_parallel);
+    const auto& c = agg->comparisons[0];  // REAP vs conventional
+    const auto& base = results[c.baseline_index];
     t.add_row({std::to_string(ways),
-               TextTable::fixed(100.0 * c.base.hier.l2.read_hit_rate(), 1) +
+               TextTable::fixed(100.0 * base.hier.l2.read_hit_rate(), 1) +
                    " %",
-               std::to_string(c.base.max_concealed),
+               std::to_string(base.max_concealed),
                TextTable::fixed(c.mttf_gain, 1),
                TextTable::fixed(c.energy_overhead_pct, 2)});
   }

@@ -6,9 +6,14 @@
 // failure rates scale as p^2; variation inflates the effective P_RD via the
 // weak-cell tail.
 //
-// Flags: --instructions=N --warmup=N --workload=name
+// Driven by the campaign engine: one {workload x policy x read_ratio} grid
+// sharded across cores; REAP rows are paired against the conventional
+// point that replayed the identical trace.
+//
+// Flags: --instructions=N --warmup=N --workload=name --threads=N
 #include <cstdio>
 
+#include "reap/campaign/campaign.hpp"
 #include "reap/common/cli.hpp"
 #include "reap/common/rng.hpp"
 #include "reap/common/table.hpp"
@@ -22,31 +27,46 @@ using common::TextTable;
 
 int main(int argc, char** argv) {
   common::CliArgs args(argc, argv);
-  const std::uint64_t instructions = args.get_u64("instructions", 1'000'000);
-  const std::uint64_t warmup = args.get_u64("warmup", 100'000);
   const std::string workload = args.get_string("workload", "perlbench");
 
-  const auto profile = trace::spec2006_profile(workload);
-  if (!profile) {
-    std::fprintf(stderr, "unknown workload: %s\n", workload.c_str());
-    return 1;
-  }
+  campaign::CampaignSpec spec;
+  spec.name = "ablation-device";
+  spec.workloads = {workload};
+  spec.policies = {core::PolicyKind::conventional_parallel,
+                   core::PolicyKind::reap};
+  spec.read_ratios = {0.55, 0.60, 0.65, 0.693, 0.75, 0.80};
+  spec.base.instructions = args.get_u64("instructions", 1'000'000);
+  spec.base.warmup_instructions = args.get_u64("warmup", 100'000);
 
   std::puts("=== Ablation: device operating point (I_read / I_C0 sweep) ===");
   std::printf("workload: %s\n", workload.c_str());
+
+  std::vector<campaign::CampaignPoint> points;
+  try {
+    points = campaign::expand(spec);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+
+  campaign::RunnerOptions opts;
+  opts.threads = static_cast<unsigned>(args.get_u64("threads", 0));
+  const auto results = campaign::CampaignRunner(opts).run(points);
+
+  const auto agg = campaign::aggregate(
+      spec, points, results, core::PolicyKind::conventional_parallel);
+
   TextTable t({"I_read/I_C0", "P_RD", "conv fail-sum", "reap fail-sum",
                "MTTF gain (x)"});
-  for (const double ratio : {0.55, 0.60, 0.65, 0.693, 0.75, 0.80}) {
-    core::ExperimentConfig cfg;
-    cfg.workload = *profile;
-    cfg.instructions = instructions;
-    cfg.warmup_instructions = warmup;
-    cfg.mtj = mtj::with_read_ratio(ratio);
-    const auto c = core::compare_policies(
-        cfg, core::PolicyKind::conventional_parallel, core::PolicyKind::reap);
-    t.add_row({TextTable::fixed(ratio, 3), TextTable::sci(c.base.p_rd),
-               TextTable::sci(c.base.mttf.failure_prob_sum),
-               TextTable::sci(c.other.mttf.failure_prob_sum),
+  // One comparison per operating point (REAP vs its paired conventional).
+  for (const auto& c : agg->comparisons) {
+    const auto& pt = points[c.index];
+    const auto& reap_r = results[c.index];
+    const auto& base = results[c.baseline_index];
+    t.add_row({TextTable::fixed(spec.read_ratios[pt.ratio_i], 3),
+               TextTable::sci(base.p_rd),
+               TextTable::sci(base.mttf.failure_prob_sum),
+               TextTable::sci(reap_r.mttf.failure_prob_sum),
                TextTable::fixed(c.mttf_gain, 1)});
   }
   std::fputs(t.render().c_str(), stdout);

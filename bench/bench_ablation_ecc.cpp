@@ -1,16 +1,19 @@
 // ECC-strength ablation: can a stronger code substitute for REAP?
 //
 // Runs the conventional cache with t = 1 (SEC-DED) and t = 2/3 (BCH), plus
-// REAP with t = 1, on a few workloads. Also prints the storage/decoder cost
+// REAP with t = 1/2, on one workload. Also prints the storage/decoder cost
 // each code pays. Expected shape: DEC narrows the gap but keeps the
 // accumulation scaling (failure ~ N^(t+1) p^(t+1)), while REAP removes the
 // N dependence entirely at far lower cost.
 //
-// Flags: --instructions=N --warmup=N --workloads=a,b,c
+// Driven by the campaign engine: one {policy x ecc_t} grid, sharded across
+// cores; every row replayed the identical trace.
+//
+// Flags: --instructions=N --warmup=N --workload=name --threads=N
 #include <cstdio>
 #include <string>
-#include <vector>
 
+#include "reap/campaign/campaign.hpp"
 #include "reap/common/cli.hpp"
 #include "reap/common/table.hpp"
 #include "reap/core/experiment.hpp"
@@ -22,8 +25,6 @@ using common::TextTable;
 
 int main(int argc, char** argv) {
   common::CliArgs args(argc, argv);
-  const std::uint64_t instructions = args.get_u64("instructions", 1'500'000);
-  const std::uint64_t warmup = args.get_u64("warmup", 150'000);
   const std::string workload = args.get_string("workload", "h264ref");
 
   std::puts("=== Ablation: ECC strength vs REAP ===");
@@ -47,20 +48,40 @@ int main(int argc, char** argv) {
   }
   std::fputs(costs.render().c_str(), stdout);
 
-  const auto profile = trace::spec2006_profile(workload);
-  if (!profile) {
-    std::fprintf(stderr, "unknown workload: %s\n", workload.c_str());
+  // Two campaigns sharing the campaign seed (so every point replays the
+  // identical trace) rather than one {policy x ecc} cross product: REAP
+  // only needs t = 1/2, and the grid would simulate-and-discard REAP+t=3.
+  campaign::CampaignSpec conv;
+  conv.name = "ablation-ecc-conventional";
+  conv.workloads = {workload};
+  conv.policies = {core::PolicyKind::conventional_parallel};
+  conv.ecc_ts = {1, 2, 3};
+  conv.base.instructions = args.get_u64("instructions", 1'500'000);
+  conv.base.warmup_instructions = args.get_u64("warmup", 150'000);
+
+  campaign::CampaignSpec reap = conv;
+  reap.name = "ablation-ecc-reap";
+  reap.policies = {core::PolicyKind::reap};
+  reap.ecc_ts = {1, 2};
+
+  campaign::RunnerOptions opts;
+  opts.threads = static_cast<unsigned>(args.get_u64("threads", 0));
+  campaign::CampaignRunner runner(opts);
+
+  std::vector<campaign::CampaignPoint> conv_points, reap_points;
+  try {
+    conv_points = campaign::expand(conv);
+    reap_points = campaign::expand(reap);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
     return 1;
   }
+  const auto conv_results = runner.run(conv_points);
+  const auto reap_results = runner.run(reap_points);
 
   std::printf("\n--- workload: %s ---\n", workload.c_str());
-  core::ExperimentConfig cfg;
-  cfg.workload = *profile;
-  cfg.instructions = instructions;
-  cfg.warmup_instructions = warmup;
-  cfg.policy = core::PolicyKind::conventional_parallel;
-  cfg.ecc_t = 1;
-  const auto base = core::run_experiment(cfg);
+
+  const auto& base = conv_results[0];  // conventional + SEC-DED (t=1)
 
   TextTable t({"configuration", "fail-prob sum", "MTTF vs conv+SECDED (x)"});
   auto add = [&](const std::string& label, const core::ExperimentResult& r) {
@@ -68,17 +89,18 @@ int main(int argc, char** argv) {
                TextTable::fixed(reliability::mttf_ratio(r.mttf, base.mttf),
                                 1)});
   };
-  add("conventional + SEC-DED (t=1)", base);
-  for (unsigned tc = 2; tc <= 3; ++tc) {
-    cfg.ecc_t = tc;
-    cfg.policy = core::PolicyKind::conventional_parallel;
-    add("conventional + BCH t=" + std::to_string(tc), core::run_experiment(cfg));
+  for (const auto& pt : conv_points) {
+    const unsigned tc = conv.ecc_ts[pt.ecc_i];
+    add(tc == 1 ? "conventional + SEC-DED (t=1)"
+                : "conventional + BCH t=" + std::to_string(tc),
+        conv_results[pt.index]);
   }
-  cfg.ecc_t = 1;
-  cfg.policy = core::PolicyKind::reap;
-  add("REAP + SEC-DED (t=1)", core::run_experiment(cfg));
-  cfg.ecc_t = 2;
-  add("REAP + BCH t=2", core::run_experiment(cfg));
+  for (const auto& pt : reap_points) {
+    const unsigned tc = reap.ecc_ts[pt.ecc_i];
+    add(tc == 1 ? "REAP + SEC-DED (t=1)"
+                : "REAP + BCH t=" + std::to_string(tc),
+        reap_results[pt.index]);
+  }
   std::fputs(t.render().c_str(), stdout);
   return 0;
 }

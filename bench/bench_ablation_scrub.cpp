@@ -5,9 +5,15 @@
 // endpoint removes accumulation completely while partial scrubbing buys
 // diminishing protection per decode.
 //
-// Flags: --instructions=N --warmup=N --workload=name
+// Driven by the campaign engine: one campaign sweeps the scrub_everys
+// design axis, a second supplies the conventional/REAP reference points.
+// Both campaigns share the campaign seed and environment axes, so every
+// row replayed the identical trace (paired comparison).
+//
+// Flags: --instructions=N --warmup=N --workload=name --threads=N
 #include <cstdio>
 
+#include "reap/campaign/campaign.hpp"
 #include "reap/common/cli.hpp"
 #include "reap/common/table.hpp"
 #include "reap/core/experiment.hpp"
@@ -18,25 +24,39 @@ using common::TextTable;
 
 int main(int argc, char** argv) {
   common::CliArgs args(argc, argv);
-  const std::uint64_t instructions = args.get_u64("instructions", 1'000'000);
-  const std::uint64_t warmup = args.get_u64("warmup", 100'000);
   const std::string workload = args.get_string("workload", "h264ref");
-
-  const auto profile = trace::spec2006_profile(workload);
-  if (!profile) {
+  if (!trace::spec2006_profile(workload)) {
     std::fprintf(stderr, "unknown workload: %s\n", workload.c_str());
     return 1;
   }
 
+  campaign::RunnerOptions opts;
+  opts.threads = static_cast<unsigned>(args.get_u64("threads", 0));
+  campaign::CampaignRunner runner(opts);
+
+  campaign::CampaignSpec refs;
+  refs.name = "ablation-scrub-refs";
+  refs.workloads = {workload};
+  refs.policies = {core::PolicyKind::conventional_parallel,
+                   core::PolicyKind::reap};
+  refs.base.instructions = args.get_u64("instructions", 1'000'000);
+  refs.base.warmup_instructions = args.get_u64("warmup", 100'000);
+
+  campaign::CampaignSpec sweep = refs;
+  sweep.name = "ablation-scrub-sweep";
+  sweep.policies = {core::PolicyKind::scrub_piggyback};
+  sweep.scrub_everys = {256, 64, 16, 4, 1};
+
   std::puts("=== Ablation: piggyback scrub period (extension) ===");
   std::printf("workload: %s\n", workload.c_str());
 
-  core::ExperimentConfig cfg;
-  cfg.workload = *profile;
-  cfg.instructions = instructions;
-  cfg.warmup_instructions = warmup;
-  cfg.policy = core::PolicyKind::conventional_parallel;
-  const auto base = core::run_experiment(cfg);
+  const auto ref_points = campaign::expand(refs);
+  const auto ref_results = runner.run(ref_points);
+  const auto sweep_points = campaign::expand(sweep);
+  const auto sweep_results = runner.run(sweep_points);
+
+  const auto& base = ref_results[0];  // conventional (policy order above)
+  const auto& reap_r = ref_results[1];
 
   TextTable t({"configuration", "MTTF vs conv (x)", "energy vs conv (%)",
                "ECC decodes"});
@@ -49,13 +69,11 @@ int main(int argc, char** argv) {
                std::to_string(r.events.ecc_decodes)});
   };
   add("conventional", base);
-  for (const std::uint64_t every : {256ull, 64ull, 16ull, 4ull, 1ull}) {
-    cfg.policy = core::PolicyKind::scrub_piggyback;
-    cfg.scrub_every = every;
-    add("scrub every " + std::to_string(every), core::run_experiment(cfg));
+  for (const auto& pt : sweep_points) {
+    add("scrub every " + std::to_string(sweep.scrub_everys[pt.scrub_i]),
+        sweep_results[pt.index]);
   }
-  cfg.policy = core::PolicyKind::reap;
-  add("reap", core::run_experiment(cfg));
+  add("reap", reap_r);
   std::fputs(t.render().c_str(), stdout);
   return 0;
 }

@@ -1,0 +1,79 @@
+// End-to-end experiment throughput (google-benchmark): instructions/sec of
+// run_experiment per read-path policy on the paper's default Table I
+// configuration, for both dispatch paths:
+//
+//   E2E/static/<policy>   -- the production engine: batched trace pulls,
+//                            policy statically dispatched and inlined into
+//                            the cache access path (run_experiment)
+//   E2E/virtual/<policy>  -- the runtime-dispatch reference loop: per-op
+//                            virtual TraceSource::next + virtual
+//                            L2PolicyHooks (run_experiment_virtual)
+//
+// The static/virtual ratio isolates the dispatch + batching win inside one
+// binary; comparing BENCH_e2e.json files across commits (tools/
+// bench_diff.py) tracks the full perf trajectory, including substrate
+// changes both paths share. items_per_second is simulated instructions per
+// wall second — the number ROADMAP's "SPEC-length windows become routine"
+// goal moves on.
+//
+// Emit the JSON artifact with:
+//   bench_e2e --benchmark_out=BENCH_e2e.json --benchmark_out_format=json
+#include <benchmark/benchmark.h>
+
+#include "reap/core/experiment.hpp"
+#include "reap/trace/spec2006.hpp"
+
+using namespace reap;
+
+namespace {
+
+// Default Table I hierarchy/device config; perlbench is the bundled
+// workload with the paper's qualitative "average case" mix (hot-set reuse
+// + streams + pointer-ish noise).
+core::ExperimentConfig bench_cfg(core::PolicyKind policy) {
+  core::ExperimentConfig cfg;
+  cfg.workload = *trace::spec2006_profile("perlbench");
+  cfg.policy = policy;
+  cfg.instructions = 400'000;
+  cfg.warmup_instructions = 50'000;
+  return cfg;
+}
+
+void run_e2e(benchmark::State& state,
+             core::ExperimentResult (*run)(const core::ExperimentConfig&),
+             core::PolicyKind policy) {
+  const auto cfg = bench_cfg(policy);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run(cfg));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * cfg.instructions));
+}
+
+void register_all() {
+  for (const core::PolicyKind policy : core::all_policies()) {
+    benchmark::RegisterBenchmark(
+        ("E2E/static/" + core::to_string(policy)).c_str(),
+        [policy](benchmark::State& s) {
+          run_e2e(s, core::run_experiment, policy);
+        })
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(
+        ("E2E/virtual/" + core::to_string(policy)).c_str(),
+        [policy](benchmark::State& s) {
+          run_e2e(s, core::run_experiment_virtual, policy);
+        })
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

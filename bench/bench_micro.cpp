@@ -94,6 +94,54 @@ void BM_TraceGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_TraceGeneration);
 
+void BM_TraceBatchGeneration(benchmark::State& state) {
+  // The batched pull the simulator's static path uses: one virtual call
+  // per kBatchOps operations. items = ops, for comparison against the
+  // per-op BM_TraceGeneration.
+  auto profile = *trace::spec2006_profile("perlbench");
+  trace::WorkloadTraceSource src(profile);
+  std::vector<trace::MemOp> buf(sim::TraceCpu::kBatchOps);
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    ops += src.next_batch({buf.data(), buf.size()});
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+}
+BENCHMARK(BM_TraceBatchGeneration);
+
+void BM_CacheLookupHit(benchmark::State& state) {
+  // SoA tag-column scan: L1-shaped cache, all reads hit, no hooks.
+  sim::SetAssocCache cache(
+      {.name = "L1", .capacity_bytes = 32 * 1024, .ways = 4,
+       .block_bytes = 64});
+  for (std::uint64_t a = 0; a < 32 * 1024; a += 64) cache.fill(a, false);
+  sim::NullHooks hooks;
+  std::uint64_t addr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.read(addr, hooks));
+    addr = (addr + 8 * 73) & (32 * 1024 - 1);  // walk the sets
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CacheLookupHit);
+
+void BM_CacheLookupMissAndFill(benchmark::State& state) {
+  // Thrash a small cache: every read misses and the block is refilled
+  // (tag scan + victim scan + fill bookkeeping).
+  sim::SetAssocCache cache(
+      {.name = "L1", .capacity_bytes = 4 * 1024, .ways = 4,
+       .block_bytes = 64});
+  sim::NullHooks hooks;
+  std::uint64_t addr = 0;
+  for (auto _ : state) {
+    if (!cache.read(addr, hooks)) cache.fill(addr, false, hooks);
+    addr += 4 * 1024;  // same set, always a new tag
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CacheLookupMissAndFill);
+
 void BM_HierarchySimulation(benchmark::State& state) {
   // Steady-state instructions/second through the full hierarchy with the
   // REAP policy attached (the heaviest hook).

@@ -38,19 +38,24 @@ std::optional<CampaignAggregates> aggregate(
   CampaignAggregates agg;
   agg.baseline = baseline;
 
-  // The expansion is row-major (workload, policy, ecc, ratio, seed), so the
-  // baseline partner of a point differs only in the policy digit.
+  // The expansion is row-major (workload, policy, ecc, scrub, ratio,
+  // seed), so the baseline partner of a point differs only in the policy
+  // digit.
   const std::size_t n_ratios =
       spec.read_ratios.empty() ? 1 : spec.read_ratios.size();
-  const std::size_t inner = spec.ecc_ts.size() * n_ratios * spec.seeds.size();
+  const std::size_t n_scrubs =
+      spec.scrub_everys.empty() ? 1 : spec.scrub_everys.size();
   const auto index_of = [&](const CampaignPoint& pt, std::size_t policy_i) {
-    return ((pt.workload_i * spec.policies.size() + policy_i) *
-                spec.ecc_ts.size() +
-            pt.ecc_i) *
-               n_ratios * spec.seeds.size() +
-           pt.ratio_i * spec.seeds.size() + pt.seed_i;
+    return ((((pt.workload_i * spec.policies.size() + policy_i) *
+                  spec.ecc_ts.size() +
+              pt.ecc_i) *
+                 n_scrubs +
+             pt.scrub_i) *
+                n_ratios +
+            pt.ratio_i) *
+               spec.seeds.size() +
+           pt.seed_i;
   };
-  (void)inner;
 
   for (const auto& pt : points) {
     if (pt.policy_i == baseline_pi) continue;

@@ -35,6 +35,13 @@ struct CampaignSpec {
   std::vector<std::string> workloads;        // spec2006 profile names
   std::vector<core::PolicyKind> policies;
   std::vector<unsigned> ecc_ts = {1};
+  // Scrub periods (design axis, like policy/ecc: excluded from seed
+  // derivation); empty = keep base.scrub_every. Only the scrub_piggyback
+  // policy reads the value; for other policies the axis just replicates
+  // points, so sweep it with policies={scrub} (reference policies go in a
+  // separate campaign — same campaign_seed and environment axes replay
+  // identical traces across campaigns).
+  std::vector<std::uint64_t> scrub_everys;
   // MTJ operating points as I_read/I_C0 ratios; empty = keep base.mtj.
   std::vector<double> read_ratios;
   // Seed-axis values (replica ids); each is folded into the derived seed.
@@ -48,8 +55,9 @@ struct CampaignSpec {
   // keys: name, workloads, policies, ecc, read_ratios, seeds,
   // campaign_seed, instructions, warmup, clock_ghz, scrub_every,
   // dirty_check, l2_kb, l2_ways, block_bytes. List values are
-  // comma-separated; `policies=all` selects every policy. Returns nullopt
-  // and sets `error` on unknown keys/values.
+  // comma-separated; `policies=all` selects every policy; `scrub_every`
+  // accepts a list and populates the scrub axis. Returns nullopt and sets
+  // `error` on unknown keys/values.
   static std::optional<CampaignSpec> from_kv(
       const std::map<std::string, std::string>& kv,
       std::string* error = nullptr);
@@ -63,6 +71,7 @@ struct CampaignPoint {
   std::size_t workload_i = 0;
   std::size_t policy_i = 0;
   std::size_t ecc_i = 0;
+  std::size_t scrub_i = 0;  // 0 when the scrub axis is empty
   std::size_t ratio_i = 0;  // 0 when the ratio axis is empty
   std::size_t seed_i = 0;
   core::ExperimentConfig config;

@@ -28,7 +28,7 @@ int usage(const char* argv0) {
       "  ecc=1,2               read_ratios=0.55,0.693,0.8\n"
       "  seeds=0,1,2           campaign_seed=N\n"
       "  instructions=N        warmup=N        clock_ghz=G\n"
-      "  scrub_every=N         dirty_check=0|1\n"
+      "  scrub_every=N,N,...   dirty_check=0|1\n"
       "  l2_kb=N  l2_ways=N    block_bytes=N   name=STR\n"
       "\n"
       "runner/output flags:\n"

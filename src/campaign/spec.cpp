@@ -40,8 +40,9 @@ std::string trim(const std::string& s) {
 
 std::size_t CampaignSpec::size() const {
   const std::size_t ratios = read_ratios.empty() ? 1 : read_ratios.size();
-  return workloads.size() * policies.size() * ecc_ts.size() * ratios *
-         seeds.size();
+  const std::size_t scrubs = scrub_everys.empty() ? 1 : scrub_everys.size();
+  return workloads.size() * policies.size() * ecc_ts.size() * scrubs *
+         ratios * seeds.size();
 }
 
 std::vector<CampaignPoint> expand(const CampaignSpec& spec) {
@@ -64,12 +65,15 @@ std::vector<CampaignPoint> expand(const CampaignSpec& spec) {
 
   const std::size_t n_ratios =
       spec.read_ratios.empty() ? 1 : spec.read_ratios.size();
+  const std::size_t n_scrubs =
+      spec.scrub_everys.empty() ? 1 : spec.scrub_everys.size();
 
   std::vector<CampaignPoint> points;
   points.reserve(spec.size());
   for (std::size_t w = 0; w < profiles.size(); ++w)
     for (std::size_t p = 0; p < spec.policies.size(); ++p)
       for (std::size_t e = 0; e < spec.ecc_ts.size(); ++e)
+       for (std::size_t sc = 0; sc < n_scrubs; ++sc)
         for (std::size_t r = 0; r < n_ratios; ++r)
           for (std::size_t s = 0; s < spec.seeds.size(); ++s) {
             CampaignPoint pt;
@@ -77,6 +81,7 @@ std::vector<CampaignPoint> expand(const CampaignSpec& spec) {
             pt.workload_i = w;
             pt.policy_i = p;
             pt.ecc_i = e;
+            pt.scrub_i = sc;
             pt.ratio_i = r;
             pt.seed_i = s;
 
@@ -84,6 +89,8 @@ std::vector<CampaignPoint> expand(const CampaignSpec& spec) {
             cfg.workload = profiles[w];
             cfg.policy = spec.policies[p];
             cfg.ecc_t = spec.ecc_ts[e];
+            if (!spec.scrub_everys.empty())
+              cfg.scrub_every = spec.scrub_everys[sc];
             if (!spec.read_ratios.empty())
               cfg.mtj = mtj::with_read_ratio(spec.read_ratios[r]);
 
@@ -184,7 +191,9 @@ std::optional<CampaignSpec> CampaignSpec::from_kv(
       if (!common::parse_double(value, spec.base.clock_ghz))
         ok = set_error(error, "bad value for clock_ghz: '" + value + "'");
     } else if (key == "scrub_every") {
-      u64_value(key, value, spec.base.scrub_every);
+      // A list populates the scrub axis; a single value degenerates to the
+      // old scalar behaviour (axis of one).
+      u64_list(key, value, spec.scrub_everys);
     } else if (key == "dirty_check") {
       spec.base.check_on_dirty_eviction = value == "1" || value == "true";
     } else if (key == "l2_kb") {

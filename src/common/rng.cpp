@@ -7,10 +7,6 @@ namespace reap::common {
 
 namespace {
 
-inline std::uint64_t rotl(std::uint64_t x, int k) {
-  return (x << k) | (x >> (64 - k));
-}
-
 // splitmix64: seeds the xoshiro state from one 64-bit value.
 inline std::uint64_t splitmix64(std::uint64_t& x) {
   x += 0x9e3779b97f4a7c15ULL;
@@ -31,51 +27,11 @@ void Rng::reseed(std::uint64_t seed) {
   has_cached_normal_ = false;
 }
 
-std::uint64_t Rng::next() {
-  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-  const std::uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = rotl(s_[3], 45);
-  return result;
-}
-
-double Rng::uniform() {
-  // 53 high bits -> double in [0, 1).
-  return static_cast<double>(next() >> 11) * 0x1.0p-53;
-}
-
-std::uint64_t Rng::below(std::uint64_t bound) {
-  REAP_EXPECTS(bound > 0);
-  // Lemire's nearly-divisionless method.
-  std::uint64_t x = next();
-  __uint128_t m = static_cast<__uint128_t>(x) * bound;
-  std::uint64_t l = static_cast<std::uint64_t>(m);
-  if (l < bound) {
-    const std::uint64_t t = (0 - bound) % bound;
-    while (l < t) {
-      x = next();
-      m = static_cast<__uint128_t>(x) * bound;
-      l = static_cast<std::uint64_t>(m);
-    }
-  }
-  return static_cast<std::uint64_t>(m >> 64);
-}
-
 std::int64_t Rng::range(std::int64_t lo, std::int64_t hi) {
   REAP_EXPECTS(lo <= hi);
   const std::uint64_t span =
       static_cast<std::uint64_t>(hi - lo) + 1;  // never 0: hi-lo < 2^63
   return lo + static_cast<std::int64_t>(below(span));
-}
-
-bool Rng::chance(double p) {
-  if (p <= 0.0) return false;
-  if (p >= 1.0) return true;
-  return uniform() < p;
 }
 
 double Rng::normal() {
@@ -145,7 +101,9 @@ std::size_t ZipfSampler::operator()(Rng& rng) const {
     const double k = std::floor(x + 0.5);
     if (k < 1.0) continue;
     if (k > static_cast<double>(n_)) continue;
-    const double ratio = std::pow(k / x, s_);
+    // s == 1 (the common profile setting) skips the pow: C/IEEE defines
+    // pow(x, 1.0) == x exactly, so this is the same value, cheaper.
+    const double ratio = s_ == 1.0 ? k / x : std::pow(k / x, s_);
     // Accept with probability proportional to pmf(k) / envelope(x).
     if (rng.uniform() * 1.2 <= ratio) {
       return static_cast<std::size_t>(k) - 1;

@@ -3,10 +3,13 @@
 #include <cmath>
 
 #include "reap/common/assert.hpp"
+#include "reap/core/policy_impl.hpp"
+#include "reap/core/read_path.hpp"
 #include "reap/ecc/bch.hpp"
 #include "reap/ecc/secded.hpp"
 #include "reap/mtj/read_disturb.hpp"
 #include "reap/mtj/write_model.hpp"
+#include "reap/reliability/binomial.hpp"
 #include "reap/trace/datavalue.hpp"
 
 namespace reap::core {
@@ -50,84 +53,123 @@ std::uint32_t l2_hit_cycles_for(PolicyKind kind,
          static_cast<std::uint32_t>(std::ceil(path_ns / period_ns));
 }
 
-ExperimentResult run_experiment(const ExperimentConfig& cfg) {
-  REAP_EXPECTS(cfg.instructions > 0);
-  REAP_EXPECTS(!cfg.workload.patterns.empty());
+namespace {
 
-  const std::size_t block_bits = cfg.hierarchy.l2.block_bytes * 8;
-  const auto line_code = make_line_code(block_bits, cfg.ecc_t);
-
-  // Device operating point.
-  const double p_rd = mtj::read_disturb_probability(cfg.mtj);
-  const double p_wf = mtj::write_failure_probability(cfg.mtj);
-
-  // Circuit model for energies and the policy-dependent read-path latency.
+nvsim::CacheGeometry l2_geometry(const ExperimentConfig& cfg) {
   nvsim::CacheGeometry geom;
   geom.capacity_bytes = cfg.hierarchy.l2.capacity_bytes;
   geom.ways = cfg.hierarchy.l2.ways;
   geom.block_bytes = cfg.hierarchy.l2.block_bytes;
   geom.data_cell = nvsim::CellType::stt_mram;
-  const nvsim::CacheModel circuit(geom, cfg.tech, *line_code, &cfg.mtj);
+  return geom;
+}
 
-  // Reliability machinery.
-  reliability::UncorrectableModel model(p_rd, cfg.ecc_t, block_bits);
+// Everything an experiment wires together except the policy object, shared
+// by the static- and virtual-dispatch drivers so the two runs differ only
+// in how the policy is invoked.
+struct ExperimentRig {
+  std::unique_ptr<ecc::Code> line_code;
+  double p_rd;
+  double p_wf;
+  nvsim::CacheModel circuit;
+  reliability::UncorrectableModel model;
   reliability::FailureLedger ledger;
-
   PolicyContext ctx;
-  ctx.model = &model;
-  ctx.ledger = &ledger;
-  ctx.ways = cfg.hierarchy.l2.ways;
-  ctx.write_fail_per_cell = p_wf;
-  ctx.codeword_bits = line_code->codeword_bits();
-  ctx.check_on_dirty_eviction = cfg.check_on_dirty_eviction;
-  ctx.scrub_every = cfg.scrub_every;
-  const auto policy = ReadPathPolicy::make(cfg.policy, ctx);
+  sim::MemoryHierarchy hier;
+  trace::DataValueModel values;
+  trace::WorkloadTraceSource source;
+  sim::TraceCpu cpu;
+  std::uint32_t hit_cycles;
 
-  // Hierarchy + workload.
-  sim::HierarchyConfig hcfg = cfg.hierarchy;
-  sim::MemoryHierarchy hier(hcfg, cfg.seed);
-  hier.set_l2_hooks(policy.get());
-  const std::uint32_t hit_cycles =
-      l2_hit_cycles_for(cfg.policy, circuit.timing(), cfg.clock_ghz);
-  hier.set_l2_hit_cycles(hit_cycles);
-
-  trace::DataValueModel values(cfg.workload.values, block_bits,
-                               cfg.workload.seed ^ 0xABCD);
-  hier.set_l2_ones_model(
-      [&values](std::uint64_t addr) { return values.ones_for(addr); });
-
-  trace::WorkloadTraceSource source(cfg.workload);
-  sim::TraceCpu cpu(source, hier, cfg.clock_ghz);
-
-  // Warmup: populate caches, then reset all accounting.
-  if (cfg.warmup_instructions > 0) {
-    cpu.run(cfg.warmup_instructions);
-    hier.reset_stats();
-    ledger.reset();
-    policy->reset_events();
-    cpu.reset_counters();
+  explicit ExperimentRig(const ExperimentConfig& cfg)
+      : line_code(make_line_code(cfg.hierarchy.l2.block_bytes * 8, cfg.ecc_t)),
+        p_rd(mtj::read_disturb_probability(cfg.mtj)),
+        p_wf(mtj::write_failure_probability(cfg.mtj)),
+        circuit(l2_geometry(cfg), cfg.tech, *line_code, &cfg.mtj),
+        model(p_rd, cfg.ecc_t, cfg.hierarchy.l2.block_bytes * 8),
+        hier(cfg.hierarchy, cfg.seed),
+        values(cfg.workload.values, cfg.hierarchy.l2.block_bytes * 8,
+               cfg.workload.seed ^ 0xABCD),
+        source(cfg.workload),
+        cpu(source, hier, cfg.clock_ghz),
+        hit_cycles(l2_hit_cycles_for(cfg.policy, circuit.timing(),
+                                     cfg.clock_ghz)) {
+    ctx.model = &model;
+    ctx.ledger = &ledger;
+    ctx.ways = cfg.hierarchy.l2.ways;
+    ctx.write_fail_per_cell = p_wf;
+    ctx.codeword_bits = line_code->codeword_bits();
+    ctx.check_on_dirty_eviction = cfg.check_on_dirty_eviction;
+    ctx.scrub_every = cfg.scrub_every;
+    hier.set_l2_hit_cycles(hit_cycles);
+    hier.set_l2_ones_provider(sim::OnesProvider(values));
   }
 
-  cpu.run(cfg.instructions);
+  void reset_accounting() {
+    hier.reset_stats();
+    ledger.reset();
+    cpu.reset_counters();
+  }
+};
 
+// Collects the result after the run; `policy` only needs events().
+template <class Policy>
+ExperimentResult collect(const ExperimentConfig& cfg, const ExperimentRig& rig,
+                         const Policy& policy) {
   ExperimentResult r;
   r.workload = cfg.workload.name;
   r.policy = cfg.policy;
-  r.instructions = cpu.instructions();
-  r.cycles = cpu.cycles();
-  r.ipc = cpu.ipc();
-  r.sim_seconds = cpu.seconds();
-  r.l2_hit_cycles = hit_cycles;
-  r.hier = hier.stats();
-  r.mttf = reliability::compute_mttf(ledger.total_failure_prob(),
-                                     cpu.seconds());
-  r.checks = ledger.checks();
-  r.max_concealed = ledger.max_concealed();
-  r.concealed = ledger.histogram();
-  r.events = policy->events();
-  r.energy = compute_energy(r.events, circuit.energies());
-  r.p_rd = p_rd;
+  r.instructions = rig.cpu.instructions();
+  r.cycles = rig.cpu.cycles();
+  r.ipc = rig.cpu.ipc();
+  r.sim_seconds = rig.cpu.seconds();
+  r.l2_hit_cycles = rig.hit_cycles;
+  r.hier = rig.hier.stats();
+  r.mttf = reliability::compute_mttf(rig.ledger.total_failure_prob(),
+                                     rig.cpu.seconds());
+  r.checks = rig.ledger.checks();
+  r.max_concealed = rig.ledger.max_concealed();
+  r.concealed = rig.ledger.histogram();
+  r.events = policy.events();
+  r.energy = compute_energy(r.events, rig.circuit.energies());
+  r.p_rd = rig.p_rd;
   return r;
+}
+
+void check_config(const ExperimentConfig& cfg) {
+  REAP_EXPECTS(cfg.instructions > 0);
+  REAP_EXPECTS(!cfg.workload.patterns.empty());
+}
+
+}  // namespace
+
+ExperimentResult run_experiment(const ExperimentConfig& cfg) {
+  check_config(cfg);
+  ExperimentRig rig(cfg);
+  return with_policy_impl(cfg.policy, rig.ctx, [&](auto& policy) {
+    // Warmup: populate caches, then reset all accounting.
+    if (cfg.warmup_instructions > 0) {
+      rig.cpu.run(cfg.warmup_instructions, policy);
+      rig.reset_accounting();
+      policy.reset_events();
+    }
+    rig.cpu.run(cfg.instructions, policy);
+    return collect(cfg, rig, policy);
+  });
+}
+
+ExperimentResult run_experiment_virtual(const ExperimentConfig& cfg) {
+  check_config(cfg);
+  ExperimentRig rig(cfg);
+  const auto policy = ReadPathPolicy::make(cfg.policy, rig.ctx);
+  rig.hier.set_l2_hooks(policy.get());
+  if (cfg.warmup_instructions > 0) {
+    rig.cpu.run(cfg.warmup_instructions);
+    rig.reset_accounting();
+    policy->reset_events();
+  }
+  rig.cpu.run(cfg.instructions);
+  return collect(cfg, rig, *policy);
 }
 
 PolicyComparison compare_policies(const ExperimentConfig& cfg,

@@ -66,8 +66,18 @@ struct ExperimentResult {
   double p_rd = 0.0;  // device operating point used
 };
 
-// Runs one experiment end to end.
+// Runs one experiment end to end. Dispatch is static: the simulator inner
+// loop (trace batch -> L1 -> L2 -> policy) is instantiated per PolicyKind
+// with no per-access virtual calls.
 ExperimentResult run_experiment(const ExperimentConfig& cfg);
+
+// Reference implementation driving the same wiring through the runtime
+// interfaces (per-op virtual TraceSource::next, virtual L2PolicyHooks).
+// Kept as the equivalence baseline: for any config it must produce results
+// byte-identical to run_experiment (pinned by
+// tests/core/test_static_dispatch.cpp) and is what bench_e2e reports the
+// static path's speedup against.
+ExperimentResult run_experiment_virtual(const ExperimentConfig& cfg);
 
 // Runs `base` and `other` on the same workload/seed and reports the
 // headline comparisons the paper's figures plot.

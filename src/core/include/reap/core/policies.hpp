@@ -1,83 +1,50 @@
-// Concrete read-path policies; see read_path.hpp for the taxonomy.
+// Runtime-dispatch adapters over the concrete policy implementations in
+// policy_impl.hpp; see read_path.hpp for the taxonomy.
+//
+// PolicyAdapter<Impl> is the "existing virtual interface" kept for tests
+// and exploratory code: it forwards every L2PolicyHooks call to the same
+// impl the static dispatch path inlines, so both paths run literally the
+// same policy arithmetic (the golden-equivalence test pins this down).
 #pragma once
 
+#include "reap/core/policy_impl.hpp"
 #include "reap/core/read_path.hpp"
 
 namespace reap::core {
 
-// Fig. 2: parallel access, single ECC decoder after the way MUX.
-class ConventionalParallelPolicy final : public ReadPathPolicy {
+template <class Impl>
+class PolicyAdapter final : public ReadPathPolicy {
  public:
-  explicit ConventionalParallelPolicy(const PolicyContext& ctx)
-      : ReadPathPolicy(ctx) {}
-  PolicyKind kind() const override { return PolicyKind::conventional_parallel; }
-  void on_read_lookup(std::span<sim::CacheLine> ways, int hit_way) override;
+  explicit PolicyAdapter(const PolicyContext& ctx) : impl_(ctx) {}
 
- protected:
-  double check_failure(const sim::CacheLine& line) const override;
-};
+  PolicyKind kind() const override { return Impl::kKind; }
+  const EnergyEvents& events() const override { return impl_.events(); }
+  void reset_events() override { impl_.reset_events(); }
 
-// Fig. 4: parallel access, k ECC decoders before the way MUX (the paper's
-// proposal).
-class ReapPolicy final : public ReadPathPolicy {
- public:
-  explicit ReapPolicy(const PolicyContext& ctx) : ReadPathPolicy(ctx) {}
-  PolicyKind kind() const override { return PolicyKind::reap; }
-  void on_read_lookup(std::span<sim::CacheLine> ways, int hit_way) override;
+  void on_read_lookup(sim::CacheSetView set, int hit_way) override {
+    impl_.on_read_lookup(set, hit_way);
+  }
+  void on_write_lookup(sim::CacheSetView set, int hit_way) override {
+    impl_.on_write_lookup(set, hit_way);
+  }
+  void on_fill(sim::LineRel& rel) override { impl_.on_fill(rel); }
+  void on_evict(sim::LineRel& rel, bool dirty) override {
+    impl_.on_evict(rel, dirty);
+  }
 
- protected:
-  double check_failure(const sim::CacheLine& line) const override;
-};
-
-// Sec. IV approach (1): read the data way only after the tag compare.
-class SerialTagThenDataPolicy final : public ReadPathPolicy {
- public:
-  explicit SerialTagThenDataPolicy(const PolicyContext& ctx)
-      : ReadPathPolicy(ctx) {}
-  PolicyKind kind() const override { return PolicyKind::serial_tag_then_data; }
-  void on_read_lookup(std::span<sim::CacheLine> ways, int hit_way) override;
-
- protected:
-  double check_failure(const sim::CacheLine& line) const override;
-};
-
-// Refs [14][15]: parallel access with a restore write after every read of
-// every way. Removes accumulation without extra decoders, but each restore
-// can fail as a write and burns write energy -- the trade-off the paper
-// criticizes.
-class DisruptiveRestorePolicy final : public ReadPathPolicy {
- public:
-  explicit DisruptiveRestorePolicy(const PolicyContext& ctx);
-  PolicyKind kind() const override { return PolicyKind::disruptive_restore; }
-  void on_read_lookup(std::span<sim::CacheLine> ways, int hit_way) override;
-
-  double restore_failure_prob() const { return p_restore_fail_; }
-
- protected:
-  double check_failure(const sim::CacheLine& line) const override;
+  // Access to impl-specific surface (restore_failure_prob,
+  // scrubs_performed, ...).
+  Impl& impl() { return impl_; }
+  const Impl& impl() const { return impl_; }
 
  private:
-  double p_restore_fail_;  // P(> t write failures in one restored codeword)
+  Impl impl_;
 };
 
-// Extension: conventional read path + periodic piggyback scrubbing. Every
-// scrub_every-th read lookup behaves like a REAP access for its set (all
-// ways checked and scrubbed); all other lookups are plain conventional.
-// Interpolates between the two designs at proportional decode energy.
-class ScrubPiggybackPolicy final : public ReadPathPolicy {
- public:
-  explicit ScrubPiggybackPolicy(const PolicyContext& ctx);
-  PolicyKind kind() const override { return PolicyKind::scrub_piggyback; }
-  void on_read_lookup(std::span<sim::CacheLine> ways, int hit_way) override;
-
-  std::uint64_t scrubs_performed() const { return scrubs_; }
-
- protected:
-  double check_failure(const sim::CacheLine& line) const override;
-
- private:
-  std::uint64_t countdown_;
-  std::uint64_t scrubs_ = 0;
-};
+using ConventionalParallelPolicy = PolicyAdapter<ConventionalPolicyImpl>;
+using ReapPolicy = PolicyAdapter<ReapPolicyImpl>;
+using SerialTagThenDataPolicy = PolicyAdapter<SerialPolicyImpl>;
+using DisruptiveRestorePolicy = PolicyAdapter<RestorePolicyImpl>;
+using ScrubPiggybackPolicy = PolicyAdapter<ScrubPolicyImpl>;
 
 }  // namespace reap::core

@@ -13,18 +13,26 @@
 //       of every way is followed by a restore write; accumulation is gone
 //       but each restore risks a write failure and costs write energy.
 //
-// A policy implements sim::L2PolicyHooks: it owns the per-line accumulation
-// bookkeeping, the failure-probability ledger entries, and the energy event
-// counts. The cache supplies the mechanism (tags, LRU, dirty bits).
+// A policy owns the per-line accumulation bookkeeping, the
+// failure-probability ledger entries, and the energy event counts; the
+// cache supplies the mechanism (tags, LRU, dirty bits). The concrete
+// implementations live in policy_impl.hpp as non-virtual types the
+// simulator statically dispatches over; ReadPathPolicy is the runtime
+// (virtual) view of the same implementations -- a thin adapter
+// (policies.hpp) for tests and exploratory code.
 #pragma once
 
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
-#include "reap/reliability/binomial.hpp"
 #include "reap/reliability/ledger.hpp"
 #include "reap/sim/cache.hpp"
+
+namespace reap::reliability {
+class UncorrectableModel;
+}
 
 namespace reap::core {
 
@@ -74,32 +82,17 @@ struct PolicyContext {
   std::uint64_t scrub_every = 64;
 };
 
+// Runtime-dispatch view of a read-path policy: the virtual L2PolicyHooks
+// interface plus kind/events accessors. make() returns an adapter wrapping
+// the matching policy_impl.hpp implementation.
 class ReadPathPolicy : public sim::L2PolicyHooks {
  public:
   static std::unique_ptr<ReadPathPolicy> make(PolicyKind kind,
                                               const PolicyContext& ctx);
 
   virtual PolicyKind kind() const = 0;
-
-  const EnergyEvents& events() const { return events_; }
-  void reset_events() { events_ = EnergyEvents{}; }
-
-  // Shared behaviour: writes/fills refresh lines, evictions optionally
-  // check dirty lines.
-  void on_write_lookup(std::span<sim::CacheLine> ways, int hit_way) override;
-  void on_fill(sim::CacheLine& line) override;
-  void on_evict(sim::CacheLine& line) override;
-
- protected:
-  explicit ReadPathPolicy(const PolicyContext& ctx);
-
-  // Failure probability of a checked read under this policy's discipline,
-  // given the line's ones count and reads-since-check; used by the shared
-  // eviction path.
-  virtual double check_failure(const sim::CacheLine& line) const = 0;
-
-  PolicyContext ctx_;
-  EnergyEvents events_;
+  virtual const EnergyEvents& events() const = 0;
+  virtual void reset_events() = 0;
 };
 
 }  // namespace reap::core

@@ -1,6 +1,5 @@
 #include "reap/core/read_path.hpp"
 
-#include "reap/common/assert.hpp"
 #include "reap/core/policies.hpp"
 
 namespace reap::core {
@@ -31,12 +30,6 @@ std::vector<PolicyKind> all_policies() {
           PolicyKind::scrub_piggyback};
 }
 
-ReadPathPolicy::ReadPathPolicy(const PolicyContext& ctx) : ctx_(ctx) {
-  REAP_EXPECTS(ctx.model != nullptr);
-  REAP_EXPECTS(ctx.ledger != nullptr);
-  REAP_EXPECTS(ctx.ways >= 1);
-}
-
 std::unique_ptr<ReadPathPolicy> ReadPathPolicy::make(PolicyKind kind,
                                                      const PolicyContext& ctx) {
   switch (kind) {
@@ -52,38 +45,6 @@ std::unique_ptr<ReadPathPolicy> ReadPathPolicy::make(PolicyKind kind,
       return std::make_unique<ScrubPiggybackPolicy>(ctx);
   }
   return nullptr;
-}
-
-void ReadPathPolicy::on_write_lookup(std::span<sim::CacheLine> ways,
-                                     int hit_way) {
-  (void)ways;
-  ++events_.lookups;
-  ++events_.tag_reads;
-  if (hit_way >= 0) {
-    // The hit way's data (and its freshly-encoded ECC) is rewritten; the
-    // cache clears reads_since_check and refreshes ones after this hook.
-    ++events_.way_data_writes;
-    ++events_.ecc_encodes;
-    ++events_.tag_writes;  // dirty-bit / LRU state update
-  }
-}
-
-void ReadPathPolicy::on_fill(sim::CacheLine& line) {
-  (void)line;
-  ++events_.way_data_writes;
-  ++events_.ecc_encodes;
-  ++events_.tag_writes;
-}
-
-void ReadPathPolicy::on_evict(sim::CacheLine& line) {
-  if (!ctx_.check_on_dirty_eviction || !line.dirty) return;
-  // Extension: the victim is read out through the ECC path before its
-  // writeback, which both costs a decode and realizes any accumulated
-  // uncorrectable state.
-  ++events_.ecc_decodes;
-  ++events_.way_data_reads;
-  ctx_.ledger->record_unattributed(check_failure(line));
-  line.reads_since_check = 0;
 }
 
 }  // namespace reap::core

@@ -70,7 +70,12 @@ double UncorrectableModel::single(std::uint64_t n_ones) const {
 
 double UncorrectableModel::conventional(std::uint64_t n_ones,
                                         std::uint64_t n_reads) const {
-  return binomial_tail_above(n_ones * n_reads, t_, p_rd_);
+  // Eq. (3)'s tail depends only on the total trial count; memoize on it.
+  const std::uint64_t trials = n_ones * n_reads;
+  if (const double* hit = conv_memo_.find(trials)) return *hit;
+  const double v = binomial_tail_above(trials, t_, p_rd_);
+  conv_memo_.insert(trials, v);
+  return v;
 }
 
 double UncorrectableModel::reap(std::uint64_t n_ones,

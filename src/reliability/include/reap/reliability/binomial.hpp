@@ -16,6 +16,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "reap/common/memo.hpp"
+
 namespace reap::reliability {
 
 // P[X <= t] for X ~ Binomial(trials, p) -- probability the code corrects.
@@ -41,8 +43,13 @@ double p_uncorrectable_block_reap(std::uint64_t n_ones, std::uint64_t n_reads,
                                   double p_rd, unsigned t = 1);
 
 // Memoized evaluator bound to fixed (p_rd, t): the policies call this once
-// per checked read; conventional sees arbitrary trial counts (computed
-// directly), REAP sees N repeats of the same per-read factor (cached).
+// per checked read. Single-read factors are cached eagerly per ones count;
+// conventional() keeps a direct-mapped memo keyed by its trial count (the
+// only input the tail depends on), so the simulator's hot loop pays the
+// log-space tail computation only on a memo miss. The memos never change a
+// returned value -- a collision just recomputes -- so results are identical
+// with or without them. Not thread-safe: use one model per experiment (the
+// campaign runner already does).
 class UncorrectableModel {
  public:
   UncorrectableModel(double p_rd, unsigned t, std::uint64_t max_cached_ones);
@@ -67,6 +74,9 @@ class UncorrectableModel {
   unsigned t_;
   // cache_[n] = log p_correct(n, t, p_rd); filled eagerly at construction.
   std::vector<double> log_pcorr_cache_;
+  // Memo for conventional(), keyed by the trial count (the only input the
+  // tail depends on).
+  mutable common::DirectMappedMemo<double, 1 << 13> conv_memo_;
 };
 
 }  // namespace reap::reliability

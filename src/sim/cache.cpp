@@ -15,150 +15,81 @@ SetAssocCache::SetAssocCache(CacheConfig cfg, std::uint64_t seed)
   REAP_EXPECTS(std::has_single_bit(sets_));
   offset_bits_ = static_cast<unsigned>(std::countr_zero(cfg_.block_bytes));
   index_bits_ = static_cast<unsigned>(std::countr_zero(sets_));
-  lines_.resize(sets_ * cfg_.ways);
+  tags_.resize(sets_ * cfg_.ways, 0);
+  rel_.resize(sets_ * cfg_.ways);
+  state_.resize(sets_ * cfg_.ways);
+  default_ones_ = static_cast<std::uint32_t>(cfg_.block_bytes * 8 / 2);
 }
 
-std::size_t SetAssocCache::set_of(std::uint64_t addr) const {
-  return (addr >> offset_bits_) & (sets_ - 1);
-}
-
-std::uint64_t SetAssocCache::tag_of(std::uint64_t addr) const {
-  return addr >> (offset_bits_ + index_bits_);
-}
-
-std::uint64_t SetAssocCache::line_addr(std::uint64_t tag,
-                                       std::size_t set) const {
-  return (tag << (offset_bits_ + index_bits_)) |
-         (static_cast<std::uint64_t>(set) << offset_bits_);
-}
-
-std::span<CacheLine> SetAssocCache::set_span(std::size_t set) {
-  return {&lines_[set * cfg_.ways], cfg_.ways};
-}
-
-std::span<const CacheLine> SetAssocCache::set_view(std::size_t set) const {
+SetAssocCache::LineInfo SetAssocCache::line_info(std::size_t set,
+                                                 std::size_t way) const {
   REAP_EXPECTS(set < sets_);
-  return {&lines_[set * cfg_.ways], cfg_.ways};
-}
-
-int SetAssocCache::find_way(std::size_t set, std::uint64_t tag) const {
-  const CacheLine* base = &lines_[set * cfg_.ways];
-  for (std::size_t w = 0; w < cfg_.ways; ++w) {
-    if (base[w].valid && base[w].tag == tag) return static_cast<int>(w);
-  }
-  return -1;
+  REAP_EXPECTS(way < cfg_.ways);
+  const std::size_t idx = set * cfg_.ways + way;
+  LineInfo info;
+  info.valid = state_[idx].valid;
+  info.dirty = state_[idx].dirty;
+  info.tag = tags_[idx] >> 1;
+  info.ones = rel_[idx].ones;
+  info.reads_since_check = rel_[idx].reads_since_check;
+  info.lru_stamp = state_[idx].lru_stamp;
+  info.fill_stamp = state_[idx].fill_stamp;
+  return info;
 }
 
 std::size_t SetAssocCache::victim_way(std::size_t set) {
-  auto ways = set_span(set);
-  // Invalid ways first.
-  for (std::size_t w = 0; w < ways.size(); ++w) {
-    if (!ways[w].valid) return w;
-  }
+  const std::size_t base = set * cfg_.ways;
+  const LineState* st = &state_[base];
+  // lru/fifo need no separate invalid-ways pass: an invalid line's stamps
+  // are 0 and every valid line's are >= 1 (clock_ pre-increments), so the
+  // single min-stamp scan already prefers the first invalid way — the same
+  // victim the two-pass form picked.
   switch (cfg_.replacement) {
     case ReplacementKind::lru: {
       std::size_t v = 0;
-      for (std::size_t w = 1; w < ways.size(); ++w) {
-        if (ways[w].lru_stamp < ways[v].lru_stamp) v = w;
+      for (std::size_t w = 1; w < cfg_.ways; ++w) {
+        if (st[w].lru_stamp < st[v].lru_stamp) v = w;
       }
       return v;
     }
     case ReplacementKind::fifo: {
       std::size_t v = 0;
-      for (std::size_t w = 1; w < ways.size(); ++w) {
-        if (ways[w].fill_stamp < ways[v].fill_stamp) v = w;
+      for (std::size_t w = 1; w < cfg_.ways; ++w) {
+        if (st[w].fill_stamp < st[v].fill_stamp) v = w;
       }
       return v;
     }
-    case ReplacementKind::random_repl:
-      return static_cast<std::size_t>(rng_.below(ways.size()));
-    case ReplacementKind::least_error_rate: {
-      std::size_t v = 0;
-      for (std::size_t w = 1; w < ways.size(); ++w) {
-        if (ways[w].reads_since_check > ways[v].reads_since_check ||
-            (ways[w].reads_since_check == ways[v].reads_since_check &&
-             ways[w].lru_stamp < ways[v].lru_stamp)) {
-          v = w;
-        }
-      }
-      return v;
+    default:
+      break;
+  }
+  // Invalid ways first.
+  for (std::size_t w = 0; w < cfg_.ways; ++w) {
+    if (!st[w].valid) return w;
+  }
+  if (cfg_.replacement == ReplacementKind::random_repl)
+    return static_cast<std::size_t>(rng_.below(cfg_.ways));
+  // least_error_rate
+  const LineRel* rel = &rel_[base];
+  std::size_t v = 0;
+  for (std::size_t w = 1; w < cfg_.ways; ++w) {
+    if (rel[w].reads_since_check > rel[v].reads_since_check ||
+        (rel[w].reads_since_check == rel[v].reads_since_check &&
+         st[w].lru_stamp < st[v].lru_stamp)) {
+      v = w;
     }
   }
-  return 0;
-}
-
-std::uint32_t SetAssocCache::ones_for(std::uint64_t addr) const {
-  if (ones_model_) return ones_model_(addr);
-  return static_cast<std::uint32_t>(cfg_.block_bytes * 8 / 2);
-}
-
-bool SetAssocCache::read(std::uint64_t addr) {
-  const std::size_t set = set_of(addr);
-  const std::uint64_t tag = tag_of(addr);
-  ++stats_.read_lookups;
-  const int way = find_way(set, tag);
-  if (hooks_) hooks_->on_read_lookup(set_span(set), way);
-  if (way < 0) return false;
-  ++stats_.read_hits;
-  touch(lines_[set * cfg_.ways + static_cast<std::size_t>(way)]);
-  return true;
-}
-
-bool SetAssocCache::write(std::uint64_t addr) {
-  const std::size_t set = set_of(addr);
-  const std::uint64_t tag = tag_of(addr);
-  ++stats_.write_lookups;
-  const int way = find_way(set, tag);
-  if (hooks_) hooks_->on_write_lookup(set_span(set), way);
-  if (way < 0) return false;
-  ++stats_.write_hits;
-  CacheLine& line = lines_[set * cfg_.ways + static_cast<std::size_t>(way)];
-  line.dirty = true;
-  line.ones = ones_for(addr);
-  line.reads_since_check = 0;  // a rewrite refreshes every cell
-  touch(line);
-  return true;
-}
-
-SetAssocCache::Evicted SetAssocCache::fill(std::uint64_t addr, bool dirty) {
-  const std::size_t set = set_of(addr);
-  const std::uint64_t tag = tag_of(addr);
-  REAP_EXPECTS(find_way(set, tag) < 0);  // caller must not double-fill
-
-  Evicted ev;
-  const std::size_t w = victim_way(set);
-  CacheLine& line = lines_[set * cfg_.ways + w];
-  if (line.valid) {
-    if (hooks_) hooks_->on_evict(line);
-    ev.any = true;
-    ev.dirty = line.dirty;
-    ev.addr = line_addr(line.tag, set);
-    ++stats_.evictions;
-    if (line.dirty) ++stats_.dirty_evictions;
-  }
-  line.tag = tag;
-  line.valid = true;
-  line.dirty = dirty;
-  line.ones = ones_for(addr);
-  line.reads_since_check = 0;
-  line.fill_stamp = ++clock_;
-  line.lru_stamp = clock_;
-  ++stats_.fills;
-  if (hooks_) hooks_->on_fill(line);
-  return ev;
-}
-
-bool SetAssocCache::probe(std::uint64_t addr) const {
-  return find_way(set_of(addr), tag_of(addr)) >= 0;
+  return v;
 }
 
 bool SetAssocCache::invalidate(std::uint64_t addr) {
   const std::size_t set = set_of(addr);
-  const int way = find_way(set, tag_of(addr));
+  const int way = find_way(set, tagv_of(addr));
   if (way < 0) return false;
-  CacheLine& line = lines_[set * cfg_.ways + static_cast<std::size_t>(way)];
-  const bool was_dirty = line.dirty;
-  line = CacheLine{};
+  const std::size_t idx = set * cfg_.ways + static_cast<std::size_t>(way);
+  const bool was_dirty = state_[idx].dirty;
+  tags_[idx] = 0;
+  rel_[idx] = LineRel{};
+  state_[idx] = LineState{};
   return was_dirty;
 }
 

@@ -1,63 +1,16 @@
 #include "reap/sim/hierarchy.hpp"
 
+#include <bit>
+
 namespace reap::sim {
 
 MemoryHierarchy::MemoryHierarchy(HierarchyConfig cfg, std::uint64_t seed)
     : cfg_(cfg),
       l1i_(cfg.l1i, seed * 3 + 1),
       l1d_(cfg.l1d, seed * 5 + 2),
-      l2_(cfg.l2, seed * 7 + 3) {}
-
-std::uint64_t MemoryHierarchy::inst_fetch(std::uint64_t pc) {
-  // Fetch-buffer model: sequential fetches within the current block do not
-  // re-access L1I (a real front end reads a whole fetch group at once).
-  const std::uint64_t block = pc / cfg_.l1i.block_bytes;
-  if (block == last_fetch_block_) return 0;
-  last_fetch_block_ = block;
-  return l1_access(l1i_, pc, /*is_store=*/false);
-}
-
-std::uint64_t MemoryHierarchy::load(std::uint64_t addr) {
-  return l1_access(l1d_, addr, /*is_store=*/false);
-}
-
-std::uint64_t MemoryHierarchy::store(std::uint64_t addr) {
-  return l1_access(l1d_, addr, /*is_store=*/true);
-}
-
-std::uint64_t MemoryHierarchy::l1_access(SetAssocCache& l1, std::uint64_t addr,
-                                         bool is_store) {
-  if (is_store ? l1.write(addr) : l1.read(addr)) return 0;
-
-  // L1 miss: fetch the block from L2 (write-allocate on stores too).
-  const std::uint64_t stall = l2_read(addr);
-  const SetAssocCache::Evicted ev = l1.fill(addr, /*dirty=*/is_store);
-  if (ev.any && ev.dirty) l2_write(ev.addr);
-  if (is_store) {
-    // The allocating store dirties the freshly-filled line.
-    l1.write(addr);
-  }
-  return stall;
-}
-
-std::uint64_t MemoryHierarchy::l2_read(std::uint64_t addr) {
-  if (l2_.read(addr)) return cfg_.l2_hit_cycles;
-
-  ++mem_reads_;
-  const SetAssocCache::Evicted ev = l2_.fill(addr, /*dirty=*/false);
-  if (ev.any && ev.dirty) ++mem_writes_;
-  return cfg_.mem_cycles;
-}
-
-void MemoryHierarchy::l2_write(std::uint64_t addr) {
-  if (l2_.write(addr)) return;
-
-  // Write-allocate: fetch, install dirty. (The fetch is a memory read, not
-  // an L2 data-array read, so it does not disturb resident lines.)
-  ++mem_reads_;
-  const SetAssocCache::Evicted ev = l2_.fill(addr, /*dirty=*/true);
-  if (ev.any && ev.dirty) ++mem_writes_;
-}
+      l2_(cfg.l2, seed * 7 + 3),
+      fetch_block_bits_(
+          static_cast<unsigned>(std::countr_zero(cfg.l1i.block_bytes))) {}
 
 HierarchyStats MemoryHierarchy::stats() const {
   HierarchyStats s;

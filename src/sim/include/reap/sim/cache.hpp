@@ -3,32 +3,73 @@
 // The cache implements the *mechanism* shared by every read-path variant:
 // tag match, replacement, dirty tracking, per-line reliability metadata.
 // The *policy* differences the paper studies (who gets ECC-checked when,
-// which reads count as concealed) live in core/read_path.hpp implementations
-// of L2PolicyHooks, which this class invokes on every access.
+// which reads count as concealed) live in core read-path implementations,
+// which the cache invokes on every access.
+//
+// Storage is structure-of-arrays, split by access temperature:
+//   tags_  -- dense (tag << 1 | valid) uint64 column; the only data
+//             find_way scans (one 64B host cache line covers an 8-way set)
+//   rel_   -- LineRel {ones, reads_since_check}, the reliability metadata
+//             the policy loop walks on every lookup (8 bytes per line)
+//   state_ -- LineState {valid, dirty, lru/fill stamps}, touched only on
+//             hits (LRU update) and fills/evictions
+//
+// Dispatch is compile-time: the access paths are templates over a Hooks
+// type with the L2PolicyHooks shape, so a concrete policy inlines into the
+// loop. The runtime L2PolicyHooks interface survives as VirtualHooks, a
+// thin adapter the untemplated convenience overloads route through — tests
+// and exploratory code keep injecting observers dynamically while the
+// campaign engine pays no virtual call per access.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <span>
 #include <string>
 #include <vector>
 
 #include "reap/common/rng.hpp"
+#include "reap/trace/datavalue.hpp"
 
 namespace reap::sim {
 
-struct CacheLine {
-  std::uint64_t tag = 0;
-  bool valid = false;
-  bool dirty = false;
-
-  // Reliability metadata (used by the STT-MRAM L2; ignored for SRAM L1s).
+// Hot per-line reliability metadata (used by the STT-MRAM L2; ignored for
+// SRAM L1s). Kept to 8 bytes so a policy's per-way loop over an 8-way set
+// stays within one host cache line.
+struct LineRel {
   std::uint32_t ones = 0;               // popcount of the stored payload
   std::uint32_t reads_since_check = 0;  // concealed reads since last ECC
                                         // check / rewrite (paper's N - 1)
+};
 
+// Cold per-line state: replacement bookkeeping and the dirty bit. `valid`
+// mirrors the tag column's valid bit (the cache is the sole writer of
+// both).
+struct LineState {
+  bool valid = false;
+  bool dirty = false;
   std::uint64_t lru_stamp = 0;
   std::uint64_t fill_stamp = 0;
+};
+
+// One set's SoA columns, as handed to the policy hooks: the tag|valid
+// column (read-only) and the reliability column (mutable).
+class CacheSetView {
+ public:
+  CacheSetView(const std::uint64_t* tagv, LineRel* rel, std::size_t ways)
+      : tagv_(tagv), rel_(rel), ways_(ways) {}
+
+  std::size_t size() const { return ways_; }
+  bool valid(std::size_t way) const { return (tagv_[way] & 1) != 0; }
+  // 1 for a valid way, 0 otherwise; lets accumulation loops stay
+  // branchless (counter += valid_bit).
+  std::uint32_t valid_bit(std::size_t way) const {
+    return static_cast<std::uint32_t>(tagv_[way] & 1);
+  }
+  LineRel& rel(std::size_t way) const { return rel_[way]; }
+
+ private:
+  const std::uint64_t* tagv_;
+  LineRel* rel_;
+  std::size_t ways_;
 };
 
 // lru/fifo/random are the classic policies; least_error_rate follows the
@@ -49,25 +90,82 @@ struct CacheConfig {
 };
 
 // Observer for the read path; see core/read_path.hpp for implementations.
+// Concrete (non-virtual) hook types with the same shape plug into the
+// templated access paths directly; this interface is the runtime-dispatch
+// fallback.
 class L2PolicyHooks {
  public:
   virtual ~L2PolicyHooks() = default;
 
   // A read lookup touched this set (parallel-access caches physically read
-  // every way). `ways` spans all k lines, valid or not; hit_way is the
+  // every way). The view spans all k ways, valid or not; hit_way is the
   // matching index or -1 on a miss.
-  virtual void on_read_lookup(std::span<CacheLine> ways, int hit_way) = 0;
+  virtual void on_read_lookup(CacheSetView set, int hit_way) = 0;
 
   // A write lookup (L1 writeback / store update) touched this set; on a hit
   // the line is about to be rewritten. Write lookups compare tags but do
   // not read the data ways, so they cause no concealed reads.
-  virtual void on_write_lookup(std::span<CacheLine> ways, int hit_way) = 0;
+  virtual void on_write_lookup(CacheSetView set, int hit_way) = 0;
 
-  // `line` was just filled (metadata and ones already set).
-  virtual void on_fill(CacheLine& line) = 0;
+  // `rel` belongs to a line that was just filled (ones already set).
+  virtual void on_fill(LineRel& rel) = 0;
 
-  // `line` is about to be evicted (still valid here).
-  virtual void on_evict(CacheLine& line) = 0;
+  // `rel` belongs to a (still valid) line about to be evicted.
+  virtual void on_evict(LineRel& rel, bool dirty) = 0;
+};
+
+// Static hooks that do nothing: the L1 instantiation of the access paths.
+struct NullHooks {
+  void on_read_lookup(CacheSetView, int) {}
+  void on_write_lookup(CacheSetView, int) {}
+  void on_fill(LineRel&) {}
+  void on_evict(LineRel&, bool) {}
+};
+
+// Adapter presenting an optional runtime observer through the static hooks
+// shape; the untemplated access overloads route through it.
+struct VirtualHooks {
+  L2PolicyHooks* hooks = nullptr;
+
+  void on_read_lookup(CacheSetView set, int hit_way) {
+    if (hooks) hooks->on_read_lookup(set, hit_way);
+  }
+  void on_write_lookup(CacheSetView set, int hit_way) {
+    if (hooks) hooks->on_write_lookup(set, hit_way);
+  }
+  void on_fill(LineRel& rel) {
+    if (hooks) hooks->on_fill(rel);
+  }
+  void on_evict(LineRel& rel, bool dirty) {
+    if (hooks) hooks->on_evict(rel, dirty);
+  }
+};
+
+// Ones-count source for filled/rewritten lines. A concrete type (not a
+// type-erased std::function) so the fill path is a predictable branch plus
+// a direct call: either a DataValueModel, a fixed count for tests, or the
+// cache's default (half the block bits).
+class OnesProvider {
+ public:
+  OnesProvider() = default;
+  explicit OnesProvider(const trace::DataValueModel& model) : model_(&model) {}
+
+  static OnesProvider fixed(std::uint32_t ones) {
+    OnesProvider p;
+    p.fixed_ = ones;
+    p.has_fixed_ = true;
+    return p;
+  }
+
+  std::uint32_t ones_for(std::uint64_t addr, std::uint32_t fallback) const {
+    if (model_) return model_->ones_for(addr);
+    return has_fixed_ ? fixed_ : fallback;
+  }
+
+ private:
+  const trace::DataValueModel* model_ = nullptr;
+  std::uint32_t fixed_ = 0;
+  bool has_fixed_ = false;
 };
 
 struct CacheStats {
@@ -95,21 +193,14 @@ class SetAssocCache {
   const CacheStats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
 
-  // Policy observer; may be null (L1 caches).
+  // Runtime policy observer; may be null (L1 caches). Used only by the
+  // untemplated access overloads.
   void set_hooks(L2PolicyHooks* hooks) { hooks_ = hooks; }
+  L2PolicyHooks* hooks() const { return hooks_; }
 
-  // Ones-count provider for filled/rewritten lines; null keeps ones at a
-  // fixed default (half the block bits).
-  void set_ones_model(std::function<std::uint32_t(std::uint64_t)> fn) {
-    ones_model_ = std::move(fn);
-  }
-
-  // Read lookup. Returns hit; does NOT fill on miss (caller decides).
-  bool read(std::uint64_t addr);
-
-  // Write lookup. On a hit the line is rewritten in place (dirty, ones
-  // refreshed, accumulation cleared). Returns hit.
-  bool write(std::uint64_t addr);
+  // Ones-count provider for filled/rewritten lines; default keeps ones at
+  // half the block bits.
+  void set_ones_provider(OnesProvider provider) { ones_ = provider; }
 
   struct Evicted {
     bool any = false;
@@ -117,36 +208,149 @@ class SetAssocCache {
     std::uint64_t addr = 0;
   };
 
+  // Read lookup. Returns hit; does NOT fill on miss (caller decides).
+  template <class Hooks>
+  bool read(std::uint64_t addr, Hooks& hooks) {
+    const std::size_t set = set_of(addr);
+    ++stats_.read_lookups;
+    const int way = find_way(set, tagv_of(addr));
+    hooks.on_read_lookup(view_of(set), way);
+    if (way < 0) return false;
+    ++stats_.read_hits;
+    touch(state_[set * cfg_.ways + static_cast<std::size_t>(way)]);
+    return true;
+  }
+
+  // Write lookup. On a hit the line is rewritten in place (dirty, ones
+  // refreshed, accumulation cleared). Returns hit.
+  template <class Hooks>
+  bool write(std::uint64_t addr, Hooks& hooks) {
+    const std::size_t set = set_of(addr);
+    ++stats_.write_lookups;
+    const int way = find_way(set, tagv_of(addr));
+    hooks.on_write_lookup(view_of(set), way);
+    if (way < 0) return false;
+    ++stats_.write_hits;
+    const std::size_t idx = set * cfg_.ways + static_cast<std::size_t>(way);
+    state_[idx].dirty = true;
+    rel_[idx].ones = ones_.ones_for(addr, default_ones_);
+    rel_[idx].reads_since_check = 0;  // a rewrite refreshes every cell
+    touch(state_[idx]);
+    return true;
+  }
+
   // Installs addr's block, evicting if needed; returns the evicted victim.
-  Evicted fill(std::uint64_t addr, bool dirty);
+  // Precondition (validated by tests, not re-scanned here — this is the
+  // hot miss path): addr's block is not already present.
+  template <class Hooks>
+  Evicted fill(std::uint64_t addr, bool dirty, Hooks& hooks) {
+    const std::size_t set = set_of(addr);
+    const std::uint64_t tag = tag_of(addr);
+
+    Evicted ev;
+    const std::size_t w = victim_way(set);
+    const std::size_t idx = set * cfg_.ways + w;
+    LineState& st = state_[idx];
+    if (st.valid) {
+      hooks.on_evict(rel_[idx], st.dirty);
+      ev.any = true;
+      ev.dirty = st.dirty;
+      ev.addr = line_addr(tags_[idx] >> 1, set);
+      ++stats_.evictions;
+      if (st.dirty) ++stats_.dirty_evictions;
+    }
+    tags_[idx] = (tag << 1) | 1;
+    st.valid = true;
+    st.dirty = dirty;
+    rel_[idx].ones = ones_.ones_for(addr, default_ones_);
+    rel_[idx].reads_since_check = 0;
+    st.fill_stamp = ++clock_;
+    st.lru_stamp = clock_;
+    ++stats_.fills;
+    hooks.on_fill(rel_[idx]);
+    return ev;
+  }
+
+  // Untemplated overloads: dispatch through the configured runtime hooks.
+  bool read(std::uint64_t addr) {
+    VirtualHooks h{hooks_};
+    return read(addr, h);
+  }
+  bool write(std::uint64_t addr) {
+    VirtualHooks h{hooks_};
+    return write(addr, h);
+  }
+  Evicted fill(std::uint64_t addr, bool dirty) {
+    VirtualHooks h{hooks_};
+    return fill(addr, dirty, h);
+  }
 
   // True if addr's block is present (no stats/hook side effects).
-  bool probe(std::uint64_t addr) const;
+  bool probe(std::uint64_t addr) const {
+    return find_way(set_of(addr), tagv_of(addr)) >= 0;
+  }
 
   // Invalidates addr's block if present; returns whether it was dirty.
   bool invalidate(std::uint64_t addr);
 
-  // Direct set access for tests and diagnostics.
-  std::span<const CacheLine> set_view(std::size_t set) const;
-  std::size_t set_of(std::uint64_t addr) const;
-  std::uint64_t tag_of(std::uint64_t addr) const;
-  std::uint64_t line_addr(std::uint64_t tag, std::size_t set) const;
+  // Snapshot of one line for tests and diagnostics.
+  struct LineInfo {
+    bool valid = false;
+    bool dirty = false;
+    std::uint64_t tag = 0;
+    std::uint32_t ones = 0;
+    std::uint32_t reads_since_check = 0;
+    std::uint64_t lru_stamp = 0;
+    std::uint64_t fill_stamp = 0;
+  };
+  LineInfo line_info(std::size_t set, std::size_t way) const;
+
+  std::size_t set_of(std::uint64_t addr) const {
+    return (addr >> offset_bits_) & (sets_ - 1);
+  }
+  std::uint64_t tag_of(std::uint64_t addr) const {
+    return addr >> (offset_bits_ + index_bits_);
+  }
+  std::uint64_t line_addr(std::uint64_t tag, std::size_t set) const {
+    return (tag << (offset_bits_ + index_bits_)) |
+           (static_cast<std::uint64_t>(set) << offset_bits_);
+  }
 
  private:
-  std::span<CacheLine> set_span(std::size_t set);
-  int find_way(std::size_t set, std::uint64_t tag) const;
+  // Dense column entry: (tag << 1) | valid. Invalid entries are 0, which
+  // never equals a valid key (those are odd), so the scan needs no
+  // separate valid test.
+  std::uint64_t tagv_of(std::uint64_t addr) const {
+    return (tag_of(addr) << 1) | 1;
+  }
+
+  CacheSetView view_of(std::size_t set) {
+    const std::size_t base = set * cfg_.ways;
+    return {&tags_[base], &rel_[base], cfg_.ways};
+  }
+
+  int find_way(std::size_t set, std::uint64_t tagv) const {
+    const std::uint64_t* base = &tags_[set * cfg_.ways];
+    for (std::size_t w = 0; w < cfg_.ways; ++w) {
+      if (base[w] == tagv) return static_cast<int>(w);
+    }
+    return -1;
+  }
+
   std::size_t victim_way(std::size_t set);
-  std::uint32_t ones_for(std::uint64_t addr) const;
-  void touch(CacheLine& line) { line.lru_stamp = ++clock_; }
+  void touch(LineState& st) { st.lru_stamp = ++clock_; }
 
   CacheConfig cfg_;
   std::size_t sets_;
   unsigned offset_bits_;
   unsigned index_bits_;
-  std::vector<CacheLine> lines_;
+  std::vector<std::uint64_t> tags_;  // dense (tag << 1) | valid column
+  std::vector<LineRel> rel_;         // hot reliability column
+  std::vector<LineState> state_;     // cold replacement/dirty column
   CacheStats stats_;
   L2PolicyHooks* hooks_ = nullptr;
-  std::function<std::uint32_t(std::uint64_t)> ones_model_;
+  OnesProvider ones_;
+  std::uint32_t default_ones_ = 0;
   std::uint64_t clock_ = 0;
   common::Rng rng_;
 };

@@ -5,9 +5,24 @@
 // results; cycle counts only convert failure-probability sums into MTTF
 // and let us confirm REAP's "no performance impact" claim via the L2
 // latency each policy reports).
+//
+// Two drive styles share one core:
+//   run(n)          -- the legacy loop: one virtual TraceSource::next per
+//                      op, L2 policy dispatched through the configured
+//                      runtime hooks. Kept as the reference path for the
+//                      golden-equivalence test and bench_e2e baseline.
+//   run(n, policy)  -- the batched loop: ops are pulled kBatchOps at a
+//                      time and the hierarchy is instantiated over the
+//                      concrete policy type, so the whole instruction ->
+//                      L1 -> L2 -> policy path inlines with no per-op
+//                      virtual dispatch.
+// The two styles must not be mixed on one TraceCpu instance: each buffers
+// upcoming ops in its own member (pending_ vs batch buffer) and would skip
+// what the other buffered.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "reap/sim/hierarchy.hpp"
 #include "reap/trace/record.hpp"
@@ -19,9 +34,48 @@ class TraceCpu {
   TraceCpu(trace::TraceSource& source, MemoryHierarchy& mem,
            double clock_ghz = 2.0);
 
+  // Ops pulled per TraceSource::next_batch call in the batched loop.
+  static constexpr std::size_t kBatchOps = 4096;
+
   // Executes up to `max_instructions`; stops early at end of trace.
   // Returns instructions executed in this call.
   std::uint64_t run(std::uint64_t max_instructions);
+
+  // Batched variant driving the L2 with a concrete policy type.
+  template <class L2Hooks>
+  std::uint64_t run(std::uint64_t max_instructions, L2Hooks& l2_hooks) {
+    if (buf_.empty()) buf_.resize(kBatchOps);
+    std::uint64_t executed = 0;
+    for (;;) {
+      if (buf_pos_ == buf_len_) {
+        buf_len_ = source_.next_batch({buf_.data(), buf_.size()});
+        buf_pos_ = 0;
+        if (buf_len_ == 0) break;  // end of trace
+      }
+      const trace::MemOp op = buf_[buf_pos_];
+      switch (op.type) {
+        case trace::OpType::inst_fetch:
+          // An instruction boundary past the budget stays buffered for the
+          // next run() call so the current instruction's data ops stay
+          // with it.
+          if (executed == max_instructions) return executed;
+          ++buf_pos_;
+          ++executed;
+          ++instructions_;
+          cycles_ += 1 + mem_.inst_fetch(op.addr, l2_hooks);
+          break;
+        case trace::OpType::load:
+          ++buf_pos_;
+          cycles_ += mem_.load(op.addr, l2_hooks);
+          break;
+        case trace::OpType::store:
+          ++buf_pos_;
+          cycles_ += mem_.store(op.addr, l2_hooks);
+          break;
+      }
+    }
+    return executed;
+  }
 
   std::uint64_t instructions() const { return instructions_; }
   std::uint64_t cycles() const { return cycles_; }
@@ -43,9 +97,14 @@ class TraceCpu {
   double clock_ghz_;
   std::uint64_t instructions_ = 0;
   std::uint64_t cycles_ = 0;
-  // Instruction boundary seen past the budget, replayed on the next run().
+  // Legacy path: instruction boundary seen past the budget, replayed on
+  // the next run() call.
   trace::MemOp pending_{};
   bool pending_valid_ = false;
+  // Batched path: buffered ops not yet consumed.
+  std::vector<trace::MemOp> buf_;
+  std::size_t buf_pos_ = 0;
+  std::size_t buf_len_ = 0;
 };
 
 }  // namespace reap::sim

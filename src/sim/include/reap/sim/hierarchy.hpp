@@ -4,12 +4,17 @@
 //
 // Write-allocate everywhere; non-inclusive (an L2 eviction does not
 // back-invalidate L1, matching the simple gem5 classic-cache behaviour the
-// paper's setup uses). The L2 read path invokes the configured
-// L2PolicyHooks so read-path policies can track disturbance accumulation.
+// paper's setup uses). The L2 read path invokes the L2 policy hooks so
+// read-path policies can track disturbance accumulation.
+//
+// The access paths are templates over the L2 hooks type: the experiment
+// engine instantiates them with a concrete policy (no virtual dispatch per
+// access), while the untemplated overloads keep the runtime-observer
+// behaviour by routing through VirtualHooks. L1 accesses always use
+// NullHooks — policies observe the L2 only.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 
 #include "reap/sim/cache.hpp"
 
@@ -46,21 +51,55 @@ class MemoryHierarchy {
  public:
   MemoryHierarchy(HierarchyConfig cfg, std::uint64_t seed = 1);
 
-  // Observer for the L2 read path (the policy under study).
+  // Runtime observer for the L2 read path; used by the untemplated access
+  // overloads.
   void set_l2_hooks(L2PolicyHooks* hooks) { l2_.set_hooks(hooks); }
 
   // Ones-count provider for L2 lines (the data-value model).
-  void set_l2_ones_model(std::function<std::uint32_t(std::uint64_t)> fn) {
-    l2_.set_ones_model(std::move(fn));
+  void set_l2_ones_provider(OnesProvider provider) {
+    l2_.set_ones_provider(provider);
   }
 
   // Override the L2 hit latency (read-path policies differ here).
   void set_l2_hit_cycles(std::uint32_t cycles) { cfg_.l2_hit_cycles = cycles; }
 
-  // Each returns stall cycles beyond the 1-cycle pipelined issue.
-  std::uint64_t inst_fetch(std::uint64_t pc);
-  std::uint64_t load(std::uint64_t addr);
-  std::uint64_t store(std::uint64_t addr);
+  // Each returns stall cycles beyond the 1-cycle pipelined issue. The
+  // templated forms drive the L2 with a concrete policy; the untemplated
+  // forms use the hooks configured via set_l2_hooks.
+  template <class L2Hooks>
+  std::uint64_t inst_fetch(std::uint64_t pc, L2Hooks& l2_hooks) {
+    // Fetch-buffer model: sequential fetches within the current block do
+    // not re-access L1I (a real front end reads a whole fetch group at
+    // once). Shift, not divide: this runs once per instruction, and the
+    // block size is a power of two (the cache constructor enforces it).
+    const std::uint64_t block = pc >> fetch_block_bits_;
+    if (block == last_fetch_block_) return 0;
+    last_fetch_block_ = block;
+    return l1_access(l1i_, pc, /*is_store=*/false, l2_hooks);
+  }
+
+  template <class L2Hooks>
+  std::uint64_t load(std::uint64_t addr, L2Hooks& l2_hooks) {
+    return l1_access(l1d_, addr, /*is_store=*/false, l2_hooks);
+  }
+
+  template <class L2Hooks>
+  std::uint64_t store(std::uint64_t addr, L2Hooks& l2_hooks) {
+    return l1_access(l1d_, addr, /*is_store=*/true, l2_hooks);
+  }
+
+  std::uint64_t inst_fetch(std::uint64_t pc) {
+    VirtualHooks h{l2_.hooks()};
+    return inst_fetch(pc, h);
+  }
+  std::uint64_t load(std::uint64_t addr) {
+    VirtualHooks h{l2_.hooks()};
+    return load(addr, h);
+  }
+  std::uint64_t store(std::uint64_t addr) {
+    VirtualHooks h{l2_.hooks()};
+    return store(addr, h);
+  }
 
   HierarchyStats stats() const;
   void reset_stats();
@@ -73,17 +112,53 @@ class MemoryHierarchy {
 
  private:
   // L1 access; on miss goes to L2. Returns stall cycles.
-  std::uint64_t l1_access(SetAssocCache& l1, std::uint64_t addr,
-                          bool is_store);
+  template <class L2Hooks>
+  std::uint64_t l1_access(SetAssocCache& l1, std::uint64_t addr, bool is_store,
+                          L2Hooks& l2_hooks) {
+    NullHooks l1_hooks;
+    if (is_store ? l1.write(addr, l1_hooks) : l1.read(addr, l1_hooks))
+      return 0;
+
+    // L1 miss: fetch the block from L2 (write-allocate on stores too).
+    const std::uint64_t stall = l2_read(addr, l2_hooks);
+    const SetAssocCache::Evicted ev =
+        l1.fill(addr, /*dirty=*/is_store, l1_hooks);
+    if (ev.any && ev.dirty) l2_write(ev.addr, l2_hooks);
+    if (is_store) {
+      // The allocating store dirties the freshly-filled line.
+      l1.write(addr, l1_hooks);
+    }
+    return stall;
+  }
+
   // L2 read request (from an L1 fill). Returns stall cycles.
-  std::uint64_t l2_read(std::uint64_t addr);
+  template <class L2Hooks>
+  std::uint64_t l2_read(std::uint64_t addr, L2Hooks& l2_hooks) {
+    if (l2_.read(addr, l2_hooks)) return cfg_.l2_hit_cycles;
+
+    ++mem_reads_;
+    const SetAssocCache::Evicted ev = l2_.fill(addr, /*dirty=*/false, l2_hooks);
+    if (ev.any && ev.dirty) ++mem_writes_;
+    return cfg_.mem_cycles;
+  }
+
   // L2 write request (L1 dirty writeback). Off the critical path.
-  void l2_write(std::uint64_t addr);
+  template <class L2Hooks>
+  void l2_write(std::uint64_t addr, L2Hooks& l2_hooks) {
+    if (l2_.write(addr, l2_hooks)) return;
+
+    // Write-allocate: fetch, install dirty. (The fetch is a memory read,
+    // not an L2 data-array read, so it does not disturb resident lines.)
+    ++mem_reads_;
+    const SetAssocCache::Evicted ev = l2_.fill(addr, /*dirty=*/true, l2_hooks);
+    if (ev.any && ev.dirty) ++mem_writes_;
+  }
 
   HierarchyConfig cfg_;
   SetAssocCache l1i_;
   SetAssocCache l1d_;
   SetAssocCache l2_;
+  unsigned fetch_block_bits_ = 6;
   std::uint64_t mem_reads_ = 0;
   std::uint64_t mem_writes_ = 0;
   std::uint64_t last_fetch_block_ = ~std::uint64_t{0};

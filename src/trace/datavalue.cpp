@@ -16,8 +16,7 @@ DataValueModel::DataValueModel(OnesDensitySpec spec, std::uint64_t line_bits,
   REAP_EXPECTS(spec.stddev_density >= 0.0);
 }
 
-std::uint32_t DataValueModel::ones_for(std::uint64_t line_addr) const {
-  const std::uint64_t block = line_addr >> 6;
+std::uint32_t DataValueModel::compute_ones(std::uint64_t block) const {
   common::Rng rng(seed_ ^ (block * 0x9e3779b97f4a7c15ULL));
   const double nbits = static_cast<double>(line_bits_);
   const double density =
@@ -26,6 +25,14 @@ std::uint32_t DataValueModel::ones_for(std::uint64_t line_addr) const {
   const double ones = std::round(clamped * nbits);
   return static_cast<std::uint32_t>(
       std::clamp(ones, 1.0, nbits - 1.0));
+}
+
+std::uint32_t DataValueModel::ones_for(std::uint64_t line_addr) const {
+  const std::uint64_t block = line_addr >> 6;
+  if (const std::uint32_t* hit = memo_.find(block)) return *hit;
+  const std::uint32_t ones = compute_ones(block);
+  memo_.insert(block, ones);
+  return ones;
 }
 
 common::BitVec DataValueModel::payload_for(std::uint64_t line_addr) const {

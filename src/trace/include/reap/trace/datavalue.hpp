@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "reap/common/bitvec.hpp"
+#include "reap/common/memo.hpp"
 
 namespace reap::trace {
 
@@ -29,6 +30,10 @@ class DataValueModel {
 
   // Deterministic ones-count for the line containing `line_addr`
   // (block-aligned or not; the low 6 bits are ignored for 64B lines).
+  // Sits on the simulator's L2 fill path, so a direct-mapped memo caches
+  // the count per block; the draw is a pure function of the address, so
+  // memoization (and collisions, which just recompute) cannot change any
+  // returned value. Not thread-safe: use one model per experiment.
   std::uint32_t ones_for(std::uint64_t line_addr) const;
 
   // A concrete payload whose popcount equals ones_for(line_addr); bit
@@ -36,9 +41,14 @@ class DataValueModel {
   common::BitVec payload_for(std::uint64_t line_addr) const;
 
  private:
+  std::uint32_t compute_ones(std::uint64_t block) const;
+
   OnesDensitySpec spec_;
   std::uint64_t line_bits_;
   std::uint64_t seed_;
+  // Per-block memo (bounded at 768KB — see memo.hpp for why it must stay
+  // cache-resident rather than grow with the footprint).
+  mutable common::DirectMappedMemo<std::uint32_t, 1 << 16> memo_;
 };
 
 }  // namespace reap::trace

@@ -1,11 +1,15 @@
 // Memory-operation records and the pull-based trace source interface.
 //
 // The simulator is trace-driven (the gem5 substitution, see DESIGN.md): a
-// TraceSource yields instruction fetches and data accesses one at a time, so
-// multi-million-operation workloads never need to be materialized in memory.
+// TraceSource yields instruction fetches and data accesses, so
+// multi-million-operation workloads never need to be materialized in
+// memory. Consumers that care about throughput pull whole batches via
+// next_batch — one virtual call per few thousand operations instead of one
+// per operation.
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 namespace reap::trace {
 
@@ -26,6 +30,17 @@ class TraceSource {
 
   // Produces the next operation; returns false at end of trace.
   virtual bool next(MemOp& op) = 0;
+
+  // Fills `out` with up to out.size() operations, in the same sequence
+  // next() would produce; returns the count filled. A return of 0 means
+  // end of trace; a short (non-zero) batch does NOT imply the trace is
+  // over. The default implementation loops over next(); generators
+  // override it to amortize dispatch across the whole batch.
+  virtual std::size_t next_batch(std::span<MemOp> out) {
+    std::size_t n = 0;
+    while (n < out.size() && next(out[n])) ++n;
+    return n;
+  }
 
   // Restarts the trace from the beginning (same sequence for the same
   // construction parameters/seed).

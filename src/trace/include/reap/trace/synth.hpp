@@ -65,6 +65,7 @@ class ZipfHotSet final : public AddressPattern {
   std::uint64_t map_rank(std::uint64_t rank) const;
 
   std::uint64_t base_, blocks_, block_bytes_;
+  std::uint64_t offset_granules_;  // block_bytes / 8, hoisted off the draw
   bool scramble_;
   common::ZipfSampler zipf_;
 };

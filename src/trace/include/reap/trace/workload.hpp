@@ -10,11 +10,16 @@
 // -- L2 reuse distance structure, set concentration, read/write mix -- and
 // spec2006.hpp instantiates one profile per benchmark name with parameters
 // chosen to reproduce each benchmark's qualitative behaviour.
+//
+// The pattern mixture is stored as a std::variant over the sealed set of
+// synth.hpp primitives, so per-operation generation dispatches through a
+// jump table into inlinable concrete code instead of a virtual call; the
+// batched next_batch override amortizes the TraceSource dispatch itself.
 #pragma once
 
 #include <cstdint>
-#include <memory>
 #include <string>
+#include <variant>
 #include <vector>
 
 #include "reap/common/rng.hpp"
@@ -71,15 +76,31 @@ class WorkloadTraceSource final : public TraceSource {
   const WorkloadProfile& profile() const { return profile_; }
 
   bool next(MemOp& op) override;
+  std::size_t next_batch(std::span<MemOp> out) override;
   void reset() override;
 
  private:
+  // The sealed pattern set; value semantics so generation is one visit
+  // (jump table) into concrete, inlinable code.
+  using PatternVariant = std::variant<SequentialStream, UniformRandom,
+                                      ZipfHotSet, PointerChase, SetHammer,
+                                      LoopNest>;
+
   void build_patterns();
+
+  // Generates one whole instruction (fetch + 0..2 data ops) into dst;
+  // returns the op count. The single producer both next() and next_batch()
+  // drain, so the two entry points emit byte-identical sequences.
+  unsigned gen_instruction(MemOp* dst);
+
+  std::uint64_t pattern_next(std::size_t index);
+  std::size_t pick_pattern();
 
   WorkloadProfile profile_;
   common::Rng rng_;
-  std::vector<std::unique_ptr<AddressPattern>> patterns_;
+  std::vector<PatternVariant> patterns_;
   std::vector<double> weights_;
+  double total_weight_ = 0.0;
   std::uint64_t pc_;
   // Pending data ops for the current instruction (0..2 entries).
   MemOp pending_[2];

@@ -46,6 +46,7 @@ ZipfHotSet::ZipfHotSet(std::uint64_t base, std::uint64_t size_bytes,
     : base_(base),
       blocks_(size_bytes / block_bytes),
       block_bytes_(block_bytes),
+      offset_granules_(block_bytes / 8),
       scramble_(scramble),
       zipf_(size_bytes / block_bytes, zipf_s) {
   REAP_EXPECTS(blocks_ > 0);
@@ -63,7 +64,7 @@ std::uint64_t ZipfHotSet::next(common::Rng& rng) {
   const std::uint64_t rank = zipf_(rng);
   const std::uint64_t block = map_rank(rank);
   // Vary the offset within the block so loads look realistic.
-  const std::uint64_t offset = rng.below(block_bytes_ / 8) * 8;
+  const std::uint64_t offset = rng.below(offset_granules_) * 8;
   return base_ + block * block_bytes_ + offset;
 }
 

@@ -30,33 +30,80 @@ void WorkloadTraceSource::build_patterns() {
     ++index;
     switch (s.kind) {
       case PatternSpec::Kind::stream:
-        patterns_.push_back(std::make_unique<SequentialStream>(
-            base, s.region_bytes, s.stride_bytes));
+        patterns_.emplace_back(std::in_place_type<SequentialStream>, base,
+                               s.region_bytes, s.stride_bytes);
         break;
       case PatternSpec::Kind::uniform:
-        patterns_.push_back(
-            std::make_unique<UniformRandom>(base, s.region_bytes));
+        patterns_.emplace_back(std::in_place_type<UniformRandom>, base,
+                               s.region_bytes);
         break;
       case PatternSpec::Kind::zipf:
-        patterns_.push_back(std::make_unique<ZipfHotSet>(
-            base, s.region_bytes, s.zipf_s, s.zipf_scramble));
+        patterns_.emplace_back(std::in_place_type<ZipfHotSet>, base,
+                               s.region_bytes, s.zipf_s, s.zipf_scramble);
         break;
       case PatternSpec::Kind::chase:
-        patterns_.push_back(
-            std::make_unique<PointerChase>(base, s.region_bytes));
+        patterns_.emplace_back(std::in_place_type<PointerChase>, base,
+                               s.region_bytes);
         break;
       case PatternSpec::Kind::loop:
-        patterns_.push_back(std::make_unique<LoopNest>(
-            base, s.region_bytes, s.tile_bytes, s.inner_repeats));
+        patterns_.emplace_back(std::in_place_type<LoopNest>, base,
+                               s.region_bytes, s.tile_bytes, s.inner_repeats);
         break;
       case PatternSpec::Kind::hammer:
-        patterns_.push_back(std::make_unique<SetHammer>(
-            base, s.hammer_set_period, s.hammer_blocks,
-            s.hammer_resident_blocks, s.hammer_resident_prob));
+        patterns_.emplace_back(std::in_place_type<SetHammer>, base,
+                               s.hammer_set_period, s.hammer_blocks,
+                               s.hammer_resident_blocks,
+                               s.hammer_resident_prob);
         break;
     }
     weights_.push_back(s.weight);
   }
+  total_weight_ = 0.0;
+  for (const double w : weights_) total_weight_ += w;
+}
+
+std::uint64_t WorkloadTraceSource::pattern_next(std::size_t index) {
+  // A switch over the sealed alternative set instead of std::visit: the
+  // visit lowers to a function-pointer table the compiler cannot inline
+  // through, and this is the per-data-op hot path.
+  PatternVariant& v = patterns_[index];
+  switch (v.index()) {
+    case 0: return std::get<0>(v).next(rng_);
+    case 1: return std::get<1>(v).next(rng_);
+    case 2: return std::get<2>(v).next(rng_);
+    case 3: return std::get<3>(v).next(rng_);
+    case 4: return std::get<4>(v).next(rng_);
+    default: return std::get<5>(v).next(rng_);
+  }
+}
+
+// Same selection (and same single uniform draw) as Rng::weighted, with the
+// per-call weight-vector validation and total hoisted to construction.
+std::size_t WorkloadTraceSource::pick_pattern() {
+  double x = rng_.uniform() * total_weight_;
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    x -= weights_[i];
+    if (x < 0.0) return i;
+  }
+  return weights_.size() - 1;  // numerical tail
+}
+
+unsigned WorkloadTraceSource::gen_instruction(MemOp* dst) {
+  dst[0] = {OpType::inst_fetch, pc_};
+  if (rng_.chance(profile_.jump_prob)) {
+    pc_ = kCodeBase + rng_.below(profile_.code_bytes / 4) * 4;
+  } else {
+    pc_ += 4;
+    if (pc_ >= kCodeBase + profile_.code_bytes) pc_ = kCodeBase;
+  }
+  unsigned count = 1;
+  if (rng_.chance(profile_.loads_per_inst)) {
+    dst[count++] = {OpType::load, pattern_next(pick_pattern())};
+  }
+  if (rng_.chance(profile_.stores_per_inst)) {
+    dst[count++] = {OpType::store, pattern_next(pick_pattern())};
+  }
+  return count;
 }
 
 bool WorkloadTraceSource::next(MemOp& op) {
@@ -64,32 +111,38 @@ bool WorkloadTraceSource::next(MemOp& op) {
     op = pending_[pending_pos_++];
     return true;
   }
-  // New instruction: fetch, then queue this instruction's data accesses.
-  op = {OpType::inst_fetch, pc_};
-  if (rng_.chance(profile_.jump_prob)) {
-    pc_ = kCodeBase + rng_.below(profile_.code_bytes / 4) * 4;
-  } else {
-    pc_ += 4;
-    if (pc_ >= kCodeBase + profile_.code_bytes) pc_ = kCodeBase;
-  }
-  pending_count_ = 0;
+  MemOp group[3];
+  const unsigned count = gen_instruction(group);
+  op = group[0];
+  pending_count_ = count - 1;
   pending_pos_ = 0;
-  if (rng_.chance(profile_.loads_per_inst)) {
-    const std::size_t p = rng_.weighted(weights_);
-    pending_[pending_count_++] = {OpType::load, patterns_[p]->next(rng_)};
-  }
-  if (rng_.chance(profile_.stores_per_inst)) {
-    const std::size_t p = rng_.weighted(weights_);
-    pending_[pending_count_++] = {OpType::store, patterns_[p]->next(rng_)};
-  }
+  for (unsigned i = 1; i < count; ++i) pending_[i - 1] = group[i];
   return true;
+}
+
+std::size_t WorkloadTraceSource::next_batch(std::span<MemOp> out) {
+  std::size_t n = 0;
+  // Drain data ops a prior per-op next() left behind so the sequence stays
+  // continuous when callers mix the two pull styles.
+  while (pending_pos_ < pending_count_ && n < out.size())
+    out[n++] = pending_[pending_pos_++];
+  // Whole instructions only: an instruction group is at most 3 ops, so stop
+  // once fewer than 3 slots remain rather than splitting a group.
+  while (n + 3 <= out.size()) n += gen_instruction(out.data() + n);
+  if (n == 0 && !out.empty()) {
+    // Span smaller than one instruction group: fall back to per-op pulls
+    // (which buffer the group's tail) so 0 keeps meaning end-of-trace.
+    while (n < out.size() && next(out[n])) ++n;
+  }
+  return n;
 }
 
 void WorkloadTraceSource::reset() {
   rng_.reseed(profile_.seed);
   pc_ = kCodeBase;
   pending_count_ = pending_pos_ = 0;
-  for (auto& p : patterns_) p->reset();
+  for (auto& p : patterns_)
+    std::visit([](auto& pattern) { pattern.reset(); }, p);
 }
 
 }  // namespace reap::trace

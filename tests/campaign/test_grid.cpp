@@ -99,6 +99,35 @@ TEST(CampaignGrid, ReadRatioAxisOverridesMtj) {
   }
 }
 
+TEST(CampaignGrid, ScrubAxisOverridesPeriodAndKeepsSeeds) {
+  auto spec = small_spec();
+  spec.policies = {core::PolicyKind::scrub_piggyback};
+  spec.scrub_everys = {256, 16, 1};
+  const auto points = expand(spec);
+  EXPECT_EQ(points.size(), 2u * 1u * 2u * 3u * 2u);
+  for (const auto& pt : points) {
+    EXPECT_EQ(pt.config.scrub_every, spec.scrub_everys[pt.scrub_i]);
+  }
+  // Design axis: the scrub period must not perturb the derived seeds, so
+  // sweep points replay the trace of their reference campaign.
+  for (const auto& a : points)
+    for (const auto& b : points)
+      if (a.workload_i == b.workload_i && a.seed_i == b.seed_i) {
+        EXPECT_EQ(a.config.seed, b.config.seed);
+        EXPECT_EQ(a.config.workload.seed, b.config.workload.seed);
+      }
+}
+
+TEST(CampaignGrid, EmptyScrubAxisKeepsBasePeriod) {
+  auto spec = small_spec();
+  spec.base.scrub_every = 99;
+  const auto points = expand(spec);
+  for (const auto& pt : points) {
+    EXPECT_EQ(pt.config.scrub_every, 99u);
+    EXPECT_EQ(pt.scrub_i, 0u);
+  }
+}
+
 TEST(CampaignGrid, ExpansionIsDeterministic) {
   const auto a = expand(small_spec());
   const auto b = expand(small_spec());
@@ -124,6 +153,7 @@ TEST(CampaignSpecKv, ParsesListsAndScalars) {
       {"ecc", "1,2"},
       {"seeds", "0,1,2"},
       {"read_ratios", "0.55,0.8"},
+      {"scrub_every", "64,16"},
       {"instructions", "1000"},
       {"campaign_seed", "99"},
   };
@@ -135,9 +165,10 @@ TEST(CampaignSpecKv, ParsesListsAndScalars) {
   EXPECT_EQ(spec->ecc_ts, (std::vector<unsigned>{1, 2}));
   EXPECT_EQ(spec->seeds.size(), 3u);
   EXPECT_EQ(spec->read_ratios.size(), 2u);
+  EXPECT_EQ(spec->scrub_everys, (std::vector<std::uint64_t>{64, 16}));
   EXPECT_EQ(spec->base.instructions, 1000u);
   EXPECT_EQ(spec->campaign_seed, 99u);
-  EXPECT_EQ(spec->size(), 2u * 2u * 2u * 2u * 3u);
+  EXPECT_EQ(spec->size(), 2u * 2u * 2u * 2u * 2u * 3u);
 }
 
 TEST(CampaignSpecKv, RejectsGarbageNumericValues) {

@@ -5,8 +5,6 @@
 
 #include <gtest/gtest.h>
 
-#include <vector>
-
 #include "reap/reliability/binomial.hpp"
 
 namespace reap::core {
@@ -23,20 +21,19 @@ class PolicyFixture : public ::testing::Test {
     ctx_.write_fail_per_cell = 1e-9;
     ctx_.codeword_bits = 523;
     // 4-way set: ways 0..2 valid with 100 ones each, way 3 invalid.
-    set_.resize(4);
     for (int w = 0; w < 3; ++w) {
-      set_[w].valid = true;
-      set_[w].tag = 10 + w;
-      set_[w].ones = 100;
+      tagv_[w] = (std::uint64_t(10 + w) << 1) | 1;
+      rel_[w].ones = 100;
     }
   }
 
-  std::span<sim::CacheLine> ways() { return set_; }
+  sim::CacheSetView ways() { return {tagv_, rel_, 4}; }
 
   reliability::UncorrectableModel model_;
   reliability::FailureLedger ledger_;
   PolicyContext ctx_;
-  std::vector<sim::CacheLine> set_;
+  std::uint64_t tagv_[4] = {0, 0, 0, 0};
+  sim::LineRel rel_[4];
 };
 
 TEST_F(PolicyFixture, FactoryProducesAllKinds) {
@@ -61,14 +58,14 @@ TEST_F(PolicyFixture, PolicyNamesRoundTrip) {
 TEST_F(PolicyFixture, ConventionalConcealedReadsAccumulate) {
   ConventionalParallelPolicy p(ctx_);
   p.on_read_lookup(ways(), /*hit_way=*/0);
-  EXPECT_EQ(set_[0].reads_since_check, 0u);  // checked
-  EXPECT_EQ(set_[1].reads_since_check, 1u);  // concealed
-  EXPECT_EQ(set_[2].reads_since_check, 1u);
-  EXPECT_EQ(set_[3].reads_since_check, 0u);  // invalid: untouched
+  EXPECT_EQ(rel_[0].reads_since_check, 0u);  // checked
+  EXPECT_EQ(rel_[1].reads_since_check, 1u);  // concealed
+  EXPECT_EQ(rel_[2].reads_since_check, 1u);
+  EXPECT_EQ(rel_[3].reads_since_check, 0u);  // invalid: untouched
 
   p.on_read_lookup(ways(), /*hit_way=*/-1);  // miss: everyone concealed
-  EXPECT_EQ(set_[0].reads_since_check, 1u);
-  EXPECT_EQ(set_[1].reads_since_check, 2u);
+  EXPECT_EQ(rel_[0].reads_since_check, 1u);
+  EXPECT_EQ(rel_[1].reads_since_check, 2u);
 }
 
 TEST_F(PolicyFixture, ConventionalChecksOnlyHitWay) {
@@ -126,13 +123,19 @@ TEST_F(PolicyFixture, ReapStrictlyBeatsConventionalOnAccumulatedLines) {
   ctx2.ledger = &ledger2;
   ReapPolicy pr(ctx2);
 
-  std::vector<sim::CacheLine> set2 = set_;
+  std::uint64_t tagv2[4];
+  sim::LineRel rel2[4];
+  for (int w = 0; w < 4; ++w) {
+    tagv2[w] = tagv_[w];
+    rel2[w] = rel_[w];
+  }
+  const sim::CacheSetView set2{tagv2, rel2, 4};
   for (int i = 0; i < 50; ++i) {
     pc.on_read_lookup(ways(), 0);
-    pr.on_read_lookup(std::span<sim::CacheLine>(set2), 0);
+    pr.on_read_lookup(set2, 0);
   }
   pc.on_read_lookup(ways(), 1);
-  pr.on_read_lookup(std::span<sim::CacheLine>(set2), 1);
+  pr.on_read_lookup(set2, 1);
   EXPECT_GT(ledger_.total_failure_prob(), ledger2.total_failure_prob() * 10);
 }
 
@@ -141,8 +144,8 @@ TEST_F(PolicyFixture, ReapStrictlyBeatsConventionalOnAccumulatedLines) {
 TEST_F(PolicyFixture, SerialNeverCreatesConcealedReads) {
   SerialTagThenDataPolicy p(ctx_);
   for (int i = 0; i < 10; ++i) p.on_read_lookup(ways(), 0);
-  EXPECT_EQ(set_[1].reads_since_check, 0u);
-  EXPECT_EQ(set_[2].reads_since_check, 0u);
+  EXPECT_EQ(rel_[1].reads_since_check, 0u);
+  EXPECT_EQ(rel_[2].reads_since_check, 0u);
 }
 
 TEST_F(PolicyFixture, SerialReadsOnlyHitWay) {
@@ -172,18 +175,18 @@ TEST_F(PolicyFixture, RestoreWritesEveryValidWay) {
 TEST_F(PolicyFixture, RestoreClearsAccumulationEverywhere) {
   DisruptiveRestorePolicy p(ctx_);
   p.on_read_lookup(ways(), 0);
-  for (const auto& line : set_) EXPECT_EQ(line.reads_since_check, 0u);
+  for (const auto& line : rel_) EXPECT_EQ(line.reads_since_check, 0u);
 }
 
 TEST_F(PolicyFixture, RestoreChargesWriteFailures) {
   DisruptiveRestorePolicy p(ctx_);
-  EXPECT_GT(p.restore_failure_prob(), 0.0);
+  EXPECT_GT(p.impl().restore_failure_prob(), 0.0);
   p.on_read_lookup(ways(), 0);
   // 1 checked read (single-read formula) + 3 restore failures... the hit
   // way's entry already folds its own restore failure in.
   const double expected =
       reliability::p_uncorrectable_block(100, kPrd) +
-      3.0 * p.restore_failure_prob();
+      3.0 * p.impl().restore_failure_prob();
   EXPECT_NEAR(ledger_.total_failure_prob(), expected, expected * 1e-9);
 }
 
@@ -194,15 +197,15 @@ TEST_F(PolicyFixture, ScrubEveryOneMatchesReapDecodeCount) {
   ScrubPiggybackPolicy p(ctx_);
   p.on_read_lookup(ways(), 0);
   EXPECT_EQ(p.events().ecc_decodes, 4u);  // all ways, like REAP
-  EXPECT_EQ(p.scrubs_performed(), 1u);
-  for (const auto& line : set_) EXPECT_EQ(line.reads_since_check, 0u);
+  EXPECT_EQ(p.impl().scrubs_performed(), 1u);
+  for (const auto& line : rel_) EXPECT_EQ(line.reads_since_check, 0u);
 }
 
 TEST_F(PolicyFixture, ScrubPeriodicityHonored) {
   ctx_.scrub_every = 4;
   ScrubPiggybackPolicy p(ctx_);
   for (int i = 0; i < 8; ++i) p.on_read_lookup(ways(), 0);
-  EXPECT_EQ(p.scrubs_performed(), 2u);
+  EXPECT_EQ(p.impl().scrubs_performed(), 2u);
   // Non-scrub accesses decode only the hit way: 6 x 1 + 2 x 4.
   EXPECT_EQ(p.events().ecc_decodes, 6u + 8u);
 }
@@ -213,11 +216,11 @@ TEST_F(PolicyFixture, ScrubClosesConcealedWindowsEarly) {
   // Two conventional lookups accumulate on ways 1 and 2; the third scrubs.
   p.on_read_lookup(ways(), 0);
   p.on_read_lookup(ways(), 0);
-  EXPECT_EQ(set_[1].reads_since_check, 2u);
+  EXPECT_EQ(rel_[1].reads_since_check, 2u);
   ledger_.reset();
   p.on_read_lookup(ways(), 0);  // scrub access
-  EXPECT_EQ(set_[1].reads_since_check, 0u);
-  EXPECT_EQ(set_[2].reads_since_check, 0u);
+  EXPECT_EQ(rel_[1].reads_since_check, 0u);
+  EXPECT_EQ(rel_[2].reads_since_check, 0u);
   // Ledger saw: the hit way (N=1) plus two scrubbed ways (N=3 windows).
   EXPECT_EQ(ledger_.checks(), 3u);
 }
@@ -230,9 +233,14 @@ TEST_F(PolicyFixture, ScrubBetweenConventionalAndReap) {
     ctx.ledger = &ledger;
     ctx.scrub_every = every;
     auto policy = ReadPathPolicy::make(kind, ctx);
-    std::vector<sim::CacheLine> set = set_;
+    std::uint64_t tagv[4];
+    sim::LineRel rel[4];
+    for (int w = 0; w < 4; ++w) {
+      tagv[w] = tagv_[w];
+      rel[w] = rel_[w];
+    }
     for (int i = 0; i < 200; ++i) {
-      policy->on_read_lookup(std::span<sim::CacheLine>(set), i % 50 == 0 ? 1 : 0);
+      policy->on_read_lookup({tagv, rel, 4}, i % 50 == 0 ? 1 : 0);
     }
     return ledger.total_failure_prob();
   };
@@ -257,16 +265,15 @@ TEST_F(PolicyFixture, WriteLookupCountsEncodeOnHit) {
 
 TEST_F(PolicyFixture, FillCountsAsWrite) {
   ReapPolicy p(ctx_);
-  p.on_fill(set_[3]);
+  p.on_fill(rel_[3]);
   EXPECT_EQ(p.events().way_data_writes, 1u);
   EXPECT_EQ(p.events().ecc_encodes, 1u);
 }
 
 TEST_F(PolicyFixture, EvictionCheckOffByDefault) {
   ConventionalParallelPolicy p(ctx_);
-  set_[0].dirty = true;
-  set_[0].reads_since_check = 100;
-  p.on_evict(set_[0]);
+  rel_[0].reads_since_check = 100;
+  p.on_evict(rel_[0], /*dirty=*/true);
   EXPECT_EQ(ledger_.checks(), 0u);
   EXPECT_EQ(p.events().ecc_decodes, 0u);
 }
@@ -274,15 +281,13 @@ TEST_F(PolicyFixture, EvictionCheckOffByDefault) {
 TEST_F(PolicyFixture, EvictionCheckExtensionChargesDirtyVictims) {
   ctx_.check_on_dirty_eviction = true;
   ConventionalParallelPolicy p(ctx_);
-  set_[0].dirty = true;
-  set_[0].reads_since_check = 99;
-  p.on_evict(set_[0]);
+  rel_[0].reads_since_check = 99;
+  p.on_evict(rel_[0], /*dirty=*/true);
   EXPECT_EQ(ledger_.checks(), 1u);
   EXPECT_NEAR(ledger_.total_failure_prob(),
               reliability::p_uncorrectable_block_acc(100, 100, kPrd), 1e-18);
   // Clean victims stay free.
-  set_[1].dirty = false;
-  p.on_evict(set_[1]);
+  p.on_evict(rel_[1], /*dirty=*/false);
   EXPECT_EQ(ledger_.checks(), 1u);
 }
 

@@ -110,12 +110,12 @@ TEST(Cache, LerPrefersAccumulationOverRecency) {
   // Attach a hook that marks way 0 as heavily accumulated.
   class Bumper : public L2PolicyHooks {
    public:
-    void on_read_lookup(std::span<CacheLine> ways, int hit_way) override {
-      if (hit_way >= 0) ways[0].reads_since_check = 100;
+    void on_read_lookup(CacheSetView set, int hit_way) override {
+      if (hit_way >= 0) set.rel(0).reads_since_check = 100;
     }
-    void on_write_lookup(std::span<CacheLine>, int) override {}
-    void on_fill(CacheLine&) override {}
-    void on_evict(CacheLine&) override {}
+    void on_write_lookup(CacheSetView, int) override {}
+    void on_fill(LineRel&) override {}
+    void on_evict(LineRel&, bool) override {}
   } bumper;
 
   const auto a = mk_addr(1, 0), b = mk_addr(2, 0), d = mk_addr(3, 0);
@@ -151,18 +151,16 @@ TEST(Cache, DirtyEvictionReported) {
 
 TEST(Cache, WriteHitDirtiesAndRefreshes) {
   SetAssocCache c(small_cfg());
-  std::uint32_t next_ones = 100;
-  c.set_ones_model([&next_ones](std::uint64_t) { return next_ones; });
+  c.set_ones_provider(OnesProvider::fixed(100));
   c.fill(mk_addr(1, 0), false);
-  const auto view = c.set_view(0);
-  EXPECT_EQ(view[0].ones, 100u);
-  EXPECT_FALSE(view[0].dirty);
+  EXPECT_EQ(c.line_info(0, 0).ones, 100u);
+  EXPECT_FALSE(c.line_info(0, 0).dirty);
 
-  next_ones = 200;
+  c.set_ones_provider(OnesProvider::fixed(200));
   EXPECT_TRUE(c.write(mk_addr(1, 0)));
-  EXPECT_TRUE(view[0].dirty);
-  EXPECT_EQ(view[0].ones, 200u);
-  EXPECT_EQ(view[0].reads_since_check, 0u);
+  EXPECT_TRUE(c.line_info(0, 0).dirty);
+  EXPECT_EQ(c.line_info(0, 0).ones, 200u);
+  EXPECT_EQ(c.line_info(0, 0).reads_since_check, 0u);
 }
 
 TEST(Cache, WriteMissDoesNotAllocate) {
@@ -184,31 +182,33 @@ TEST(Cache, InvalidateClearsLine) {
 TEST(Cache, DefaultOnesIsHalfBlockBits) {
   SetAssocCache c(small_cfg());
   c.fill(mk_addr(1, 2), false);
-  EXPECT_EQ(c.set_view(2)[0].ones, 256u);
+  EXPECT_EQ(c.line_info(2, 0).ones, 256u);
 }
 
 // Hook recording for interface verification.
 class RecordingHooks : public L2PolicyHooks {
  public:
-  void on_read_lookup(std::span<CacheLine> ways, int hit_way) override {
+  void on_read_lookup(CacheSetView set, int hit_way) override {
     ++reads;
-    last_ways = ways.size();
+    last_ways = set.size();
     last_hit = hit_way;
   }
-  void on_write_lookup(std::span<CacheLine>, int hit_way) override {
+  void on_write_lookup(CacheSetView, int hit_way) override {
     ++writes;
     last_hit = hit_way;
   }
-  void on_fill(CacheLine&) override { ++fills; }
-  void on_evict(CacheLine& line) override {
+  void on_fill(LineRel&) override { ++fills; }
+  void on_evict(LineRel& rel, bool dirty) override {
     ++evicts;
-    last_evicted_valid = line.valid;
+    last_evicted_ones = rel.ones;
+    last_evicted_dirty = dirty;
   }
 
   int reads = 0, writes = 0, fills = 0, evicts = 0;
   std::size_t last_ways = 0;
   int last_hit = -2;
-  bool last_evicted_valid = false;
+  std::uint32_t last_evicted_ones = 0;
+  bool last_evicted_dirty = false;
 };
 
 TEST(CacheHooks, ReadLookupSeesAllWaysAndHitIndex) {
@@ -229,11 +229,13 @@ TEST(CacheHooks, EvictFiresBeforeInvalidation) {
   SetAssocCache c(small_cfg());
   RecordingHooks h;
   c.set_hooks(&h);
+  c.set_ones_provider(OnesProvider::fixed(77));
   c.fill(mk_addr(1, 0), false);
   c.fill(mk_addr(2, 0), false);
   c.fill(mk_addr(3, 0), false);  // evicts one
   EXPECT_EQ(h.evicts, 1);
-  EXPECT_TRUE(h.last_evicted_valid);
+  EXPECT_EQ(h.last_evicted_ones, 77u);  // still populated at evict time
+  EXPECT_FALSE(h.last_evicted_dirty);
   EXPECT_EQ(h.fills, 3);
 }
 

@@ -145,11 +145,11 @@ TEST(Hierarchy, ResetStatsZeroesEverything) {
 
 TEST(Hierarchy, OnesModelAppliedToL2Lines) {
   MemoryHierarchy h(tiny_cfg());
-  h.set_l2_ones_model([](std::uint64_t) { return 123u; });
+  h.set_l2_ones_provider(OnesProvider::fixed(123));
   h.load(0x0000);
-  const auto view = h.l2().set_view(0);
   bool found = false;
-  for (const auto& line : view) {
+  for (std::size_t w = 0; w < h.l2().config().ways; ++w) {
+    const auto line = h.l2().line_info(0, w);
     if (line.valid) {
       EXPECT_EQ(line.ones, 123u);
       found = true;

@@ -192,5 +192,62 @@ TEST(LoopNest, ResetRestoresStart) {
   EXPECT_EQ(l.next(rng), 512u);
 }
 
+// ZipfHotSet's scramble documents a non-bijective rank->block map for
+// non-power-of-two block counts: collisions blend the popularity of the
+// colliding ranks. These pins freeze the resulting blend for one such
+// geometry (100 blocks) so a refactor of the scramble (or of the sampler's
+// draw discipline) cannot silently change every trace distribution.
+
+TEST(ZipfHotSet, ScrambledDrawSequencePinned) {
+  // Exact first draws for a fixed seed: any change to mix constants, the
+  // rank mapping, or rng consumption shows up here immediately.
+  ZipfHotSet z(0, 100 * 64, 1.2, /*scramble=*/true);
+  common::Rng rng(0xC0FFEE);
+  const std::uint64_t expected[8] = {0x938, 0x450, 0x918, 0x2a8,
+                                     0x440, 0x1288, 0x918, 0xa78};
+  for (const std::uint64_t want : expected) EXPECT_EQ(z.next(rng), want);
+}
+
+TEST(ZipfHotSet, NonBijectiveScrambleBlendPinned) {
+  // Aggregate shape of the blend over a long run: how many of the 100
+  // blocks are reachable at all (collisions make it fewer than 100), which
+  // block absorbed the hottest rank, and its exact draw count.
+  ZipfHotSet z(0, 100 * 64, 1.2, /*scramble=*/true);
+  common::Rng rng(0xC0FFEE);
+  std::map<std::uint64_t, int> by_block;
+  for (int i = 0; i < 200000; ++i) ++by_block[z.next(rng) / 64];
+
+  EXPECT_EQ(by_block.size(), 62u);  // 38 of 100 blocks are scramble-shadowed
+
+  std::uint64_t hottest = 0;
+  int hottest_count = 0;
+  for (const auto& [block, count] : by_block) {
+    if (count > hottest_count) {
+      hottest_count = count;
+      hottest = block;
+    }
+  }
+  EXPECT_EQ(hottest, 36u);
+  EXPECT_EQ(hottest_count, 56209);
+}
+
+TEST(ZipfHotSet, UnscrambledKeepsRankOrder) {
+  // Without scrambling, rank r maps to block r: block 0 must be the
+  // hottest and every block reachable.
+  ZipfHotSet z(0, 100 * 64, 1.2, /*scramble=*/false);
+  common::Rng rng(0xC0FFEE);
+  std::map<std::uint64_t, int> by_block;
+  for (int i = 0; i < 100000; ++i) ++by_block[z.next(rng) / 64];
+  int best = 0;
+  std::uint64_t best_block = 99;
+  for (const auto& [block, count] : by_block) {
+    if (count > best) {
+      best = count;
+      best_block = block;
+    }
+  }
+  EXPECT_EQ(best_block, 0u);
+}
+
 }  // namespace
 }  // namespace reap::trace

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <vector>
 
 namespace reap::trace {
 namespace {
@@ -119,6 +120,57 @@ TEST(Workload, NeverEnds) {
   WorkloadTraceSource src(tiny_profile());
   MemOp op;
   for (int i = 0; i < 1000; ++i) ASSERT_TRUE(src.next(op));
+}
+
+TEST(Workload, BatchedPullMatchesPerOpSequence) {
+  // next_batch must emit exactly the sequence per-op next() would: the
+  // simulator's batched loop and the legacy loop replay identical traces.
+  WorkloadTraceSource per_op(tiny_profile());
+  WorkloadTraceSource batched(tiny_profile());
+  std::vector<MemOp> buf(257);  // odd size: batches end mid-stream
+  std::size_t checked = 0;
+  while (checked < 5000) {
+    const std::size_t n = batched.next_batch({buf.data(), buf.size()});
+    ASSERT_GT(n, 0u);
+    for (std::size_t i = 0; i < n; ++i) {
+      MemOp op;
+      ASSERT_TRUE(per_op.next(op));
+      ASSERT_EQ(op.type, buf[i].type) << "op " << checked;
+      ASSERT_EQ(op.addr, buf[i].addr) << "op " << checked;
+      ++checked;
+    }
+  }
+}
+
+TEST(Workload, MixedPullStylesStayContinuous) {
+  // Alternating per-op and batched pulls must not skip or repeat ops.
+  WorkloadTraceSource reference(tiny_profile());
+  WorkloadTraceSource mixed(tiny_profile());
+  std::vector<MemOp> buf(64);
+  std::size_t checked = 0;
+  while (checked < 2000) {
+    MemOp op;
+    ASSERT_TRUE(mixed.next(op));  // may leave data ops pending
+    MemOp want;
+    ASSERT_TRUE(reference.next(want));
+    ASSERT_EQ(op.addr, want.addr) << "op " << checked;
+    ++checked;
+    const std::size_t n = mixed.next_batch({buf.data(), buf.size()});
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_TRUE(reference.next(want));
+      ASSERT_EQ(buf[i].addr, want.addr) << "op " << checked;
+      ++checked;
+    }
+  }
+}
+
+TEST(Workload, TinyBatchSpanStillProduces) {
+  // A span smaller than one instruction group (3 ops) must still make
+  // progress: 0 is reserved for end-of-trace.
+  WorkloadTraceSource src(tiny_profile());
+  MemOp one;
+  for (int i = 0; i < 100; ++i)
+    ASSERT_EQ(src.next_batch({&one, 1}), 1u);
 }
 
 }  // namespace

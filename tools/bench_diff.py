@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON files (e.g. BENCH_e2e.json artifacts
+from two commits) and print the per-benchmark throughput delta.
+
+Usage:
+    tools/bench_diff.py OLD.json NEW.json [--threshold PCT]
+
+Matches benchmarks by name. For each pair the primary metric is
+items_per_second (simulated instructions/sec for bench_e2e); benchmarks
+without it fall back to real_time (lower is better). Exits 1 when any
+matched benchmark regressed by more than --threshold percent (default 10),
+so CI can gate on it.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for b in data.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        out[b["name"]] = b
+    return out
+
+
+def metric(bench):
+    """(value, higher_is_better) for one benchmark entry."""
+    if "items_per_second" in bench:
+        return bench["items_per_second"], True
+    return bench["real_time"], False
+
+
+def fmt_rate(value):
+    for unit, scale in (("G", 1e9), ("M", 1e6), ("k", 1e3)):
+        if value >= scale:
+            return f"{value / scale:.2f}{unit}/s"
+    return f"{value:.1f}/s"
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("old", help="baseline benchmark JSON")
+    ap.add_argument("new", help="candidate benchmark JSON")
+    ap.add_argument("--threshold", type=float, default=10.0,
+                    help="fail if any benchmark regresses more than this "
+                         "percent (default 10)")
+    args = ap.parse_args()
+
+    old = load(args.old)
+    new = load(args.new)
+    names = [n for n in old if n in new]
+    if not names:
+        print("no common benchmarks between the two files", file=sys.stderr)
+        return 2
+
+    width = max(len(n) for n in names)
+    regressions = []
+    print(f"{'benchmark':<{width}}  {'old':>12}  {'new':>12}  {'delta':>8}")
+    for name in names:
+        old_v, higher_better = metric(old[name])
+        new_v, _ = metric(new[name])
+        if old_v == 0:
+            continue
+        ratio = new_v / old_v if higher_better else old_v / new_v
+        delta_pct = (ratio - 1.0) * 100.0
+        if "items_per_second" in old[name]:
+            cells = f"{fmt_rate(old_v):>12}  {fmt_rate(new_v):>12}"
+        else:
+            cells = f"{old_v:>10.1f}ns  {new_v:>10.1f}ns"
+        print(f"{name:<{width}}  {cells}  {delta_pct:>+7.1f}%")
+        if delta_pct < -args.threshold:
+            regressions.append((name, delta_pct))
+
+    only_old = sorted(set(old) - set(new))
+    only_new = sorted(set(new) - set(old))
+    if only_old:
+        print(f"\nonly in {args.old}: {', '.join(only_old)}")
+    if only_new:
+        print(f"only in {args.new}: {', '.join(only_new)}")
+
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} benchmark(s) regressed more than "
+              f"{args.threshold:.0f}%:", file=sys.stderr)
+        for name, delta in regressions:
+            print(f"  {name}: {delta:+.1f}%", file=sys.stderr)
+        return 1
+    print(f"\nOK: no benchmark regressed more than {args.threshold:.0f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
