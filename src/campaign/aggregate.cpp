@@ -4,75 +4,43 @@
 #include <sstream>
 
 #include "reap/common/table.hpp"
-#include "reap/reliability/mttf.hpp"
 
 namespace reap::campaign {
-namespace {
 
-PointComparison compare(std::size_t index, std::size_t baseline_index,
-                        const core::ExperimentResult& r,
-                        const core::ExperimentResult& base) {
+PointComparison compare_metrics(std::size_t index, std::size_t baseline_index,
+                                const reliability::MttfResult& mttf,
+                                double energy_j, double ipc,
+                                const reliability::MttfResult& base_mttf,
+                                double base_energy_j, double base_ipc) {
   PointComparison c;
   c.index = index;
   c.baseline_index = baseline_index;
-  c.mttf_gain = reliability::mttf_ratio(r.mttf, base.mttf);
-  const double eb = base.energy.dynamic_total_j();
-  const double eo = r.energy.dynamic_total_j();
-  c.energy_ratio = eb > 0.0 ? eo / eb : 1.0;
+  c.mttf_gain = reliability::mttf_ratio(mttf, base_mttf);
+  c.energy_ratio = base_energy_j > 0.0 ? energy_j / base_energy_j : 1.0;
   c.energy_overhead_pct = (c.energy_ratio - 1.0) * 100.0;
-  c.speedup = base.ipc > 0.0 ? r.ipc / base.ipc : 1.0;
+  c.speedup = base_ipc > 0.0 ? ipc / base_ipc : 1.0;
   return c;
 }
 
-}  // namespace
-
-std::optional<CampaignAggregates> aggregate(
-    const CampaignSpec& spec, const std::vector<CampaignPoint>& points,
-    const std::vector<core::ExperimentResult>& results,
-    core::PolicyKind baseline) {
-  std::size_t baseline_pi = spec.policies.size();
-  for (std::size_t i = 0; i < spec.policies.size(); ++i)
-    if (spec.policies[i] == baseline) baseline_pi = i;
-  if (baseline_pi == spec.policies.size()) return std::nullopt;
-
+CampaignAggregates summarize_comparisons(
+    core::PolicyKind baseline,
+    const std::vector<AnnotatedComparison>& comparisons,
+    const std::vector<core::PolicyKind>& policy_order,
+    const std::vector<std::string>& workload_order) {
   CampaignAggregates agg;
   agg.baseline = baseline;
+  agg.comparisons.reserve(comparisons.size());
+  for (const auto& a : comparisons) agg.comparisons.push_back(a.c);
 
-  // The expansion is row-major (workload, policy, ecc, scrub, ratio,
-  // seed), so the baseline partner of a point differs only in the policy
-  // digit.
-  const std::size_t n_ratios =
-      spec.read_ratios.empty() ? 1 : spec.read_ratios.size();
-  const std::size_t n_scrubs =
-      spec.scrub_everys.empty() ? 1 : spec.scrub_everys.size();
-  const auto index_of = [&](const CampaignPoint& pt, std::size_t policy_i) {
-    return ((((pt.workload_i * spec.policies.size() + policy_i) *
-                  spec.ecc_ts.size() +
-              pt.ecc_i) *
-                 n_scrubs +
-             pt.scrub_i) *
-                n_ratios +
-            pt.ratio_i) *
-               spec.seeds.size() +
-           pt.seed_i;
-  };
-
-  for (const auto& pt : points) {
-    if (pt.policy_i == baseline_pi) continue;
-    const std::size_t bi = index_of(pt, baseline_pi);
-    agg.comparisons.push_back(
-        compare(pt.index, bi, results[pt.index], results[bi]));
-  }
-
-  // Per-policy summaries, in spec policy order.
-  for (std::size_t pi = 0; pi < spec.policies.size(); ++pi) {
-    if (pi == baseline_pi) continue;
+  // Per-policy summaries.
+  for (const auto policy : policy_order) {
     PolicySummary s;
-    s.policy = spec.policies[pi];
+    s.policy = policy;
     double sum_gain = 0.0, sum_log_gain = 0.0, sum_ovh = 0.0, sum_spd = 0.0;
     bool geo_ok = true;
-    for (const auto& c : agg.comparisons) {
-      if (points[c.index].policy_i != pi) continue;
+    for (const auto& a : comparisons) {
+      if (a.policy != policy) continue;
+      const auto& c = a.c;
       if (s.n == 0) {
         s.min_mttf_gain = s.max_mttf_gain = c.mttf_gain;
         s.max_energy_overhead_pct = c.energy_overhead_pct;
@@ -101,20 +69,18 @@ std::optional<CampaignAggregates> aggregate(
   }
 
   // Per-workload x policy summaries (the Fig. 5 / Fig. 6 bars).
-  for (std::size_t wi = 0; wi < spec.workloads.size(); ++wi) {
-    for (std::size_t pi = 0; pi < spec.policies.size(); ++pi) {
-      if (pi == baseline_pi) continue;
+  for (const auto& workload : workload_order) {
+    for (const auto policy : policy_order) {
       WorkloadSummary ws;
-      ws.workload = spec.workloads[wi];
-      ws.policy = spec.policies[pi];
+      ws.workload = workload;
+      ws.policy = policy;
       double sum_gain = 0.0, sum_ovh = 0.0;
       std::size_t n = 0;
-      for (const auto& c : agg.comparisons) {
-        const auto& pt = points[c.index];
-        if (pt.workload_i != wi || pt.policy_i != pi) continue;
+      for (const auto& a : comparisons) {
+        if (a.workload != workload || a.policy != policy) continue;
         ++n;
-        sum_gain += c.mttf_gain;
-        sum_ovh += c.energy_overhead_pct;
+        sum_gain += a.c.mttf_gain;
+        sum_ovh += a.c.energy_overhead_pct;
       }
       if (n > 0) {
         ws.mean_mttf_gain = sum_gain / static_cast<double>(n);
@@ -124,6 +90,57 @@ std::optional<CampaignAggregates> aggregate(
     }
   }
   return agg;
+}
+
+std::optional<CampaignAggregates> aggregate(
+    const CampaignSpec& spec, const std::vector<CampaignPoint>& points,
+    const std::vector<core::ExperimentResult>& results,
+    core::PolicyKind baseline) {
+  std::size_t baseline_pi = spec.policies.size();
+  for (std::size_t i = 0; i < spec.policies.size(); ++i)
+    if (spec.policies[i] == baseline) baseline_pi = i;
+  if (baseline_pi == spec.policies.size()) return std::nullopt;
+
+  // The expansion is row-major (workload, policy, ecc, scrub, ratio,
+  // seed), so the baseline partner of a point differs only in the policy
+  // digit.
+  const std::size_t n_ratios =
+      spec.read_ratios.empty() ? 1 : spec.read_ratios.size();
+  const std::size_t n_scrubs =
+      spec.scrub_everys.empty() ? 1 : spec.scrub_everys.size();
+  const auto index_of = [&](const CampaignPoint& pt, std::size_t policy_i) {
+    return ((((pt.workload_i * spec.policies.size() + policy_i) *
+                  spec.ecc_ts.size() +
+              pt.ecc_i) *
+                 n_scrubs +
+             pt.scrub_i) *
+                n_ratios +
+            pt.ratio_i) *
+               spec.seeds.size() +
+           pt.seed_i;
+  };
+
+  std::vector<AnnotatedComparison> comparisons;
+  for (const auto& pt : points) {
+    if (pt.policy_i == baseline_pi) continue;
+    const std::size_t bi = index_of(pt, baseline_pi);
+    const auto& r = results[pt.index];
+    const auto& base = results[bi];
+    AnnotatedComparison a;
+    a.c = compare_metrics(pt.index, bi, r.mttf, r.energy.dynamic_total_j(),
+                          r.ipc, base.mttf, base.energy.dynamic_total_j(),
+                          base.ipc);
+    a.policy = spec.policies[pt.policy_i];
+    a.workload = spec.workloads[pt.workload_i];
+    comparisons.push_back(std::move(a));
+  }
+
+  std::vector<core::PolicyKind> policy_order;
+  for (std::size_t pi = 0; pi < spec.policies.size(); ++pi)
+    if (pi != baseline_pi) policy_order.push_back(spec.policies[pi]);
+
+  return summarize_comparisons(baseline, comparisons, policy_order,
+                               spec.workloads);
 }
 
 std::string CampaignAggregates::render() const {

@@ -16,6 +16,7 @@
 
 #include "reap/campaign/spec.hpp"
 #include "reap/core/experiment.hpp"
+#include "reap/reliability/mttf.hpp"
 
 namespace reap::campaign {
 
@@ -27,6 +28,24 @@ struct PointComparison {
   double energy_ratio = 0.0;       // E_point / E_baseline       (Fig. 6)
   double energy_overhead_pct = 0.0;
   double speedup = 0.0;  // IPC_point / IPC_baseline
+};
+
+// The per-comparison metrics from the raw quantities both sources can
+// supply: the in-memory ExperimentResult pair and a CSV/JSONL row pair
+// (whose shortest-round-trip cells parse back to the exact doubles). Both
+// aggregation paths funnel through this one function so their numbers --
+// and rendered reports -- cannot drift apart.
+PointComparison compare_metrics(std::size_t index, std::size_t baseline_index,
+                                const reliability::MttfResult& mttf,
+                                double energy_j, double ipc,
+                                const reliability::MttfResult& base_mttf,
+                                double base_energy_j, double base_ipc);
+
+// A comparison annotated with the grouping coordinates summaries need.
+struct AnnotatedComparison {
+  PointComparison c;
+  core::PolicyKind policy;  // the non-baseline policy
+  std::string workload;
 };
 
 struct PolicySummary {
@@ -57,6 +76,17 @@ struct CampaignAggregates {
   // ASCII report (TextTable-based) of both summaries.
   std::string render() const;
 };
+
+// Shared summarization: builds by_policy / by_workload from comparisons in
+// their given order (must be grid-index order for determinism).
+// `policy_order` lists the non-baseline policies, `workload_order` the
+// workloads, in the order summaries should appear. Used by aggregate()
+// and by the offline row-based aggregation in report.hpp.
+CampaignAggregates summarize_comparisons(
+    core::PolicyKind baseline,
+    const std::vector<AnnotatedComparison>& comparisons,
+    const std::vector<core::PolicyKind>& policy_order,
+    const std::vector<std::string>& workload_order);
 
 // Computes aggregates for `spec`'s expansion `points` with `results`
 // indexed by CampaignPoint::index. Returns nullopt when `baseline` is not

@@ -3,7 +3,9 @@
 #pragma once
 
 #include "reap/campaign/aggregate.hpp"    // IWYU pragma: export
+#include "reap/campaign/journal.hpp"      // IWYU pragma: export
 #include "reap/campaign/progress.hpp"     // IWYU pragma: export
+#include "reap/campaign/report.hpp"       // IWYU pragma: export
 #include "reap/campaign/result_sink.hpp"  // IWYU pragma: export
 #include "reap/campaign/runner.hpp"       // IWYU pragma: export
 #include "reap/campaign/seed.hpp"         // IWYU pragma: export

@@ -1,0 +1,102 @@
+// Execution journal: completion-order durability for campaign rows.
+//
+// A journal is a JSONL file. Line 1 is a header object recording what ran
+// (spec hash, point count, shard) and the column schema; every following
+// line is one completed row -- the JSONL sink's field set prefixed with the
+// point's stable row key -- flushed as soon as the experiment finishes.
+// Kill the process at any moment and the journal loses at most the line
+// being written; read_journal tolerates exactly that torn tail, so
+// `--resume` can skip every completed row and continue. A final merge step
+// (merge_journal_rows + emit_rows) replays the rows in grid-index order
+// into the ordinary sinks, producing output byte-identical to an
+// uninterrupted run.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "reap/campaign/result_sink.hpp"
+#include "reap/campaign/spec.hpp"
+
+namespace reap::campaign {
+
+struct JournalHeader {
+  std::string format = "reap-journal-v1";
+  std::string name;                 // campaign name
+  std::uint64_t spec_hash = 0;      // campaign::spec_hash of the spec
+  std::uint64_t points = 0;         // full-grid point count
+  std::uint64_t shard_index = 0;
+  std::uint64_t shard_count = 1;
+  std::vector<std::string> columns;  // result_header() at write time
+
+  static JournalHeader for_run(const CampaignSpec& spec,
+                               std::size_t n_points,
+                               std::size_t shard_index,
+                               std::size_t shard_count);
+};
+
+// One journaled row: the point's stable key plus its rendered cells
+// (aligned with the header's columns).
+struct JournalRow {
+  std::string key;
+  std::uint64_t index = 0;
+  std::vector<std::string> cells;
+};
+
+struct Journal {
+  JournalHeader header;
+  std::vector<JournalRow> rows;  // completion order
+  bool truncated_tail = false;   // last line was torn (killed mid-write)
+};
+
+// Appends rows to a journal file, flushing after every line so a killed
+// run loses at most the row being written.
+class JournalWriter {
+ public:
+  // Creates/truncates `path` and writes the header line.
+  JournalWriter(const std::string& path, const JournalHeader& header);
+
+  // Opens `path` for append (resume; the header line must already exist).
+  explicit JournalWriter(const std::string& path);
+
+  bool ok() const;
+  void add(const std::string& key, const std::vector<std::string>& cells);
+
+ private:
+  std::ofstream out_;
+  std::vector<std::string> columns_;
+};
+
+// Reads a journal back. A torn final line (the signature of a mid-write
+// kill) is dropped and flagged; malformed content anywhere else is an
+// error. Returns nullopt and sets `error` on failure.
+std::optional<Journal> read_journal(const std::string& path,
+                                    std::string* error = nullptr);
+
+// Atomically replaces `path` with a clean serialization of `j` (temp file
+// + rename). Resume uses this to drop a torn tail before appending -- new
+// rows written after an unterminated line would corrupt both.
+bool rewrite_journal(const std::string& path, const Journal& j,
+                     std::string* error = nullptr);
+
+// Whether a journal recorded the same campaign this process is about to
+// run: same spec hash, grid size, shard assignment, and column schema.
+// On mismatch returns false and, if `why` is non-null, names the first
+// differing field.
+bool journal_compatible(const JournalHeader& header, const CampaignSpec& spec,
+                        std::size_t n_points, std::size_t shard_index,
+                        std::size_t shard_count, std::string* why = nullptr);
+
+// Concatenates completion-order row batches, drops duplicate keys (first
+// occurrence wins), and sorts by grid index: the merge step that turns a
+// journal back into index-ordered sink input.
+std::vector<JournalRow> merge_journal_rows(std::vector<JournalRow> a,
+                                           std::vector<JournalRow> b);
+
+// Streams merged rows into a sink (rows must already be index-ordered).
+void emit_rows(const std::vector<JournalRow>& rows, ResultSink& sink);
+
+}  // namespace reap::campaign

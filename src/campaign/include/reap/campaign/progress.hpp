@@ -6,10 +6,11 @@
 
 namespace reap::campaign {
 
-// Prints "  done/total (pct%)  elapsed .. eta" to `out`, rewriting the
-// line when `out` is a terminal-ish stream. Rate-limited so a fast grid
-// does not flood the log. Call from the runner's on_progress hook (already
-// serialized by the runner).
+// Prints "  done/total (pct%)  rows/s  elapsed .. eta" to `out`, rewriting
+// the line when `out` is a terminal-ish stream. Rate-limited so a fast
+// grid does not flood the log, with the limiter check first so the
+// mutex-held common path stays cheap. Call from the runner's on_progress
+// hook (already serialized by the runner).
 class ProgressReporter {
  public:
   explicit ProgressReporter(std::FILE* out = stderr) : out_(out) {}

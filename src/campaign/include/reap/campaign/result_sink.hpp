@@ -1,10 +1,13 @@
 // ResultSink: streams per-experiment rows to durable formats.
 //
-// Rows are emitted in grid-index order regardless of completion order (the
-// runner returns an index-ordered vector), and every row ends with the full
-// config_kv string, so each line of output is independently reproducible:
-// paste the kv string back into `reap_campaign --config="..."` (or
-// core::config_from_kv) to re-run exactly that point.
+// Sinks consume *rendered* rows (the cell vector of result_cells), so the
+// same bytes flow whether a row arrives straight from the runner or is
+// replayed from a journal / merged from shard outputs -- the byte-identical
+// merge guarantee rests on this. Rows must be fed in grid-index order, and
+// every row ends with the full config_kv string, so each line of output is
+// independently reproducible: paste the kv string back into
+// `reap_campaign --config="..."` (or core::config_from_kv) to re-run
+// exactly that point.
 #pragma once
 
 #include <memory>
@@ -25,11 +28,24 @@ std::vector<std::string> result_header();
 std::vector<std::string> result_cells(const CampaignPoint& point,
                                       const core::ExperimentResult& r);
 
+// The comma-joined `"key":value` field list of one JSONL object (no
+// braces): plain finite numbers go out unquoted, everything else as an
+// escaped JSON string. Shared by the JSONL sink and the execution journal
+// so their lines parse back identically.
+std::string jsonl_fields(const std::vector<std::string>& header,
+                         const std::vector<std::string>& cells);
+
 class ResultSink {
  public:
   virtual ~ResultSink() = default;
-  virtual void add(const CampaignPoint& point,
-                   const core::ExperimentResult& r) = 0;
+
+  // Streams one already-rendered row; cells align with result_header().
+  virtual void add_cells(const std::vector<std::string>& cells) = 0;
+
+  // Convenience: renders and streams (point, result).
+  void add(const CampaignPoint& point, const core::ExperimentResult& r) {
+    add_cells(result_cells(point, r));
+  }
 };
 
 // CSV file with result_header() columns.
@@ -38,8 +54,7 @@ class CsvResultSink final : public ResultSink {
   explicit CsvResultSink(const std::string& path);
   ~CsvResultSink() override;
   bool ok() const;
-  void add(const CampaignPoint& point,
-           const core::ExperimentResult& r) override;
+  void add_cells(const std::vector<std::string>& cells) override;
 
  private:
   struct Impl;
@@ -52,20 +67,18 @@ class JsonlResultSink final : public ResultSink {
   explicit JsonlResultSink(const std::string& path);
   ~JsonlResultSink() override;
   bool ok() const;
-  void add(const CampaignPoint& point,
-           const core::ExperimentResult& r) override;
+  void add_cells(const std::vector<std::string>& cells) override;
 
  private:
   struct Impl;
   std::unique_ptr<Impl> impl_;
 };
 
-// Fans one add() out to several sinks.
+// Fans one add_cells() out to several sinks.
 class MultiSink final : public ResultSink {
  public:
   void attach(ResultSink* sink);  // non-owning; ignores nullptr
-  void add(const CampaignPoint& point,
-           const core::ExperimentResult& r) override;
+  void add_cells(const std::vector<std::string>& cells) override;
 
  private:
   std::vector<ResultSink*> sinks_;

@@ -27,6 +27,16 @@ struct RunnerOptions {
   // worker threads under a mutex; keep it cheap.
   std::function<void(std::size_t done, std::size_t total)> on_progress;
 
+  // Streaming hook: called with each finished (point, result) in
+  // *completion* order, serialized under the same mutex as on_progress
+  // (and before it, so a progress line never precedes its row). This is
+  // what the execution journal hangs off: rows become durable the moment
+  // they finish, independent of the index-ordered vector returned at the
+  // end.
+  std::function<void(const CampaignPoint& point,
+                     const core::ExperimentResult& result)>
+      on_result;
+
   // Test seam; defaults to core::run_experiment.
   std::function<core::ExperimentResult(const core::ExperimentConfig&)> run_fn;
 };
@@ -35,7 +45,9 @@ class CampaignRunner {
  public:
   explicit CampaignRunner(RunnerOptions opts = {});
 
-  // Runs every point; returns results indexed by CampaignPoint::index.
+  // Runs every point; returns results positionally aligned with `points`
+  // (results[i] belongs to points[i]). For a full expansion position and
+  // CampaignPoint::index coincide; for a shard/resume subset they do not.
   std::vector<core::ExperimentResult> run(
       const std::vector<CampaignPoint>& points) const;
 

@@ -74,12 +74,38 @@ struct CampaignPoint {
   std::size_t scrub_i = 0;  // 0 when the scrub axis is empty
   std::size_t ratio_i = 0;  // 0 when the ratio axis is empty
   std::size_t seed_i = 0;
+  // Stable row key, `<workload>/<policy>/t<ecc>/sc<scrub|->/rr<ratio|->/
+  // s<replica>`: a pure function of the point's grid-coordinate *values*,
+  // never of its expansion position, so a key survives appending values to
+  // any axis and identifies the same row across shards, resumed runs, and
+  // spec revisions. `-` marks an axis left at its base value.
+  std::string key;
   core::ExperimentConfig config;
 };
 
 // Expands the grid. Throws std::invalid_argument on an invalid spec
-// (empty mandatory axis, unknown workload name).
+// (empty mandatory axis, unknown workload name, duplicate values on an
+// axis -- row keys are value-derived, so axis values must be distinct).
 std::vector<CampaignPoint> expand(const CampaignSpec& spec);
+
+// The points of shard `shard_index` of `shard_count`: every point with
+// index % shard_count == shard_index, expansion order preserved (original
+// indices retained). The shards of a spec partition its expansion exactly;
+// striping by index balances expensive workloads (contiguous in expansion
+// order) across shards. Throws std::invalid_argument when shard_count == 0
+// or shard_index >= shard_count.
+std::vector<CampaignPoint> shard(const std::vector<CampaignPoint>& points,
+                                 std::size_t shard_index,
+                                 std::size_t shard_count);
+
+// Deterministic serialization of every field that affects expansion or
+// experiment outcomes (axes, base-config overrides, campaign seed). Two
+// specs with equal canonical strings expand to identical configs.
+std::string canonical_string(const CampaignSpec& spec);
+
+// fnv1a64 of canonical_string: the fingerprint a journal records so
+// --resume can refuse to continue a different campaign.
+std::uint64_t spec_hash(const CampaignSpec& spec);
 
 // Parses a spec file: one `key = value` per line, '#' comments, blank
 // lines ignored. Returns the raw map; feed it to CampaignSpec::from_kv.

@@ -1,0 +1,236 @@
+#include "reap/campaign/journal.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <unordered_set>
+
+#include "reap/common/jsonl.hpp"
+#include "reap/common/strings.hpp"
+
+namespace reap::campaign {
+namespace {
+
+bool fail(std::string* error, const std::string& msg) {
+  if (error) *error = msg;
+  return false;
+}
+
+std::string join(const std::vector<std::string>& items, char sep) {
+  std::string out;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i) out += sep;
+    out += items[i];
+  }
+  return out;
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    const auto next = s.find(sep, pos);
+    const auto end = next == std::string::npos ? s.size() : next;
+    out.push_back(s.substr(pos, end - pos));
+    if (next == std::string::npos) break;
+    pos = next + 1;
+  }
+  return out;
+}
+
+// Parses the header object of line 1. The journal is self-describing: all
+// fields are flat scalars so the shared JSONL-subset parser handles it.
+bool parse_header(const std::string& line, JournalHeader& h,
+                  std::string* error) {
+  const auto fields = common::parse_jsonl_line(line);
+  if (!fields) return fail(error, "journal: malformed header line");
+  bool saw_format = false;
+  for (const auto& [key, value] : *fields) {
+    if (key == "format") {
+      h.format = value;
+      saw_format = true;
+    } else if (key == "name") {
+      h.name = value;
+    } else if (key == "spec_hash") {
+      if (!common::parse_hex64(value, h.spec_hash))
+        return fail(error, "journal: bad spec_hash: " + value);
+    } else if (key == "points") {
+      if (!common::parse_u64(value, h.points))
+        return fail(error, "journal: bad points: " + value);
+    } else if (key == "shard_index") {
+      if (!common::parse_u64(value, h.shard_index))
+        return fail(error, "journal: bad shard_index: " + value);
+    } else if (key == "shard_count") {
+      if (!common::parse_u64(value, h.shard_count))
+        return fail(error, "journal: bad shard_count: " + value);
+    } else if (key == "columns") {
+      h.columns = split(value, ',');
+    }
+    // Unknown header fields are ignored: newer writers may add metadata.
+  }
+  if (!saw_format || h.format != "reap-journal-v1")
+    return fail(error, "journal: not a reap-journal-v1 file");
+  if (h.columns.empty()) return fail(error, "journal: header lists no columns");
+  return true;
+}
+
+// Parses one row line into (key, cells). Returns false when the line is
+// not a well-formed row -- the caller decides whether that is a torn tail
+// (acceptable on the last line) or corruption.
+bool parse_row(const std::string& line,
+               const std::vector<std::string>& columns, JournalRow& row) {
+  const auto fields = common::parse_jsonl_line(line);
+  if (!fields) return false;
+  if (fields->size() != columns.size() + 1) return false;
+  if ((*fields)[0].first != "key") return false;
+  row.key = (*fields)[0].second;
+  row.cells.clear();
+  row.cells.reserve(columns.size());
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    const auto& [name, value] = (*fields)[i + 1];
+    if (name != columns[i]) return false;
+    row.cells.push_back(value);
+  }
+  // Column 0 is the grid index by construction of result_header().
+  if (columns.empty() || columns[0] != "index") return false;
+  return common::parse_u64(row.cells[0], row.index);
+}
+
+}  // namespace
+
+JournalHeader JournalHeader::for_run(const CampaignSpec& spec,
+                                     std::size_t n_points,
+                                     std::size_t shard_index,
+                                     std::size_t shard_count) {
+  JournalHeader h;
+  h.name = spec.name;
+  h.spec_hash = campaign::spec_hash(spec);
+  h.points = n_points;
+  h.shard_index = shard_index;
+  h.shard_count = shard_count;
+  h.columns = result_header();
+  return h;
+}
+
+JournalWriter::JournalWriter(const std::string& path,
+                             const JournalHeader& header)
+    : out_(path, std::ios::trunc), columns_(header.columns) {
+  if (!out_) return;
+  out_ << "{\"format\":\"" << common::json_escape(header.format)
+       << "\",\"name\":\"" << common::json_escape(header.name)
+       << "\",\"spec_hash\":\"" << common::fmt_hex64(header.spec_hash)
+       << "\",\"points\":" << header.points
+       << ",\"shard_index\":" << header.shard_index
+       << ",\"shard_count\":" << header.shard_count << ",\"columns\":\""
+       << common::json_escape(join(header.columns, ',')) << "\"}\n";
+  out_.flush();
+}
+
+JournalWriter::JournalWriter(const std::string& path)
+    : out_(path, std::ios::app), columns_(result_header()) {}
+
+bool JournalWriter::ok() const { return static_cast<bool>(out_); }
+
+void JournalWriter::add(const std::string& key,
+                        const std::vector<std::string>& cells) {
+  if (!out_) return;
+  out_ << "{\"key\":\"" << common::json_escape(key) << "\","
+       << jsonl_fields(columns_, cells) << "}\n";
+  out_.flush();
+}
+
+std::optional<Journal> read_journal(const std::string& path,
+                                    std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    fail(error, "cannot open journal: " + path);
+    return std::nullopt;
+  }
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line))
+    if (!line.empty()) lines.push_back(line);
+  if (lines.empty()) {
+    fail(error, "journal is empty: " + path);
+    return std::nullopt;
+  }
+
+  Journal j;
+  if (!parse_header(lines[0], j.header, error)) return std::nullopt;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    JournalRow row;
+    if (parse_row(lines[i], j.header.columns, row)) {
+      j.rows.push_back(std::move(row));
+    } else if (i + 1 == lines.size()) {
+      // A torn final line is the expected signature of a mid-write kill;
+      // the row it carried simply re-runs on resume.
+      j.truncated_tail = true;
+    } else {
+      fail(error, path + ": corrupt journal line " + std::to_string(i + 1));
+      return std::nullopt;
+    }
+  }
+  return j;
+}
+
+bool rewrite_journal(const std::string& path, const Journal& j,
+                     std::string* error) {
+  const std::string tmp = path + ".tmp";
+  {
+    JournalWriter writer(tmp, j.header);
+    for (const auto& row : j.rows) writer.add(row.key, row.cells);
+    if (!writer.ok()) return fail(error, "cannot write " + tmp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec)
+    return fail(error, "cannot replace " + path + ": " + ec.message());
+  return true;
+}
+
+bool journal_compatible(const JournalHeader& header, const CampaignSpec& spec,
+                        std::size_t n_points, std::size_t shard_index,
+                        std::size_t shard_count, std::string* why) {
+  const auto mismatch = [&](const std::string& what) {
+    if (why) *why = "journal " + what;
+    return false;
+  };
+  if (header.spec_hash != campaign::spec_hash(spec))
+    return mismatch("was recorded for a different spec (spec hash " +
+                    common::fmt_hex64(header.spec_hash) + " != " +
+                    common::fmt_hex64(campaign::spec_hash(spec)) + ")");
+  if (header.points != n_points)
+    return mismatch("grid size mismatch (" + std::to_string(header.points) +
+                    " != " + std::to_string(n_points) + ")");
+  if (header.shard_index != shard_index || header.shard_count != shard_count)
+    return mismatch("shard mismatch (" + std::to_string(header.shard_index) +
+                    "/" + std::to_string(header.shard_count) + " != " +
+                    std::to_string(shard_index) + "/" +
+                    std::to_string(shard_count) + ")");
+  if (header.columns != result_header())
+    return mismatch("column schema differs from this binary's");
+  return true;
+}
+
+std::vector<JournalRow> merge_journal_rows(std::vector<JournalRow> a,
+                                           std::vector<JournalRow> b) {
+  std::vector<JournalRow> all = std::move(a);
+  all.insert(all.end(), std::make_move_iterator(b.begin()),
+             std::make_move_iterator(b.end()));
+  std::unordered_set<std::string> seen;
+  std::vector<JournalRow> unique;
+  unique.reserve(all.size());
+  for (auto& row : all)
+    if (seen.insert(row.key).second) unique.push_back(std::move(row));
+  std::stable_sort(unique.begin(), unique.end(),
+                   [](const JournalRow& x, const JournalRow& y) {
+                     return x.index < y.index;
+                   });
+  return unique;
+}
+
+void emit_rows(const std::vector<JournalRow>& rows, ResultSink& sink) {
+  for (const auto& row : rows) sink.add_cells(row.cells);
+}
+
+}  // namespace reap::campaign

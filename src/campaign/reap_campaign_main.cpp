@@ -1,17 +1,26 @@
 // reap_campaign: expand a campaign spec, run it across threads, emit rows
-// and aggregates. See docs/campaign.md.
+// and aggregates. Campaigns are durable, partitionable artifacts: a grid
+// can be split across machines with --shard, every completed row is
+// journaled the moment it finishes (--journal), and a killed run continues
+// from its journal with --resume. Merging shard outputs and rendering
+// figures offline is reap_report's job. See docs/campaign.md.
 //
 // Usage:
 //   reap_campaign --spec=grid.spec [overrides]
 //   reap_campaign --workloads=mcf,h264ref --policies=conventional,reap
 //                 --ecc=1,2 --seeds=0,1 --threads=8 --csv=out.csv
+//   reap_campaign --spec=grid.spec --shard=0/4 --journal=s0.journal
+//   reap_campaign --spec=grid.spec --shard=0/4 --journal=s0.journal --resume
 //   reap_campaign --config="workload=mcf policy=reap ..."   # one row re-run
 //   reap_campaign --list-workloads | --list-policies
 #include <cstdio>
+#include <filesystem>
 #include <string>
+#include <unordered_set>
 
 #include "reap/campaign/campaign.hpp"
 #include "reap/common/cli.hpp"
+#include "reap/common/strings.hpp"
 #include "reap/core/config_kv.hpp"
 #include "reap/trace/spec2006.hpp"
 
@@ -40,6 +49,15 @@ int usage(const char* argv0) {
       "  --quiet               no progress line\n"
       "  --dry-run             expand and list the grid, run nothing\n"
       "\n"
+      "sharding / durability:\n"
+      "  --shard=I/N           run only grid rows with index %% N == I;\n"
+      "                        merge shard outputs with reap_report\n"
+      "  --journal=PATH        journal each row as it completes (JSONL,\n"
+      "                        crash-safe; rows survive a killed run)\n"
+      "  --resume              skip rows already in --journal and\n"
+      "                        continue (refuses a journal whose spec\n"
+      "                        hash or shard assignment differs)\n"
+      "\n"
       "other modes:\n"
       "  --config=\"k=v ...\"    run exactly one experiment from a row's\n"
       "                        config string and print its row\n"
@@ -55,6 +73,20 @@ void print_row(const campaign::CampaignPoint& pt,
   const auto cells = campaign::result_cells(pt, r);
   for (std::size_t i = 0; i < header.size(); ++i)
     std::printf("%-20s %s\n", header[i].c_str(), cells[i].c_str());
+}
+
+// Parses "I/N". Returns false on garbage, N == 0, or I >= N.
+bool parse_shard(const std::string& text, std::size_t& index,
+                 std::size_t& count) {
+  const auto slash = text.find('/');
+  if (slash == std::string::npos) return false;
+  std::uint64_t i = 0, n = 0;
+  if (!common::parse_u64(text.substr(0, slash), i)) return false;
+  if (!common::parse_u64(text.substr(slash + 1), n)) return false;
+  if (n == 0 || i >= n) return false;
+  index = std::size_t(i);
+  count = std::size_t(n);
+  return true;
 }
 
 }  // namespace
@@ -121,14 +153,75 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Shard selection: deterministic, disjoint coverage by index stripe.
+  std::size_t shard_index = 0, shard_count = 1;
+  if (args.has("shard") &&
+      !parse_shard(args.get_string("shard", ""), shard_index, shard_count)) {
+    std::fprintf(stderr, "bad --shard (want I/N with I < N): %s\n",
+                 args.get_string("shard", "").c_str());
+    return 1;
+  }
+  const bool sharded = shard_count > 1;
+  const auto mine = campaign::shard(points, shard_index, shard_count);
+
   if (args.has("dry-run")) {
     std::printf("campaign '%s': %zu points\n", spec->name.c_str(),
                 points.size());
-    for (const auto& pt : points)
+    if (sharded)
+      std::printf("shard %zu/%zu: %zu points\n", shard_index, shard_count,
+                  mine.size());
+    for (const auto& pt : mine)
       std::printf("%4zu  %s\n", pt.index,
                   core::to_kv_string(pt.config).c_str());
     return 0;
   }
+
+  // Resume: load the journal, verify it describes this exact run, and
+  // collect the rows that are already durable.
+  const std::string journal_path = args.get_string("journal", "");
+  const bool resume = args.has("resume");
+  if (resume && journal_path.empty()) {
+    std::fprintf(stderr, "--resume requires --journal=PATH\n");
+    return 1;
+  }
+  std::vector<campaign::JournalRow> prior;
+  bool append_journal = false;
+  if (resume && std::filesystem::exists(journal_path)) {
+    auto loaded = campaign::read_journal(journal_path, &error);
+    if (!loaded) {
+      std::fprintf(stderr, "cannot resume: %s\n", error.c_str());
+      return 1;
+    }
+    std::string why;
+    if (!campaign::journal_compatible(loaded->header, *spec, points.size(),
+                                      shard_index, shard_count, &why)) {
+      std::fprintf(stderr, "cannot resume: %s\n", why.c_str());
+      return 1;
+    }
+    if (loaded->truncated_tail) {
+      std::fprintf(stderr,
+                   "note: journal ends in a torn line (killed mid-write); "
+                   "that row will re-run\n");
+      // Drop the torn tail before appending: new rows written after an
+      // unterminated line would corrupt both.
+      if (!campaign::rewrite_journal(journal_path, *loaded, &error)) {
+        std::fprintf(stderr, "cannot resume: %s\n", error.c_str());
+        return 1;
+      }
+    }
+    prior = campaign::merge_journal_rows(std::move(loaded->rows), {});
+    append_journal = true;
+  } else if (resume) {
+    std::fprintf(stderr, "note: no journal at %s; starting fresh\n",
+                 journal_path.c_str());
+  }
+
+  std::unordered_set<std::string> completed;
+  for (const auto& row : prior) completed.insert(row.key);
+  std::vector<campaign::CampaignPoint> to_run;
+  to_run.reserve(mine.size());
+  for (const auto& pt : mine)
+    if (!completed.count(pt.key)) to_run.push_back(pt);
 
   // Open sinks before running so an unwritable path fails fast instead of
   // after the whole grid has been simulated.
@@ -156,8 +249,35 @@ int main(int argc, char** argv) {
     sinks.attach(jsonl.get());
   }
 
+  std::optional<campaign::JournalWriter> journal;
+  if (!journal_path.empty()) {
+    if (append_journal) {
+      journal.emplace(journal_path);
+    } else {
+      journal.emplace(journal_path,
+                      campaign::JournalHeader::for_run(
+                          *spec, points.size(), shard_index, shard_count));
+    }
+    if (!journal->ok()) {
+      std::fprintf(stderr, "cannot write journal: %s\n",
+                   journal_path.c_str());
+      return 1;
+    }
+  }
+
+  // Streaming pipeline: rows are journaled (and buffered for the merge)
+  // in completion order the moment each experiment finishes; the runner's
+  // mutex serializes the callback.
+  std::vector<campaign::JournalRow> fresh;
+  fresh.reserve(to_run.size());
   campaign::RunnerOptions opts;
   opts.threads = static_cast<unsigned>(args.get_u64("threads", 0));
+  opts.on_result = [&](const campaign::CampaignPoint& pt,
+                       const core::ExperimentResult& r) {
+    auto cells = campaign::result_cells(pt, r);
+    if (journal) journal->add(pt.key, cells);
+    fresh.push_back({pt.key, pt.index, std::move(cells)});
+  };
   campaign::ProgressReporter progress;
   const bool quiet = args.has("quiet");
   if (!quiet)
@@ -167,25 +287,58 @@ int main(int argc, char** argv) {
 
   campaign::CampaignRunner runner(opts);
   std::printf("campaign '%s': %zu points on %u threads\n", spec->name.c_str(),
-              points.size(), runner.effective_threads(points.size()));
-  const auto results = runner.run(points);
-  campaign::emit_all(points, results, sinks);
+              points.size(), runner.effective_threads(to_run.size()));
+  if (sharded)
+    std::printf("shard %zu/%zu: %zu points\n", shard_index, shard_count,
+                mine.size());
+  if (!prior.empty())
+    std::printf("resuming: %zu of %zu rows already journaled, %zu to run\n",
+                prior.size(), mine.size(), to_run.size());
+  const auto results = runner.run(to_run);
+
+  // Merge step: journaled + fresh rows, deduplicated and re-ordered by
+  // grid index, stream through the sinks -- byte-identical to an
+  // uninterrupted single-process run over the same rows.
+  const auto merged =
+      campaign::merge_journal_rows(std::move(prior), std::move(fresh));
+  campaign::emit_rows(merged, sinks);
 
   // Aggregates.
   const std::string baseline_name =
       args.get_string("baseline", "conventional");
-  if (baseline_name != "none") {
+  if (baseline_name != "none" && sharded) {
+    std::printf(
+        "\n(shard %zu/%zu is a partial grid; merge the shard outputs with "
+        "reap_report for aggregates)\n",
+        shard_index, shard_count);
+  } else if (baseline_name != "none") {
     const auto baseline = core::policy_from_string(baseline_name);
     if (!baseline) {
       std::fprintf(stderr, "unknown --baseline policy: %s\n",
                    baseline_name.c_str());
       return 1;
     }
-    const auto agg =
-        campaign::aggregate(*spec, points, results, *baseline);
+    std::optional<campaign::CampaignAggregates> agg;
+    if (to_run.size() == points.size()) {
+      // Fresh full run: every result is in memory, indexed by grid index.
+      agg = campaign::aggregate(*spec, points, results, *baseline);
+    } else {
+      // Resumed run: journaled rows stand in for re-running; the offline
+      // row aggregation reproduces the in-memory numbers exactly.
+      campaign::RowTable table;
+      table.header = campaign::result_header();
+      table.expected_points = points.size();
+      for (const auto& row : merged) table.rows.push_back(row.cells);
+      if (campaign::covers_all_indices(table)) {
+        agg = campaign::aggregate_rows(table, *baseline, &error);
+        if (!agg) std::printf("\n(no aggregates: %s)\n", error.c_str());
+      } else {
+        std::printf("\n(journal covers a partial grid; no aggregates)\n");
+      }
+    }
     if (agg) {
       std::printf("\n%s", agg->render().c_str());
-    } else {
+    } else if (to_run.size() == points.size()) {
       std::printf("\n(baseline %s not in the grid; no aggregates)\n",
                   baseline_name.c_str());
     }

@@ -1,0 +1,158 @@
+// reap_report: offline campaign post-processing. Reads rows written by
+// reap_campaign (CSV, JSONL, or execution journals), merges shard outputs,
+// recomputes the cross-experiment aggregates, and emits figure data --
+// all without re-running a single experiment. See docs/campaign.md.
+//
+// Usage:
+//   reap_report rows.csv                      # print aggregate tables
+//   reap_report shard0.csv shard1.csv --merged-csv=all.csv
+//   reap_report all.csv --figures=figdata/    # fig5/fig6 CSV + gnuplot
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "reap/campaign/report.hpp"
+#include "reap/campaign/result_sink.hpp"
+#include "reap/common/cli.hpp"
+
+using namespace reap;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::printf(
+      "usage: %s [flags] ROWS [ROWS...]\n"
+      "\n"
+      "ROWS are campaign row files: .csv / .jsonl sink output or an\n"
+      "execution journal. Multiple files (e.g. the outputs of --shard\n"
+      "runs) are merged by grid index before any processing.\n"
+      "\n"
+      "flags:\n"
+      "  --baseline=POLICY     aggregate vs this policy (default\n"
+      "                        conventional; 'none' skips the tables)\n"
+      "  --merged-csv=PATH     write the merged rows as CSV (byte-\n"
+      "                        identical to a single-process run)\n"
+      "  --merged-jsonl=PATH   write the merged rows as JSONL\n"
+      "  --figures=DIR         write fig5/fig6/policy-summary CSV data\n"
+      "                        and gnuplot scripts into DIR\n",
+      argv0);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::CliArgs args(argc, argv);
+  if (args.has("help") || args.positional().empty()) return usage(argv[0]);
+
+  std::string error;
+  std::vector<campaign::RowTable> tables;
+  for (const auto& path : args.positional()) {
+    auto table = campaign::load_rows(path, &error);
+    if (!table) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "loaded %zu rows from %s\n", table->rows.size(),
+                 path.c_str());
+    tables.push_back(std::move(*table));
+  }
+
+  auto merged = campaign::merge_tables(std::move(tables), &error);
+  if (!merged) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  if (merged->truncated_tail)
+    std::fprintf(stderr,
+                 "warning: an input ended in a torn line (killed run?); "
+                 "one row was dropped\n");
+  if (!campaign::covers_all_indices(*merged)) {
+    if (merged->expected_points)
+      std::fprintf(stderr,
+                   "warning: rows cover %zu of %llu grid points; "
+                   "aggregates use the pairs that are present\n",
+                   merged->rows.size(),
+                   static_cast<unsigned long long>(*merged->expected_points));
+    else
+      std::fprintf(stderr,
+                   "warning: merged rows do not cover a dense 0..n-1 index "
+                   "range (missing shard or partial run?); aggregates use "
+                   "the pairs that are present\n");
+  }
+
+  // Merged row re-emission: cells pass through the ordinary sinks, so the
+  // output is byte-identical to what one un-sharded run would have
+  // written. The sinks emit this binary's schema, so rows from a binary
+  // with a different column set cannot be re-emitted (aggregation below
+  // still works -- it looks columns up by name). Checked before any sink
+  // opens: constructing one truncates its output file.
+  if ((args.has("merged-csv") || args.has("merged-jsonl")) &&
+      merged->header != campaign::result_header()) {
+    std::fprintf(stderr,
+                 "cannot write merged rows: input columns differ from this "
+                 "binary's row schema\n");
+    return 1;
+  }
+  const auto emit_merged = [&](campaign::ResultSink& sink, bool ok,
+                               const char* what, const std::string& path) {
+    if (!ok) {
+      std::fprintf(stderr, "cannot write %s output: %s\n", what,
+                   path.c_str());
+      return false;
+    }
+    for (const auto& row : merged->rows) sink.add_cells(row);
+    return true;
+  };
+  if (args.has("merged-csv")) {
+    const auto path = args.get_string("merged-csv", "");
+    campaign::CsvResultSink csv(path);
+    if (!emit_merged(csv, csv.ok(), "csv", path)) return 1;
+  }
+  if (args.has("merged-jsonl")) {
+    const auto path = args.get_string("merged-jsonl", "");
+    campaign::JsonlResultSink jsonl(path);
+    if (!emit_merged(jsonl, jsonl.ok(), "jsonl", path)) return 1;
+  }
+
+  const std::string baseline_name =
+      args.get_string("baseline", "conventional");
+  std::optional<campaign::CampaignAggregates> agg;
+  if (baseline_name != "none") {
+    const auto baseline = core::policy_from_string(baseline_name);
+    if (!baseline) {
+      std::fprintf(stderr, "unknown --baseline policy: %s\n",
+                   baseline_name.c_str());
+      return 1;
+    }
+    agg = campaign::aggregate_rows(*merged, *baseline, &error);
+    if (!agg) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    std::printf("%zu rows, %zu matched comparisons\n\n",
+                merged->rows.size(), agg->comparisons.size());
+    std::printf("%s", agg->render().c_str());
+  }
+
+  if (args.has("figures")) {
+    if (!agg) {
+      std::fprintf(stderr,
+                   "--figures needs aggregates; do not pass "
+                   "--baseline=none with it\n");
+      return 1;
+    }
+    const auto dir = args.get_string("figures", "");
+    const auto written = campaign::write_figure_data(*agg, dir, &error);
+    if (!written) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    for (const auto& path : *written)
+      std::fprintf(stderr, "wrote %s\n", path.c_str());
+  }
+
+  for (const auto& key : args.unconsumed())
+    std::fprintf(stderr, "warning: unused flag --%s\n", key.c_str());
+  return 0;
+}

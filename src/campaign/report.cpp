@@ -1,0 +1,454 @@
+#include "reap/campaign/report.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <unordered_map>
+#include <utility>
+
+#include "reap/common/csv.hpp"
+#include "reap/common/jsonl.hpp"
+#include "reap/common/strings.hpp"
+#include "reap/common/table.hpp"
+#include "reap/core/config_kv.hpp"
+
+namespace reap::campaign {
+namespace {
+
+bool fail(std::string* error, const std::string& msg) {
+  if (error) *error = msg;
+  return false;
+}
+
+// The config column minus its policy key: rows that agree on this string
+// are the same experiment under different policies -- the pairing the
+// paper's normalized figures need.
+std::string partner_key(const std::string& config_kv) {
+  auto kv = core::kv_parse(config_kv);
+  kv.erase("policy");
+  std::string out;
+  for (const auto& [k, v] : kv) {  // std::map: deterministic key order
+    if (!out.empty()) out += ' ';
+    out += k + "=" + v;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<std::size_t> RowTable::col(const std::string& name) const {
+  for (std::size_t i = 0; i < header.size(); ++i)
+    if (header[i] == name) return i;
+  return std::nullopt;
+}
+
+std::optional<RowTable> load_rows_csv(const std::string& path,
+                                      std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    fail(error, "cannot open: " + path);
+    return std::nullopt;
+  }
+  RowTable table;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    auto cells = common::parse_csv_line(line);
+    if (!cells) {
+      fail(error, path + ":" + std::to_string(lineno) + ": malformed CSV");
+      return std::nullopt;
+    }
+    if (table.header.empty()) {
+      table.header = std::move(*cells);
+    } else {
+      if (cells->size() != table.header.size()) {
+        fail(error, path + ":" + std::to_string(lineno) +
+                        ": row has " + std::to_string(cells->size()) +
+                        " cells, header has " +
+                        std::to_string(table.header.size()));
+        return std::nullopt;
+      }
+      table.rows.push_back(std::move(*cells));
+    }
+  }
+  if (table.header.empty()) {
+    fail(error, path + ": no header row");
+    return std::nullopt;
+  }
+  return table;
+}
+
+std::optional<RowTable> load_rows_jsonl(const std::string& path,
+                                        std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    fail(error, "cannot open: " + path);
+    return std::nullopt;
+  }
+  RowTable table;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    const auto fields = common::parse_jsonl_line(line);
+    if (!fields) {
+      // Tolerate one torn final line (a killed run's last write), but
+      // surface it: the caller decides whether a lost row matters.
+      if (!table.truncated_tail &&
+          in.peek() == std::ifstream::traits_type::eof()) {
+        table.truncated_tail = true;
+        continue;
+      }
+      fail(error, path + ":" + std::to_string(lineno) + ": malformed JSONL");
+      return std::nullopt;
+    }
+    // A journal header line carries the grid size; keep it so the
+    // completeness check can catch a dense prefix. Strip the journal's
+    // leading key field from data lines.
+    std::size_t begin = 0;
+    if (!fields->empty() && (*fields)[0].first == "format") {
+      for (const auto& [key, value] : *fields) {
+        std::uint64_t n = 0;
+        if (key == "points" && common::parse_u64(value, n))
+          table.expected_points = n;
+      }
+      continue;
+    }
+    if (!fields->empty() && (*fields)[0].first == "key") begin = 1;
+
+    std::vector<std::string> names, cells;
+    for (std::size_t i = begin; i < fields->size(); ++i) {
+      names.push_back((*fields)[i].first);
+      cells.push_back((*fields)[i].second);
+    }
+    if (table.header.empty()) table.header = names;
+    if (names != table.header) {
+      fail(error,
+           path + ":" + std::to_string(lineno) + ": inconsistent columns");
+      return std::nullopt;
+    }
+    table.rows.push_back(std::move(cells));
+  }
+  if (table.header.empty()) {
+    fail(error, path + ": no rows");
+    return std::nullopt;
+  }
+  return table;
+}
+
+std::optional<RowTable> load_rows(const std::string& path,
+                                  std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    fail(error, "cannot open: " + path);
+    return std::nullopt;
+  }
+  const int first = in.peek();
+  in.close();
+  return first == '{' ? load_rows_jsonl(path, error)
+                      : load_rows_csv(path, error);
+}
+
+std::optional<RowTable> merge_tables(std::vector<RowTable> tables,
+                                     std::string* error) {
+  if (tables.empty()) {
+    fail(error, "nothing to merge");
+    return std::nullopt;
+  }
+  RowTable merged;
+  merged.header = tables[0].header;
+  const auto index_col = tables[0].col("index");
+  if (!index_col) {
+    fail(error, "merge: no `index` column");
+    return std::nullopt;
+  }
+  for (auto& t : tables) {
+    if (t.header != merged.header) {
+      fail(error, "merge: input headers differ");
+      return std::nullopt;
+    }
+    if (t.expected_points) {
+      if (merged.expected_points &&
+          *merged.expected_points != *t.expected_points) {
+        fail(error, "merge: inputs record different grid sizes (" +
+                        std::to_string(*merged.expected_points) + " vs " +
+                        std::to_string(*t.expected_points) + ")");
+        return std::nullopt;
+      }
+      merged.expected_points = t.expected_points;
+    }
+    merged.truncated_tail = merged.truncated_tail || t.truncated_tail;
+    for (auto& row : t.rows) merged.rows.push_back(std::move(row));
+  }
+
+  // Numeric index sort (stable: ties keep input order for the dup check).
+  std::vector<std::pair<std::uint64_t, std::size_t>> order;
+  order.reserve(merged.rows.size());
+  for (std::size_t i = 0; i < merged.rows.size(); ++i) {
+    std::uint64_t idx = 0;
+    if (!common::parse_u64(merged.rows[i][*index_col], idx)) {
+      fail(error, "merge: non-numeric index cell: " +
+                      merged.rows[i][*index_col]);
+      return std::nullopt;
+    }
+    order.emplace_back(idx, i);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+
+  std::vector<std::vector<std::string>> sorted;
+  sorted.reserve(order.size());
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    auto& row = merged.rows[order[k].second];
+    if (k > 0 && order[k].first == order[k - 1].first) {
+      if (row != sorted.back()) {
+        fail(error, "merge: conflicting duplicate rows for index " +
+                        std::to_string(order[k].first));
+        return std::nullopt;
+      }
+      continue;  // byte-identical duplicate (same shard fed twice)
+    }
+    sorted.push_back(std::move(row));
+  }
+  merged.rows = std::move(sorted);
+  return merged;
+}
+
+bool covers_all_indices(const RowTable& table) {
+  const auto index_col = table.col("index");
+  if (!index_col) return false;
+  if (table.expected_points && *table.expected_points != table.rows.size())
+    return false;  // dense prefix of a bigger grid, or overfull
+  // merge_tables leaves rows index-sorted and unique; a dense range is
+  // then exactly "row i has index i".
+  for (std::size_t i = 0; i < table.rows.size(); ++i) {
+    std::uint64_t idx = 0;
+    if (!common::parse_u64(table.rows[i][*index_col], idx)) return false;
+    if (idx != i) return false;
+  }
+  return !table.rows.empty();
+}
+
+std::optional<CampaignAggregates> aggregate_rows(const RowTable& table,
+                                                 core::PolicyKind baseline,
+                                                 std::string* error) {
+  struct Cols {
+    std::size_t index, workload, policy, ipc, sim_seconds, mttf_seconds,
+        failure_rate, failure_prob, energy, config;
+  } c{};
+  const auto need = [&](const char* name, std::size_t& out) {
+    const auto i = table.col(name);
+    if (!i) return fail(error, std::string("missing column: ") + name);
+    out = *i;
+    return true;
+  };
+  if (!need("index", c.index) || !need("workload", c.workload) ||
+      !need("policy", c.policy) || !need("ipc", c.ipc) ||
+      !need("sim_seconds", c.sim_seconds) ||
+      !need("mttf_seconds", c.mttf_seconds) ||
+      !need("failure_rate_per_s", c.failure_rate) ||
+      !need("failure_prob_sum", c.failure_prob) ||
+      !need("energy_dynamic_j", c.energy) || !need("config", c.config))
+    return std::nullopt;
+
+  struct Parsed {
+    std::uint64_t index = 0;
+    core::PolicyKind policy{};
+    reliability::MttfResult mttf;
+    double energy_j = 0.0;
+    double ipc = 0.0;
+  };
+  const auto parse = [&](const std::vector<std::string>& row, Parsed& p) {
+    const auto kind = core::policy_from_string(row[c.policy]);
+    if (!kind) return fail(error, "unknown policy in rows: " + row[c.policy]);
+    p.policy = *kind;
+    if (!common::parse_u64(row[c.index], p.index) ||
+        !common::parse_double(row[c.ipc], p.ipc) ||
+        !common::parse_double(row[c.energy], p.energy_j) ||
+        !common::parse_double(row[c.sim_seconds], p.mttf.sim_seconds) ||
+        !common::parse_double(row[c.mttf_seconds], p.mttf.mttf_seconds) ||
+        !common::parse_double(row[c.failure_rate],
+                              p.mttf.failure_rate_per_s) ||
+        !common::parse_double(row[c.failure_prob], p.mttf.failure_prob_sum))
+      return fail(error, "non-numeric cell in row " + row[c.index]);
+    return true;
+  };
+
+  // Pass 1: baseline rows by partner key.
+  std::unordered_map<std::string, std::size_t> baseline_by_key;
+  bool baseline_seen = false;
+  for (std::size_t i = 0; i < table.rows.size(); ++i) {
+    const auto kind = core::policy_from_string(table.rows[i][c.policy]);
+    if (!kind) {
+      fail(error, "unknown policy in rows: " + table.rows[i][c.policy]);
+      return std::nullopt;
+    }
+    if (*kind != baseline) continue;
+    baseline_seen = true;
+    baseline_by_key.emplace(partner_key(table.rows[i][c.config]), i);
+  }
+  if (!baseline_seen) {
+    fail(error, "baseline policy " + core::to_string(baseline) +
+                    " has no rows; nothing to normalize against");
+    return std::nullopt;
+  }
+
+  // Pass 2: comparisons in row (= index) order, plus first-appearance
+  // orders. For a row-major expansion first appearance reproduces the
+  // spec's axis order, so summaries match the in-process report.
+  std::vector<AnnotatedComparison> comparisons;
+  std::vector<core::PolicyKind> policy_order;
+  std::vector<std::string> workload_order;
+  for (const auto& row : table.rows) {
+    Parsed p;
+    if (!parse(row, p)) return std::nullopt;
+    const auto& workload = row[c.workload];
+    if (std::find(workload_order.begin(), workload_order.end(), workload) ==
+        workload_order.end())
+      workload_order.push_back(workload);
+    if (p.policy == baseline) continue;
+    if (std::find(policy_order.begin(), policy_order.end(), p.policy) ==
+        policy_order.end())
+      policy_order.push_back(p.policy);
+
+    const auto it = baseline_by_key.find(partner_key(row[c.config]));
+    if (it == baseline_by_key.end()) continue;  // partner in another shard
+    Parsed base;
+    if (!parse(table.rows[it->second], base)) return std::nullopt;
+
+    AnnotatedComparison a;
+    a.c = compare_metrics(p.index, base.index, p.mttf, p.energy_j, p.ipc,
+                          base.mttf, base.energy_j, base.ipc);
+    a.policy = p.policy;
+    a.workload = workload;
+    comparisons.push_back(std::move(a));
+  }
+
+  return summarize_comparisons(baseline, comparisons, policy_order,
+                               workload_order);
+}
+
+std::optional<std::vector<std::string>> write_figure_data(
+    const CampaignAggregates& agg, const std::string& dir,
+    std::string* error) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    fail(error, "cannot create " + dir + ": " + ec.message());
+    return std::nullopt;
+  }
+  std::vector<std::string> written;
+  const auto join = [&dir](const std::string& name) {
+    return (fs::path(dir) / name).string();
+  };
+
+  // Per-workload bar data. One row per workload, one column per policy, so
+  // gnuplot's clustered-histogram mode consumes the files directly.
+  std::vector<std::string> policies;
+  for (const auto& s : agg.by_policy)
+    policies.push_back(core::to_string(s.policy));
+  const auto write_bars = [&](const std::string& name, auto value_of) {
+    std::vector<std::string> header = {"workload"};
+    header.insert(header.end(), policies.begin(), policies.end());
+    common::CsvWriter csv(join(name), header);
+    if (!csv.ok()) return false;
+    std::vector<std::string> workloads;
+    for (const auto& w : agg.by_workload)
+      if (std::find(workloads.begin(), workloads.end(), w.workload) ==
+          workloads.end())
+        workloads.push_back(w.workload);
+    for (const auto& workload : workloads) {
+      std::vector<std::string> row = {workload};
+      for (const auto& s : agg.by_policy) {
+        std::string cell = "nan";
+        for (const auto& w : agg.by_workload)
+          if (w.workload == workload && w.policy == s.policy)
+            cell = common::fmt_double(value_of(w));
+        row.push_back(cell);
+      }
+      csv.add_row(row);
+    }
+    written.push_back(join(name));
+    return true;
+  };
+  if (!write_bars("fig5_mttf.csv", [](const WorkloadSummary& w) {
+        return w.mean_mttf_gain;
+      })) {
+    fail(error, "cannot write fig5_mttf.csv in " + dir);
+    return std::nullopt;
+  }
+  if (!write_bars("fig6_energy.csv", [](const WorkloadSummary& w) {
+        return w.mean_energy_overhead_pct;
+      })) {
+    fail(error, "cannot write fig6_energy.csv in " + dir);
+    return std::nullopt;
+  }
+
+  {
+    common::CsvWriter csv(join("policy_summary.csv"),
+                          {"policy", "n", "mttf_gain_mean", "mttf_gain_geo",
+                           "mttf_gain_min", "mttf_gain_max",
+                           "energy_overhead_pct_mean",
+                           "energy_overhead_pct_max", "speedup_mean"});
+    if (!csv.ok()) {
+      fail(error, "cannot write policy_summary.csv in " + dir);
+      return std::nullopt;
+    }
+    for (const auto& s : agg.by_policy)
+      csv.add_row({core::to_string(s.policy), std::to_string(s.n),
+                   common::fmt_double(s.mean_mttf_gain),
+                   common::fmt_double(s.geomean_mttf_gain),
+                   common::fmt_double(s.min_mttf_gain),
+                   common::fmt_double(s.max_mttf_gain),
+                   common::fmt_double(s.mean_energy_overhead_pct),
+                   common::fmt_double(s.max_energy_overhead_pct),
+                   common::fmt_double(s.mean_speedup)});
+    written.push_back(join("policy_summary.csv"));
+  }
+
+  // Gnuplot companions: clustered bars, CVD-safe fixed-order palette
+  // (Okabe-Ito), single axis, recessive grid. Fig. 5 spans orders of
+  // magnitude, so it gets a log y-axis like the paper's plot.
+  const auto write_gp = [&](const std::string& name, const std::string& data,
+                            const std::string& ylabel, bool logy) {
+    std::ofstream gp(join(name));
+    if (!gp) return false;
+    gp << "# gnuplot -p " << name << "  (expects " << data
+       << " alongside)\n"
+          "set datafile separator ','\n"
+          "set style data histograms\n"
+          "set style histogram clustered gap 1\n"
+          "set style fill solid 0.9 border lc rgb '#303030'\n"
+          "set boxwidth 0.9\n"
+          "set key top left\n"
+          "set grid ytics lc rgb '#d0d0d0' lt 1 dt 3\n"
+          "set xtics rotate by -35\n"
+          "set ylabel '"
+       << ylabel << "'\n";
+    if (logy) gp << "set logscale y\n";
+    gp << "colors = \"#0072B2 #E69F00 #009E73 #CC79A7 #56B4E9\"\n"
+          "plot for [i=2:*] '"
+       << data
+       << "' using i:xtic(1) title columnheader(i) "
+          "lc rgb word(colors, i-1)\n";
+    written.push_back(join(name));
+    return true;
+  };
+  if (!write_gp("fig5.gp", "fig5_mttf.csv",
+                "MTTF gain vs baseline (log)", true) ||
+      !write_gp("fig6.gp", "fig6_energy.csv",
+                "dynamic energy overhead (%)", false)) {
+    fail(error, "cannot write gnuplot scripts in " + dir);
+    return std::nullopt;
+  }
+  return written;
+}
+
+}  // namespace reap::campaign

@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "reap/common/csv.hpp"
+#include "reap/common/jsonl.hpp"
 #include "reap/common/strings.hpp"
 #include "reap/core/config_kv.hpp"
 
@@ -81,28 +82,13 @@ CsvResultSink::CsvResultSink(const std::string& path)
 CsvResultSink::~CsvResultSink() = default;
 bool CsvResultSink::ok() const { return impl_->writer.ok(); }
 
-void CsvResultSink::add(const CampaignPoint& point,
-                        const core::ExperimentResult& r) {
-  impl_->writer.add_row(result_cells(point, r));
+void CsvResultSink::add_cells(const std::vector<std::string>& cells) {
+  impl_->writer.add_row(cells);
 }
 
 // -------------------------------------------------------------- JSONL sink
 
 namespace {
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default: out += c;
-    }
-  }
-  return out;
-}
 
 // Cells that are plain *finite* numbers representable in a double are
 // emitted unquoted; everything else becomes a JSON string. Two traps this
@@ -124,6 +110,25 @@ bool emit_unquoted(const std::string& s) {
 }
 }  // namespace
 
+std::string jsonl_fields(const std::vector<std::string>& header,
+                         const std::vector<std::string>& cells) {
+  std::string out;
+  for (std::size_t i = 0; i < cells.size() && i < header.size(); ++i) {
+    if (i) out += ',';
+    out += '"';
+    out += header[i];
+    out += "\":";
+    if (emit_unquoted(cells[i]) && header[i] != "workload") {
+      out += cells[i];
+    } else {
+      out += '"';
+      out += common::json_escape(cells[i]);
+      out += '"';
+    }
+  }
+  return out;
+}
+
 struct JsonlResultSink::Impl {
   explicit Impl(const std::string& path) : out(path) {}
   std::ofstream out;
@@ -135,20 +140,9 @@ JsonlResultSink::JsonlResultSink(const std::string& path)
 JsonlResultSink::~JsonlResultSink() = default;
 bool JsonlResultSink::ok() const { return static_cast<bool>(impl_->out); }
 
-void JsonlResultSink::add(const CampaignPoint& point,
-                          const core::ExperimentResult& r) {
+void JsonlResultSink::add_cells(const std::vector<std::string>& cells) {
   if (!impl_->out) return;
-  const auto cells = result_cells(point, r);
-  impl_->out << '{';
-  for (std::size_t i = 0; i < cells.size(); ++i) {
-    if (i) impl_->out << ',';
-    impl_->out << '"' << impl_->header[i] << "\":";
-    if (emit_unquoted(cells[i]) && impl_->header[i] != "workload")
-      impl_->out << cells[i];
-    else
-      impl_->out << '"' << json_escape(cells[i]) << '"';
-  }
-  impl_->out << "}\n";
+  impl_->out << '{' << jsonl_fields(impl_->header, cells) << "}\n";
 }
 
 // -------------------------------------------------------------- multi sink
@@ -157,9 +151,8 @@ void MultiSink::attach(ResultSink* sink) {
   if (sink) sinks_.push_back(sink);
 }
 
-void MultiSink::add(const CampaignPoint& point,
-                    const core::ExperimentResult& r) {
-  for (auto* s : sinks_) s->add(point, r);
+void MultiSink::add_cells(const std::vector<std::string>& cells) {
+  for (auto* s : sinks_) s->add_cells(cells);
 }
 
 void emit_all(const std::vector<CampaignPoint>& points,

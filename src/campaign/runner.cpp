@@ -93,9 +93,10 @@ std::vector<core::ExperimentResult> CampaignRunner::run(
     unclaimed.fetch_sub(1, std::memory_order_relaxed);
     results[idx] = opts_.run_fn(points[idx].config);
     const std::size_t d = done.fetch_add(1, std::memory_order_relaxed) + 1;
-    if (opts_.on_progress) {
+    if (opts_.on_result || opts_.on_progress) {
       std::lock_guard lock(progress_mu);
-      opts_.on_progress(d, total);
+      if (opts_.on_result) opts_.on_result(points[idx], results[idx]);
+      if (opts_.on_progress) opts_.on_progress(d, total);
     }
   };
 

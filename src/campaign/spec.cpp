@@ -45,6 +45,24 @@ std::size_t CampaignSpec::size() const {
          ratios * seeds.size();
 }
 
+namespace {
+
+// Row keys are pure functions of coordinate *values*, so every axis must
+// hold distinct values or two grid points would share a key (and the
+// journal/resume machinery would treat them as one row). A duplicate axis
+// value is always a spec mistake -- duplicated environment values even
+// produce bit-identical experiments -- so reject it loudly.
+template <typename T>
+void require_distinct(const std::vector<T>& values, const char* axis) {
+  for (std::size_t i = 0; i < values.size(); ++i)
+    for (std::size_t j = i + 1; j < values.size(); ++j)
+      if (values[i] == values[j])
+        throw std::invalid_argument(
+            std::string("campaign spec: duplicate value on axis ") + axis);
+}
+
+}  // namespace
+
 std::vector<CampaignPoint> expand(const CampaignSpec& spec) {
   if (spec.workloads.empty())
     throw std::invalid_argument("campaign spec: no workloads");
@@ -54,6 +72,12 @@ std::vector<CampaignPoint> expand(const CampaignSpec& spec) {
     throw std::invalid_argument("campaign spec: no ecc_t values");
   if (spec.seeds.empty())
     throw std::invalid_argument("campaign spec: no seeds");
+  require_distinct(spec.workloads, "workloads");
+  require_distinct(spec.policies, "policies");
+  require_distinct(spec.ecc_ts, "ecc");
+  require_distinct(spec.scrub_everys, "scrub_every");
+  require_distinct(spec.read_ratios, "read_ratios");
+  require_distinct(spec.seeds, "seeds");
 
   std::vector<trace::WorkloadProfile> profiles;
   profiles.reserve(spec.workloads.size());
@@ -107,10 +131,89 @@ std::vector<CampaignPoint> expand(const CampaignSpec& spec) {
             cfg.seed = derived;
             cfg.workload.seed = derive_companion_seed(derived);
 
+            // Row key from coordinate values (see CampaignPoint::key).
+            std::string key = spec.workloads[w];
+            key += '/';
+            key += core::to_string(spec.policies[p]);
+            key += "/t" + std::to_string(spec.ecc_ts[e]);
+            key += "/sc" + (spec.scrub_everys.empty()
+                                ? std::string("-")
+                                : std::to_string(spec.scrub_everys[sc]));
+            key += "/rr" + (spec.read_ratios.empty()
+                                ? std::string("-")
+                                : common::fmt_double(spec.read_ratios[r]));
+            key += "/s" + std::to_string(spec.seeds[s]);
+            pt.key = std::move(key);
+
             pt.config = std::move(cfg);
             points.push_back(std::move(pt));
           }
   return points;
+}
+
+std::vector<CampaignPoint> shard(const std::vector<CampaignPoint>& points,
+                                 std::size_t shard_index,
+                                 std::size_t shard_count) {
+  if (shard_count == 0)
+    throw std::invalid_argument("shard: shard_count must be positive");
+  if (shard_index >= shard_count)
+    throw std::invalid_argument("shard: shard_index out of range");
+  std::vector<CampaignPoint> out;
+  out.reserve(points.size() / shard_count + 1);
+  for (const auto& pt : points)
+    if (pt.index % shard_count == shard_index) out.push_back(pt);
+  return out;
+}
+
+std::string canonical_string(const CampaignSpec& spec) {
+  std::ostringstream out;
+  out << "reap-campaign-spec-v1\n";
+  out << "name=" << spec.name << '\n';
+  const auto list = [&out](const char* key, const auto& values,
+                           const auto& fmt) {
+    out << key << '=';
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (i) out << ',';
+      out << fmt(values[i]);
+    }
+    out << '\n';
+  };
+  list("workloads", spec.workloads, [](const std::string& s) { return s; });
+  list("policies", spec.policies, [](core::PolicyKind p) {
+    return core::to_string(p);
+  });
+  list("ecc", spec.ecc_ts, [](unsigned t) { return std::to_string(t); });
+  if (!spec.scrub_everys.empty())
+    list("scrub_every", spec.scrub_everys,
+         [](std::uint64_t v) { return std::to_string(v); });
+  if (!spec.read_ratios.empty())
+    list("read_ratios", spec.read_ratios,
+         [](double v) { return common::fmt_double(v); });
+  list("seeds", spec.seeds, [](std::uint64_t v) { return std::to_string(v); });
+  out << "campaign_seed=" << spec.campaign_seed << '\n';
+  // Base-config fields a spec (or library caller) can vary. The mtj line
+  // covers base operating points set outside the read_ratios axis.
+  const auto& b = spec.base;
+  out << "instructions=" << b.instructions << '\n'
+      << "warmup=" << b.warmup_instructions << '\n'
+      << "clock_ghz=" << common::fmt_double(b.clock_ghz) << '\n'
+      << "scrub_every=" << b.scrub_every << '\n'
+      << "dirty_check=" << (b.check_on_dirty_eviction ? 1 : 0) << '\n'
+      // Raw bytes, not KB: rounding here would let two configs in the
+      // same 1 KB bucket share a spec hash and cross-resume.
+      << "l2_bytes=" << b.hierarchy.l2.capacity_bytes << '\n'
+      << "l2_ways=" << b.hierarchy.l2.ways << '\n'
+      << "block_bytes=" << b.hierarchy.l2.block_bytes << '\n'
+      << "mtj=" << b.mtj.name << '\n'
+      << "mtj_read_ratio="
+      << common::fmt_double(b.mtj.read_current.value /
+                            b.mtj.critical_current.value)
+      << '\n';
+  return out.str();
+}
+
+std::uint64_t spec_hash(const CampaignSpec& spec) {
+  return common::fnv1a64(canonical_string(spec));
 }
 
 std::optional<CampaignSpec> CampaignSpec::from_kv(

@@ -16,12 +16,12 @@ void CsvWriter::add_row(const std::vector<std::string>& cells) {
   if (!out_) return;
   for (std::size_t i = 0; i < cells.size(); ++i) {
     if (i) out_ << ',';
-    out_ << escape(cells[i]);
+    out_ << csv_escape(cells[i]);
   }
   out_ << '\n';
 }
 
-std::string CsvWriter::escape(const std::string& cell) {
+std::string csv_escape(const std::string& cell) {
   if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
   std::string quoted = "\"";
   for (char ch : cell) {
@@ -30,6 +30,50 @@ std::string CsvWriter::escape(const std::string& cell) {
   }
   quoted += '"';
   return quoted;
+}
+
+std::optional<std::vector<std::string>> parse_csv_line(
+    const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::size_t i = 0;
+  const std::size_t n = line.size();
+  while (true) {
+    cell.clear();
+    if (i < n && line[i] == '"') {
+      ++i;  // opening quote
+      bool closed = false;
+      while (i < n) {
+        if (line[i] == '"') {
+          if (i + 1 < n && line[i + 1] == '"') {  // escaped quote
+            cell += '"';
+            i += 2;
+          } else {
+            ++i;  // closing quote
+            closed = true;
+            break;
+          }
+        } else {
+          cell += line[i++];
+        }
+      }
+      if (!closed) return std::nullopt;
+      if (i < n && line[i] != ',') return std::nullopt;
+    } else {
+      while (i < n && line[i] != ',') {
+        if (line[i] == '"') return std::nullopt;  // quote inside bare cell
+        cell += line[i++];
+      }
+    }
+    cells.push_back(cell);
+    if (i >= n) break;
+    ++i;  // the comma
+    if (i == n) {  // trailing comma: final empty cell
+      cells.emplace_back();
+      break;
+    }
+  }
+  return cells;
 }
 
 }  // namespace reap::common

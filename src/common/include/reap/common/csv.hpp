@@ -1,7 +1,9 @@
-// Minimal CSV writer so bench output can be re-plotted externally.
+// Minimal CSV writer so bench output can be re-plotted externally, plus the
+// matching line parser so campaign tools can read their own output back.
 #pragma once
 
 #include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -18,10 +20,20 @@ class CsvWriter {
   void add_row(const std::vector<std::string>& cells);
 
  private:
-  static std::string escape(const std::string& cell);
-
   std::ofstream out_;
   std::size_t ncols_;
 };
+
+// Canonical cell quoting: bare unless the cell contains , " or a newline,
+// in which case RFC-4180 double-quoting. Because quoting is a pure function
+// of the cell bytes, parse_csv_line followed by re-escaping reproduces a
+// CsvWriter line byte-for-byte -- the property shard merging relies on.
+std::string csv_escape(const std::string& cell);
+
+// Parses one line previously produced by CsvWriter (cells contain no
+// embedded newlines). Returns nullopt on malformed quoting (unterminated
+// quote, text after a closing quote).
+std::optional<std::vector<std::string>> parse_csv_line(
+    const std::string& line);
 
 }  // namespace reap::common

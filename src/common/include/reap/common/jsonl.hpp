@@ -1,0 +1,30 @@
+// Single-line flat JSON objects: the interchange format of the campaign
+// JSONL sink and the execution journal.
+//
+// The emitter writes one object per line whose values are either raw
+// (unquoted) number tokens or escaped strings -- never nested containers.
+// The parser accepts exactly that subset and hands every value back as the
+// original cell text: an unquoted token verbatim, a quoted string
+// unescaped. That makes emit(parse(line)) a byte-identical round trip,
+// which journal replay and shard merging depend on.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace reap::common {
+
+// Key/value pairs in document order; values are the raw cell text.
+using JsonlFields = std::vector<std::pair<std::string, std::string>>;
+
+// Escapes for embedding in a double-quoted JSON string.
+std::string json_escape(const std::string& s);
+
+// Parses one `{"k":v,...}` line of the subset described above. Returns
+// nullopt on anything malformed (truncated line, nested containers,
+// missing colon...). Duplicate keys are preserved in order.
+std::optional<JsonlFields> parse_jsonl_line(const std::string& line);
+
+}  // namespace reap::common

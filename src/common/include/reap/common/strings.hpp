@@ -6,13 +6,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <string_view>
 
 namespace reap::common {
 
 // Parse an entire string as an unsigned integer / double; reject empty
 // input and trailing garbage ("1e6" is NOT a valid u64, "two" is nothing).
+// The first character must be a digit: strtoull alone would skip leading
+// whitespace and silently wrap a leading '-' ("-1" -> 2^64-1).
 inline bool parse_u64(const std::string& s, std::uint64_t& out) {
-  if (s.empty()) return false;
+  if (s.empty() || s[0] < '0' || s[0] > '9') return false;
   char* end = nullptr;
   out = std::strtoull(s.c_str(), &end, 10);
   return end && *end == '\0';
@@ -36,6 +39,34 @@ inline std::string fmt_double(double v) {
     if (std::strtod(buf, nullptr) == v) break;
   }
   return buf;
+}
+
+// FNV-1a 64-bit hash. Used where a stable, platform-independent content
+// fingerprint must survive across processes and releases (e.g. the campaign
+// journal's spec hash) -- std::hash carries no such guarantee.
+constexpr std::uint64_t fnv1a64(std::string_view s) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+// Fixed-width lowercase hex, zero-padded to 16 digits; parse_hex64 accepts
+// exactly that form (optionally 0x-prefixed).
+inline std::string fmt_hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+inline bool parse_hex64(const std::string& s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  out = std::strtoull(s.c_str(), &end, 16);
+  return end && *end == '\0';
 }
 
 }  // namespace reap::common

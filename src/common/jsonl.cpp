@@ -1,0 +1,113 @@
+#include "reap/common/jsonl.hpp"
+
+namespace reap::common {
+namespace {
+
+// Parses a double-quoted string starting at line[i] == '"'; advances i past
+// the closing quote. Recognizes the escapes the emitter produces plus \/
+// and \r for tolerance; \uXXXX is not needed (we never emit it).
+bool parse_string(const std::string& line, std::size_t& i, std::string& out) {
+  ++i;  // opening quote
+  out.clear();
+  while (i < line.size()) {
+    const char c = line[i];
+    if (c == '"') {
+      ++i;
+      return true;
+    }
+    if (c == '\\') {
+      if (i + 1 >= line.size()) return false;
+      const char e = line[i + 1];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        default: return false;
+      }
+      i += 2;
+    } else {
+      out += c;
+      ++i;
+    }
+  }
+  return false;  // unterminated
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::optional<JsonlFields> parse_jsonl_line(const std::string& line) {
+  JsonlFields fields;
+  std::size_t i = 0;
+  const auto skip_ws = [&] {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  };
+  skip_ws();
+  if (i >= line.size() || line[i] != '{') return std::nullopt;
+  ++i;
+  skip_ws();
+  if (i < line.size() && line[i] == '}') {
+    ++i;
+    skip_ws();
+    return i == line.size() ? std::optional<JsonlFields>(fields)
+                            : std::nullopt;
+  }
+  while (true) {
+    skip_ws();
+    if (i >= line.size() || line[i] != '"') return std::nullopt;
+    std::string key;
+    if (!parse_string(line, i, key)) return std::nullopt;
+    skip_ws();
+    if (i >= line.size() || line[i] != ':') return std::nullopt;
+    ++i;
+    skip_ws();
+    if (i >= line.size()) return std::nullopt;
+    std::string value;
+    if (line[i] == '"') {
+      if (!parse_string(line, i, value)) return std::nullopt;
+    } else {
+      // Raw token: everything up to the next comma or closing brace. The
+      // emitter only writes number tokens here, but the parser does not
+      // care -- the bytes ARE the cell.
+      const auto end = line.find_first_of(",}", i);
+      if (end == std::string::npos || end == i) return std::nullopt;
+      value = line.substr(i, end - i);
+      if (value.find_first_of("{[\"") != std::string::npos)
+        return std::nullopt;  // nested containers are not in the subset
+      i = end;
+    }
+    fields.emplace_back(std::move(key), std::move(value));
+    skip_ws();
+    if (i >= line.size()) return std::nullopt;
+    if (line[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (line[i] == '}') {
+      ++i;
+      skip_ws();
+      return i == line.size() ? std::optional<JsonlFields>(fields)
+                              : std::nullopt;
+    }
+    return std::nullopt;
+  }
+}
+
+}  // namespace reap::common

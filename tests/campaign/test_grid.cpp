@@ -146,6 +146,23 @@ TEST(CampaignGrid, RejectsBadSpecs) {
   EXPECT_THROW(expand(spec), std::invalid_argument);
 }
 
+TEST(CampaignGrid, RejectsDuplicateAxisValues) {
+  // Row keys are value-derived: duplicate axis values would alias two
+  // grid points onto one key (and the journal would drop one row).
+  auto spec = small_spec();
+  spec.seeds = {0, 0};
+  EXPECT_THROW(expand(spec), std::invalid_argument);
+  spec = small_spec();
+  spec.workloads = {"mcf", "mcf"};
+  EXPECT_THROW(expand(spec), std::invalid_argument);
+  spec = small_spec();
+  spec.policies.push_back(spec.policies.front());
+  EXPECT_THROW(expand(spec), std::invalid_argument);
+  spec = small_spec();
+  spec.read_ratios = {0.55, 0.55};
+  EXPECT_THROW(expand(spec), std::invalid_argument);
+}
+
 TEST(CampaignSpecKv, ParsesListsAndScalars) {
   std::map<std::string, std::string> kv{
       {"workloads", "mcf,h264ref"},

@@ -1,0 +1,213 @@
+// Execution journal: round trip, torn-tail tolerance, append/rewrite,
+// compatibility checks, row merging, and the progress line.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "reap/campaign/journal.hpp"
+#include "reap/campaign/progress.hpp"
+#include "reap/campaign/spec.hpp"
+
+namespace reap::campaign {
+namespace {
+
+CampaignSpec small_spec() {
+  CampaignSpec spec;
+  spec.workloads = {"mcf", "h264ref"};
+  spec.policies = {core::PolicyKind::conventional_parallel,
+                   core::PolicyKind::reap};
+  spec.seeds = {0, 1};
+  return spec;
+}
+
+// A rendered row does not need a real experiment: any cell vector aligned
+// with result_header() journals fine. Cell 0 must be the grid index.
+std::vector<std::string> fake_cells(std::size_t index) {
+  std::vector<std::string> cells(result_header().size(), "0");
+  cells[0] = std::to_string(index);
+  cells[1] = "mcf";                        // workload
+  cells.back() = "workload=mcf seed=" + std::to_string(index);  // config
+  return cells;
+}
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(Journal, HeaderAndRowsRoundTrip) {
+  const auto spec = small_spec();
+  const auto path = temp_path("journal_roundtrip.jsonl");
+  const auto header = JournalHeader::for_run(spec, 8, 1, 2);
+  {
+    JournalWriter writer(path, header);
+    ASSERT_TRUE(writer.ok());
+    writer.add("mcf/reap/t1/sc-/rr-/s0", fake_cells(4));
+    writer.add("mcf/reap/t1/sc-/rr-/s1", fake_cells(6));
+  }
+  std::string error;
+  const auto journal = read_journal(path, &error);
+  ASSERT_TRUE(journal) << error;
+  EXPECT_FALSE(journal->truncated_tail);
+  EXPECT_EQ(journal->header.name, spec.name);
+  EXPECT_EQ(journal->header.spec_hash, spec_hash(spec));
+  EXPECT_EQ(journal->header.points, 8u);
+  EXPECT_EQ(journal->header.shard_index, 1u);
+  EXPECT_EQ(journal->header.shard_count, 2u);
+  EXPECT_EQ(journal->header.columns, result_header());
+  ASSERT_EQ(journal->rows.size(), 2u);
+  EXPECT_EQ(journal->rows[0].key, "mcf/reap/t1/sc-/rr-/s0");
+  EXPECT_EQ(journal->rows[0].index, 4u);
+  EXPECT_EQ(journal->rows[0].cells, fake_cells(4));
+  EXPECT_EQ(journal->rows[1].index, 6u);
+  std::remove(path.c_str());
+}
+
+TEST(Journal, ToleratesTornFinalLine) {
+  const auto spec = small_spec();
+  const auto path = temp_path("journal_torn.jsonl");
+  {
+    JournalWriter writer(path, JournalHeader::for_run(spec, 8, 0, 1));
+    writer.add("k0", fake_cells(0));
+    writer.add("k1", fake_cells(1));
+  }
+  {
+    // A mid-write kill leaves an unterminated fragment.
+    std::ofstream out(path, std::ios::app);
+    out << "{\"key\":\"k2\",\"index\":2,\"work";
+  }
+  std::string error;
+  const auto journal = read_journal(path, &error);
+  ASSERT_TRUE(journal) << error;
+  EXPECT_TRUE(journal->truncated_tail);
+  ASSERT_EQ(journal->rows.size(), 2u);
+  EXPECT_EQ(journal->rows[1].key, "k1");
+}
+
+TEST(Journal, RejectsCorruptionBeforeTheTail) {
+  const auto spec = small_spec();
+  const auto path = temp_path("journal_corrupt.jsonl");
+  {
+    JournalWriter writer(path, JournalHeader::for_run(spec, 8, 0, 1));
+    writer.add("k0", fake_cells(0));
+  }
+  {
+    std::ofstream out(path, std::ios::app);
+    out << "garbage mid-file\n";
+  }
+  {
+    JournalWriter writer(path);  // append a valid row after the damage
+    writer.add("k1", fake_cells(1));
+  }
+  std::string error;
+  EXPECT_FALSE(read_journal(path, &error));
+  EXPECT_NE(error.find("corrupt"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Journal, AppendModeContinuesAnExistingFile) {
+  const auto spec = small_spec();
+  const auto path = temp_path("journal_append.jsonl");
+  {
+    JournalWriter writer(path, JournalHeader::for_run(spec, 8, 0, 1));
+    writer.add("k0", fake_cells(0));
+  }
+  {
+    JournalWriter writer(path);
+    ASSERT_TRUE(writer.ok());
+    writer.add("k1", fake_cells(1));
+  }
+  const auto journal = read_journal(path);
+  ASSERT_TRUE(journal);
+  ASSERT_EQ(journal->rows.size(), 2u);
+  EXPECT_EQ(journal->rows[1].key, "k1");
+  std::remove(path.c_str());
+}
+
+TEST(Journal, RewriteDropsTornTailSoAppendsStayClean) {
+  const auto spec = small_spec();
+  const auto path = temp_path("journal_rewrite.jsonl");
+  {
+    JournalWriter writer(path, JournalHeader::for_run(spec, 8, 0, 1));
+    writer.add("k0", fake_cells(0));
+  }
+  {
+    std::ofstream out(path, std::ios::app);
+    out << "{\"key\":\"torn";  // no newline
+  }
+  auto journal = read_journal(path);
+  ASSERT_TRUE(journal && journal->truncated_tail);
+  std::string error;
+  ASSERT_TRUE(rewrite_journal(path, *journal, &error)) << error;
+  {
+    JournalWriter writer(path);  // appending after rewrite must be safe
+    writer.add("k1", fake_cells(1));
+  }
+  const auto again = read_journal(path, &error);
+  ASSERT_TRUE(again) << error;
+  EXPECT_FALSE(again->truncated_tail);
+  ASSERT_EQ(again->rows.size(), 2u);
+  EXPECT_EQ(again->rows[0].key, "k0");
+  EXPECT_EQ(again->rows[1].key, "k1");
+  std::remove(path.c_str());
+}
+
+TEST(Journal, CompatibilityRefusesADifferentCampaign) {
+  const auto spec = small_spec();
+  const auto header = JournalHeader::for_run(spec, 8, 1, 2);
+  std::string why;
+  EXPECT_TRUE(journal_compatible(header, spec, 8, 1, 2, &why)) << why;
+
+  auto grown = spec;
+  grown.seeds = {0, 1, 2};  // different grid
+  EXPECT_FALSE(journal_compatible(header, grown, 12, 1, 2, &why));
+  EXPECT_NE(why.find("different spec"), std::string::npos);
+
+  auto reseeded = spec;
+  reseeded.campaign_seed ^= 1;  // same shape, different traces
+  EXPECT_FALSE(journal_compatible(header, reseeded, 8, 1, 2, &why));
+
+  auto retuned = spec;
+  retuned.base.instructions += 1;  // binary-relevant base config
+  EXPECT_FALSE(journal_compatible(header, retuned, 8, 1, 2, &why));
+
+  EXPECT_FALSE(journal_compatible(header, spec, 8, 0, 2, &why));
+  EXPECT_NE(why.find("shard"), std::string::npos);
+  EXPECT_FALSE(journal_compatible(header, spec, 8, 1, 4, &why));
+}
+
+TEST(Journal, MergeRowsDedupesByKeyAndSortsByIndex) {
+  std::vector<JournalRow> a = {{"k5", 5, fake_cells(5)},
+                               {"k1", 1, fake_cells(1)}};
+  std::vector<JournalRow> b = {{"k1", 1, fake_cells(999)},  // dup key: dropped
+                               {"k3", 3, fake_cells(3)}};
+  const auto merged = merge_journal_rows(a, b);
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].index, 1u);
+  EXPECT_EQ(merged[0].cells, fake_cells(1));  // first occurrence won
+  EXPECT_EQ(merged[1].index, 3u);
+  EXPECT_EQ(merged[2].index, 5u);
+}
+
+TEST(Progress, ReportsRateElapsedAndEta) {
+  const auto path = temp_path("progress_out.txt");
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  ASSERT_NE(out, nullptr);
+  {
+    ProgressReporter progress(out);
+    progress(1, 2);
+    progress(2, 2);  // final update always prints
+  }
+  std::fclose(out);
+  std::ifstream in(path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("rows/s"), std::string::npos);
+  EXPECT_NE(text.find("elapsed"), std::string::npos);
+  EXPECT_NE(text.find("eta"), std::string::npos);
+  EXPECT_NE(text.find("2/2 (100%)"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace reap::campaign

@@ -1,0 +1,260 @@
+// Offline post-processing: loading rows back from CSV/JSONL, merging shard
+// outputs, and recomputing aggregates that match the in-memory path
+// byte-for-byte.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "campaign_test_util.hpp"
+#include "reap/campaign/aggregate.hpp"
+#include "reap/campaign/journal.hpp"
+#include "reap/campaign/report.hpp"
+#include "reap/campaign/result_sink.hpp"
+#include "reap/campaign/runner.hpp"
+
+namespace reap::campaign {
+namespace {
+
+using testutil::fake_run;
+using testutil::file_bytes;
+using testutil::grid_24;
+using testutil::temp_path;
+
+struct Campaign {
+  std::vector<CampaignPoint> points;
+  std::vector<core::ExperimentResult> results;
+};
+
+Campaign run_fake(const CampaignSpec& spec) {
+  Campaign c;
+  c.points = expand(spec);
+  RunnerOptions opts;
+  opts.threads = 1;
+  opts.run_fn = fake_run;
+  c.results = CampaignRunner(opts).run(c.points);
+  return c;
+}
+
+TEST(Report, CsvRowsLoadBackVerbatim) {
+  const auto c = run_fake(grid_24());
+  const auto path = temp_path("report_load.csv");
+  {
+    CsvResultSink sink(path);
+    emit_all(c.points, c.results, sink);
+  }
+  std::string error;
+  const auto table = load_rows(path, &error);
+  ASSERT_TRUE(table) << error;
+  EXPECT_EQ(table->header, result_header());
+  ASSERT_EQ(table->rows.size(), c.points.size());
+  for (std::size_t i = 0; i < c.points.size(); ++i)
+    EXPECT_EQ(table->rows[i], result_cells(c.points[i], c.results[i]));
+  EXPECT_TRUE(covers_all_indices(*table));
+  std::remove(path.c_str());
+}
+
+TEST(Report, JsonlRowsLoadBackVerbatim) {
+  const auto c = run_fake(grid_24());
+  const auto path = temp_path("report_load.jsonl");
+  {
+    JsonlResultSink sink(path);
+    emit_all(c.points, c.results, sink);
+  }
+  std::string error;
+  const auto table = load_rows(path, &error);  // sniffed as JSONL
+  ASSERT_TRUE(table) << error;
+  EXPECT_EQ(table->header, result_header());
+  ASSERT_EQ(table->rows.size(), c.points.size());
+  for (std::size_t i = 0; i < c.points.size(); ++i)
+    EXPECT_EQ(table->rows[i], result_cells(c.points[i], c.results[i]));
+  std::remove(path.c_str());
+}
+
+TEST(Report, JournalsLoadAsRowTables) {
+  const auto spec = grid_24();
+  const auto c = run_fake(spec);
+  const auto path = temp_path("report_journal.jsonl");
+  {
+    JournalWriter writer(
+        path, JournalHeader::for_run(spec, c.points.size(), 0, 1));
+    // Completion order scrambled: odd rows first.
+    for (std::size_t i = 1; i < c.points.size(); i += 2)
+      writer.add(c.points[i].key, result_cells(c.points[i], c.results[i]));
+    for (std::size_t i = 0; i < c.points.size(); i += 2)
+      writer.add(c.points[i].key, result_cells(c.points[i], c.results[i]));
+  }
+  std::string error;
+  auto table = load_rows(path, &error);
+  ASSERT_TRUE(table) << error;
+  EXPECT_EQ(table->header, result_header());  // header line + key stripped
+  EXPECT_EQ(table->rows.size(), c.points.size());
+  auto merged = merge_tables({std::move(*table)}, &error);
+  ASSERT_TRUE(merged) << error;
+  EXPECT_TRUE(covers_all_indices(*merged));
+  std::remove(path.c_str());
+}
+
+TEST(Report, JournalGridSizeCatchesADensePrefix) {
+  // A single-threaded run killed after k rows journals a dense 0..k-1
+  // prefix; without the journal's recorded grid size that is
+  // indistinguishable from a complete smaller campaign.
+  const auto spec = grid_24();
+  const auto c = run_fake(spec);
+  const auto path = temp_path("report_prefix.jsonl");
+  {
+    JournalWriter writer(
+        path, JournalHeader::for_run(spec, c.points.size(), 0, 1));
+    for (std::size_t i = 0; i < 5; ++i)  // dense prefix, then "killed"
+      writer.add(c.points[i].key, result_cells(c.points[i], c.results[i]));
+    std::ofstream torn(path, std::ios::app);
+    torn << "{\"key\":\"torn";
+  }
+  std::string error;
+  auto table = load_rows(path, &error);
+  ASSERT_TRUE(table) << error;
+  EXPECT_TRUE(table->truncated_tail);
+  ASSERT_TRUE(table->expected_points);
+  EXPECT_EQ(*table->expected_points, c.points.size());
+  const auto merged = merge_tables({std::move(*table)}, &error);
+  ASSERT_TRUE(merged) << error;
+  EXPECT_TRUE(merged->truncated_tail);
+  EXPECT_FALSE(covers_all_indices(*merged));  // prefix != complete
+  std::remove(path.c_str());
+}
+
+TEST(Report, MergedShardCsvIsByteIdenticalToSingleRun) {
+  const auto c = run_fake(grid_24());
+  const auto full = temp_path("report_full.csv");
+  const auto s0 = temp_path("report_s0.csv");
+  const auto s1 = temp_path("report_s1.csv");
+  {
+    CsvResultSink sink(full);
+    emit_all(c.points, c.results, sink);
+  }
+  {
+    CsvResultSink sink0(s0);
+    CsvResultSink sink1(s1);
+    for (std::size_t i = 0; i < c.points.size(); ++i)
+      (i % 2 ? sink1 : sink0).add(c.points[i], c.results[i]);
+  }
+  std::string error;
+  auto t0 = load_rows(s0, &error);
+  auto t1 = load_rows(s1, &error);
+  ASSERT_TRUE(t0 && t1) << error;
+  EXPECT_FALSE(covers_all_indices(*t0));  // a lone shard is partial
+  std::vector<RowTable> tables;
+  tables.push_back(std::move(*t1));  // reversed order: merge must re-sort
+  tables.push_back(std::move(*t0));
+  const auto merged = merge_tables(std::move(tables), &error);
+  ASSERT_TRUE(merged) << error;
+  EXPECT_TRUE(covers_all_indices(*merged));
+
+  const auto remerged = temp_path("report_merged.csv");
+  {
+    CsvResultSink sink(remerged);
+    for (const auto& row : merged->rows) sink.add_cells(row);
+  }
+  EXPECT_EQ(file_bytes(full), file_bytes(remerged));
+  for (const auto& p : {full, s0, s1, remerged}) std::remove(p.c_str());
+}
+
+TEST(Report, MergeRejectsConflictingDuplicates) {
+  const auto c = run_fake(grid_24());
+  RowTable a, b;
+  a.header = b.header = result_header();
+  a.rows.push_back(result_cells(c.points[0], c.results[0]));
+  b.rows.push_back(result_cells(c.points[0], c.results[1]));  // same index 0
+  std::string error;
+  EXPECT_FALSE(merge_tables({a, b}, &error));
+  EXPECT_NE(error.find("conflicting"), std::string::npos);
+  // Byte-identical duplicates collapse silently.
+  b.rows[0] = a.rows[0];
+  const auto merged = merge_tables({a, b}, &error);
+  ASSERT_TRUE(merged) << error;
+  EXPECT_EQ(merged->rows.size(), 1u);
+}
+
+// The headline parity pin: aggregates recomputed from CSV cells alone
+// render the exact bytes the in-memory aggregation prints. (Shortest
+// round-trip cell formatting makes the parsed doubles exact, and both
+// paths share compare_metrics/summarize_comparisons.)
+TEST(Report, AggregateRowsMatchesInMemoryAggregateByteForByte) {
+  for (const bool with_ratio_axis : {false, true}) {
+    auto spec = grid_24();
+    if (with_ratio_axis) spec.read_ratios = {0.55, 0.8};
+    const auto c = run_fake(spec);
+    const auto baseline = core::PolicyKind::conventional_parallel;
+    const auto in_memory = aggregate(spec, c.points, c.results, baseline);
+    ASSERT_TRUE(in_memory);
+
+    const auto path = temp_path("report_parity.csv");
+    {
+      CsvResultSink sink(path);
+      emit_all(c.points, c.results, sink);
+    }
+    std::string error;
+    const auto table = load_rows(path, &error);
+    ASSERT_TRUE(table) << error;
+    const auto offline = aggregate_rows(*table, baseline, &error);
+    ASSERT_TRUE(offline) << error;
+
+    EXPECT_EQ(in_memory->render(), offline->render());
+    EXPECT_EQ(in_memory->comparisons.size(), offline->comparisons.size());
+    for (std::size_t i = 0; i < in_memory->comparisons.size(); ++i) {
+      EXPECT_EQ(in_memory->comparisons[i].index,
+                offline->comparisons[i].index);
+      EXPECT_EQ(in_memory->comparisons[i].mttf_gain,
+                offline->comparisons[i].mttf_gain);
+      EXPECT_EQ(in_memory->comparisons[i].energy_ratio,
+                offline->comparisons[i].energy_ratio);
+      EXPECT_EQ(in_memory->comparisons[i].speedup,
+                offline->comparisons[i].speedup);
+    }
+    std::remove(path.c_str());
+  }
+}
+
+TEST(Report, AggregateRowsNeedsBaselineRows) {
+  auto spec = grid_24();
+  spec.policies = {core::PolicyKind::reap};
+  const auto c = run_fake(spec);
+  RowTable table;
+  table.header = result_header();
+  for (std::size_t i = 0; i < c.points.size(); ++i)
+    table.rows.push_back(result_cells(c.points[i], c.results[i]));
+  std::string error;
+  EXPECT_FALSE(aggregate_rows(
+      table, core::PolicyKind::conventional_parallel, &error));
+  EXPECT_NE(error.find("baseline"), std::string::npos);
+}
+
+TEST(Report, WritesFigureDataAndGnuplotScripts) {
+  const auto spec = grid_24();
+  const auto c = run_fake(spec);
+  const auto agg = aggregate(spec, c.points, c.results,
+                             core::PolicyKind::conventional_parallel);
+  ASSERT_TRUE(agg);
+  const auto dir = temp_path("report_figures");
+  std::string error;
+  const auto written = write_figure_data(*agg, dir, &error);
+  ASSERT_TRUE(written) << error;
+  for (const char* name : {"fig5_mttf.csv", "fig6_energy.csv",
+                           "policy_summary.csv", "fig5.gp", "fig6.gp"})
+    EXPECT_TRUE(std::filesystem::exists(std::filesystem::path(dir) / name))
+        << name;
+  // fig5 bar data: workload rows x policy columns.
+  std::ifstream fig5(std::filesystem::path(dir) / "fig5_mttf.csv");
+  std::string header;
+  ASSERT_TRUE(std::getline(fig5, header));
+  EXPECT_EQ(header, "workload,reap,serial");
+  std::string row;
+  std::size_t rows = 0;
+  while (std::getline(fig5, row)) ++rows;
+  EXPECT_EQ(rows, spec.workloads.size());
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace reap::campaign

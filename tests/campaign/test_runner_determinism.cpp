@@ -7,6 +7,7 @@
 #include <sstream>
 #include <thread>
 
+#include "campaign_test_util.hpp"
 #include "reap/campaign/aggregate.hpp"
 #include "reap/campaign/result_sink.hpp"
 #include "reap/campaign/runner.hpp"
@@ -15,38 +16,8 @@
 namespace reap::campaign {
 namespace {
 
-// Cheap stand-in for run_experiment: a pure function of the config that
-// still exercises every field the sinks/aggregates read.
-core::ExperimentResult fake_run(const core::ExperimentConfig& cfg) {
-  core::ExperimentResult r;
-  r.workload = cfg.workload.name;
-  r.policy = cfg.policy;
-  r.instructions = cfg.instructions;
-  r.cycles = cfg.seed % 100000 + cfg.ecc_t;
-  r.ipc = 1.0 + double(cfg.seed % 7) / 10.0;
-  r.sim_seconds = 0.001 * double(cfg.seed % 13 + 1);
-  r.mttf.failure_prob_sum = 1e-9 * double(cfg.seed % 97 + 1);
-  r.mttf.sim_seconds = r.sim_seconds;
-  r.mttf.failure_rate_per_s = r.mttf.failure_prob_sum / r.sim_seconds;
-  r.mttf.mttf_seconds = 1.0 / r.mttf.failure_rate_per_s;
-  r.energy.data_read_j = 1e-6 * double(cfg.seed % 11 + 1);
-  r.energy.ecc_decode_j = 1e-7 * double(cfg.ecc_t);
-  r.p_rd = 1e-8;
-  return r;
-}
-
-CampaignSpec grid_24() {
-  // The acceptance-criteria grid: 2 workloads x 3 policies x 2 ecc x 2
-  // seeds = 24 points.
-  CampaignSpec spec;
-  spec.workloads = {"mcf", "h264ref"};
-  spec.policies = {core::PolicyKind::conventional_parallel,
-                   core::PolicyKind::reap,
-                   core::PolicyKind::serial_tag_then_data};
-  spec.ecc_ts = {1, 2};
-  spec.seeds = {0, 1};
-  return spec;
-}
+using testutil::fake_run;
+using testutil::grid_24;
 
 std::string render_run(const CampaignSpec& spec, unsigned threads) {
   const auto points = expand(spec);

@@ -1,4 +1,5 @@
-// Tests for TextTable, CsvWriter, CliArgs, and the unit types.
+// Tests for TextTable, CsvWriter, CliArgs, string helpers, and the unit
+// types.
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -7,6 +8,8 @@
 
 #include "reap/common/cli.hpp"
 #include "reap/common/csv.hpp"
+#include "reap/common/jsonl.hpp"
+#include "reap/common/strings.hpp"
 #include "reap/common/table.hpp"
 #include "reap/common/units.hpp"
 
@@ -101,6 +104,59 @@ TEST(Units, ArithmeticAndConversions) {
 TEST(Units, ComparisonOperators) {
   EXPECT_LT(nanoseconds(1.0), nanoseconds(2.0));
   EXPECT_EQ(picojoules(1000.0).value, nanojoules(1.0).value);
+}
+
+TEST(Strings, ParseU64IsStrict) {
+  std::uint64_t v = 0;
+  EXPECT_TRUE(parse_u64("0", v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(parse_u64("18446744073709551615", v));
+  EXPECT_EQ(v, ~0ULL);
+  // strtoull alone would skip whitespace and wrap a leading '-'.
+  EXPECT_FALSE(parse_u64("-1", v));
+  EXPECT_FALSE(parse_u64("+1", v));
+  EXPECT_FALSE(parse_u64(" 1", v));
+  EXPECT_FALSE(parse_u64("", v));
+  EXPECT_FALSE(parse_u64("1x", v));
+}
+
+TEST(Strings, HashAndHexAreStableRoundTrips) {
+  // fnv1a64 is a cross-release fingerprint (journal spec hashes): pin the
+  // reference vectors so it can never drift silently.
+  EXPECT_EQ(fnv1a64(""), 0xCBF29CE484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xAF63DC4C8601EC8CULL);
+  std::uint64_t v = 0;
+  EXPECT_TRUE(parse_hex64(fmt_hex64(0xDEADBEEF12345678ULL), v));
+  EXPECT_EQ(v, 0xDEADBEEF12345678ULL);
+  EXPECT_EQ(fmt_hex64(0x1ULL), "0000000000000001");
+}
+
+TEST(Csv, ParseLineInvertsEscape) {
+  const std::vector<std::string> cells = {
+      "plain", "with,comma", "with\"quote", "", "k=v k2=v2"};
+  std::string line;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) line += ',';
+    line += csv_escape(cells[i]);
+  }
+  const auto back = parse_csv_line(line);
+  ASSERT_TRUE(back);
+  EXPECT_EQ(*back, cells);
+  EXPECT_FALSE(parse_csv_line("\"unterminated"));
+  EXPECT_FALSE(parse_csv_line("\"closed\"junk"));
+}
+
+TEST(Jsonl, ParseLineInvertsEmission) {
+  const auto fields = parse_jsonl_line(
+      "{\"a\":\"x\\\"y\",\"b\":1.5e-3,\"c\":\"tab\\there\"}");
+  ASSERT_TRUE(fields);
+  ASSERT_EQ(fields->size(), 3u);
+  EXPECT_EQ((*fields)[0].second, "x\"y");
+  EXPECT_EQ((*fields)[1].second, "1.5e-3");  // raw token preserved
+  EXPECT_EQ((*fields)[2].second, "tab\there");
+  EXPECT_FALSE(parse_jsonl_line("{\"a\":1"));        // truncated
+  EXPECT_FALSE(parse_jsonl_line("{\"a\":[1]}"));     // nested
+  EXPECT_FALSE(parse_jsonl_line("not json"));
 }
 
 }  // namespace

@@ -58,6 +58,62 @@ TEST(EccCost, EncoderCheaperThanDecoder) {
             estimate_decoder_cost(c, t).gates);
 }
 
+// Characterization of decode energy vs correction strength t for the
+// 512-bit cache line the experiments protect. This pins the REAP
+// `ecc_t=2` energy-overhead behaviour (ROADMAP open item): the campaign
+// sweeps show a large jump in REAP's decode share at t=2, and the jump is
+// entirely this cliff.
+//
+// Findings, against the paper's first-order BCH cost story:
+//  * t=1 -> t=2 is a 36.3x energy step. It is NOT the t-scaling of BCH --
+//    it is the switch of decoder realization (SEC-DED syndrome trees ->
+//    BCH constant-multiplier banks). The syndrome bank dominates
+//    (2t*n*m^2/2 = 106400 of 161200 gates) because the model charges a
+//    full GF(2^10) constant multiplier (~m^2/2 gates) per codeword
+//    position. A paper-consistent realization folds those constants into
+//    a binary XOR matrix (~m*n/2 gates per syndrome pair), about m=10x
+//    cheaper; the model is deliberately the conservative worst case, so
+//    REAP's t=2 overhead is an upper bound, not a contradiction.
+//  * Beyond the cliff the scaling is mild and near-linear in t (1.54x to
+//    t=3, 1.36x to t=4), matching the paper's expectation that BCH cost
+//    grows smoothly with correction strength.
+// The exact gate counts are pinned so a future model change shifts these
+// numbers loudly, not silently under a campaign sweep.
+TEST(EccCost, DecodeEnergyVsTCharacterization512) {
+  const auto tech = gate_tech_32nm();
+
+  SecDedCode secded(512);
+  const auto c1 = estimate_decoder_cost(secded, tech);
+  EXPECT_EQ(secded.codeword_bits(), 523u);
+  EXPECT_EQ(c1.gates, 4440u);
+  EXPECT_EQ(c1.logic_depth, 14u);
+
+  BchCode bch2(512, 2);
+  const auto c2 = estimate_decoder_cost(bch2, tech);
+  EXPECT_EQ(bch2.field_m(), 10u);
+  EXPECT_EQ(bch2.codeword_bits(), 532u);
+  EXPECT_EQ(c2.gates, 161200u);
+  EXPECT_EQ(c2.logic_depth, 44u);
+
+  BchCode bch3(512, 3);
+  const auto c3 = estimate_decoder_cost(bch3, tech);
+  EXPECT_EQ(c3.gates, 247500u);
+
+  BchCode bch4(512, 4);
+  const auto c4 = estimate_decoder_cost(bch4, tech);
+  EXPECT_EQ(c4.gates, 337600u);
+
+  // Energy scales linearly with gates in this model, so the pinned ratios
+  // characterize the per-decode energy curve directly.
+  const double e1 = c1.energy_per_decode.value;
+  const double e2 = c2.energy_per_decode.value;
+  const double e3 = c3.energy_per_decode.value;
+  const double e4 = c4.energy_per_decode.value;
+  EXPECT_NEAR(e2 / e1, 36.31, 0.01);  // the t=2 cliff
+  EXPECT_NEAR(e3 / e2, 1.535, 0.005);  // smooth past the cliff
+  EXPECT_NEAR(e4 / e3, 1.364, 0.005);
+}
+
 TEST(EccCost, SecDedDecoderLatencySubNanosecond) {
   // Sec. V-B's performance argument requires the decode to fit comfortably
   // inside the data-array access so REAP can hide it under the tag path.

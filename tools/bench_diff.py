@@ -10,10 +10,16 @@ items_per_second (simulated instructions/sec for bench_e2e); benchmarks
 without it fall back to real_time (lower is better). Exits 1 when any
 matched benchmark regressed by more than --threshold percent (default 10),
 so CI can gate on it.
+
+A missing or unreadable baseline is not a regression: the first run of a
+new benchmark job has nothing to compare against, so it prints a notice
+and exits 0. Pass --require-baseline to turn that case into a hard
+failure (exit 2) once a baseline is expected to exist.
 """
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -49,10 +55,28 @@ def main():
     ap.add_argument("--threshold", type=float, default=10.0,
                     help="fail if any benchmark regresses more than this "
                          "percent (default 10)")
+    ap.add_argument("--require-baseline", action="store_true",
+                    help="treat a missing/unreadable baseline as a failure "
+                         "(exit 2) instead of skipping the comparison")
     args = ap.parse_args()
 
-    old = load(args.old)
-    new = load(args.new)
+    try:
+        old = load(args.old)
+    except (OSError, json.JSONDecodeError) as e:
+        kind = "unreadable" if os.path.exists(args.old) else "missing"
+        print(f"baseline {args.old} is {kind} ({e})", file=sys.stderr)
+        if args.require_baseline:
+            return 2
+        print("no baseline to compare against; skipping (pass "
+              "--require-baseline to fail instead)")
+        return 0
+    try:
+        new = load(args.new)
+    except (OSError, json.JSONDecodeError) as e:
+        # The candidate is this run's own output: its absence means the
+        # bench job itself broke, which must never be reported as OK.
+        print(f"cannot read candidate {args.new}: {e}", file=sys.stderr)
+        return 2
     names = [n for n in old if n in new]
     if not names:
         print("no common benchmarks between the two files", file=sys.stderr)
