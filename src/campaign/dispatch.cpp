@@ -1,0 +1,278 @@
+#include "reap/campaign/dispatch.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <filesystem>
+#include <thread>
+
+#include "reap/campaign/journal.hpp"
+#include "reap/common/subprocess.hpp"
+
+namespace reap::campaign {
+namespace {
+
+constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+
+// Supervisor-side view of one shard.
+struct ShardState {
+  std::size_t expected = 0;  // points in this shard
+  std::size_t attempts = 0;
+  std::size_t last_slot = kNoSlot;  // slot of the most recent attempt
+  bool completed = false;
+  std::string journal_path;
+  std::string log_path;
+  std::optional<JournalTailer> tailer;
+};
+
+// One busy worker slot.
+struct Slot {
+  common::Child child;
+  std::size_t shard = 0;
+  std::size_t attempt = 0;
+};
+
+}  // namespace
+
+std::vector<std::string> DispatchResult::journal_paths() const {
+  std::vector<std::string> paths;
+  paths.reserve(shards.size());
+  for (const auto& s : shards) paths.push_back(s.journal_path);
+  return paths;
+}
+
+Dispatcher::Dispatcher(std::map<std::string, std::string> spec_kv,
+                       DispatchOptions opts)
+    : spec_kv_(std::move(spec_kv)), opts_(std::move(opts)) {}
+
+std::optional<DispatchPlan> plan_dispatch(const CampaignSpec& spec,
+                                          std::size_t n_points,
+                                          const DispatchOptions& opts,
+                                          std::string* error) {
+  const auto fail = [error](const std::string& msg) {
+    if (error) *error = msg;
+    return std::nullopt;
+  };
+  DispatchPlan plan;
+  plan.workers = opts.workers != 0
+                     ? opts.workers
+                     : std::max(1u, std::thread::hardware_concurrency());
+  // More shards than points would leave empty shards whose workers have
+  // nothing to do; clamp the shard count to the grid. The slot pool is
+  // NOT clamped to the shard count: a spare slot is what lets a
+  // repeatedly-dying shard be reassigned away from its old slot even
+  // when it is the only shard left.
+  plan.n_shards = opts.jobs != 0 ? opts.jobs
+                                 : std::min(plan.workers, n_points);
+  plan.n_shards = std::max<std::size_t>(std::min(plan.n_shards, n_points), 1);
+
+  // A work dir that already holds journals defines the shard split: the
+  // resume contract is "re-run with the same spec and work dir", not
+  // "...and the same worker count". Every readable journal must belong
+  // to this spec and agree on the split.
+  std::optional<std::size_t> adopted;
+  std::size_t scan_end = plan.n_shards;
+  for (std::size_t i = 0; i < scan_end; ++i) {
+    const auto path =
+        opts.work_dir + "/shard_" + std::to_string(i) + ".journal";
+    std::error_code ec;
+    if (!std::filesystem::exists(path, ec) || ec) continue;
+    const auto prior = read_journal_header(path);
+    if (!prior) continue;  // unreadable/corrupt: the worker will complain
+    if (prior->spec_hash != spec_hash(spec))
+      return fail("work dir " + opts.work_dir +
+                  " holds journals for a different spec (" + path +
+                  "); use a fresh --work-dir");
+    const auto split = std::max<std::size_t>(prior->shard_count, 1);
+    if (adopted && *adopted != split)
+      return fail("work dir " + opts.work_dir +
+                  " holds journals from two different shard splits (" +
+                  std::to_string(*adopted) + " and " +
+                  std::to_string(split) + "-way); use a fresh --work-dir");
+    adopted = split;
+    scan_end = std::max(scan_end, split);  // check the whole old range too
+  }
+  if (adopted) {
+    plan.adopted_split = plan.n_shards != *adopted;
+    plan.n_shards = *adopted;
+  }
+  return plan;
+}
+
+DispatchResult Dispatcher::run() {
+  DispatchResult result;
+  const auto fail = [&result](std::string msg) {
+    result.ok = false;
+    result.error = std::move(msg);
+    return result;
+  };
+
+  if (opts_.campaign_binary.empty())
+    return fail("dispatch: no campaign binary configured");
+  if (opts_.work_dir.empty()) return fail("dispatch: no work dir configured");
+  if (opts_.max_attempts == 0)
+    return fail("dispatch: max_attempts must be >= 1");
+
+  std::string error;
+  const auto spec = CampaignSpec::from_kv(spec_kv_, &error);
+  if (!spec) return fail("bad spec: " + error);
+  std::vector<CampaignPoint> points;
+  try {
+    points = expand(*spec);
+  } catch (const std::exception& e) {
+    return fail(e.what());
+  }
+  result.points = points.size();
+
+  const auto plan = plan_dispatch(*spec, points.size(), opts_, &error);
+  if (!plan) return fail(error);
+  const std::size_t workers = plan->workers;
+  const std::size_t n_shards = plan->n_shards;
+
+  std::error_code ec;
+  std::filesystem::create_directories(opts_.work_dir, ec);
+  if (ec)
+    return fail("cannot create work dir " + opts_.work_dir + ": " +
+                ec.message());
+
+  std::vector<ShardState> shards(n_shards);
+  for (std::size_t i = 0; i < n_shards; ++i) {
+    auto& s = shards[i];
+    s.expected = shard_size(points.size(), i, n_shards);
+    const auto base = opts_.work_dir + "/shard_" + std::to_string(i);
+    s.journal_path = base + ".journal";
+    s.log_path = base + ".log";
+    s.tailer.emplace(s.journal_path);
+  }
+
+  // Worker command line: the resolved spec as flags (workers parse the
+  // identical spec; their journal spec-hash check enforces it), plus the
+  // shard assignment and durability flags. --resume makes first runs,
+  // crash restarts, and dispatcher re-runs the same code path.
+  const auto worker_argv = [&](std::size_t shard_i) {
+    std::vector<std::string> argv = {opts_.campaign_binary};
+    for (const auto& [k, v] : spec_kv_) argv.push_back("--" + k + "=" + v);
+    argv.push_back("--shard=" + std::to_string(shard_i) + "/" +
+                   std::to_string(n_shards));
+    argv.push_back("--journal=" + shards[shard_i].journal_path);
+    argv.push_back("--resume");
+    argv.push_back("--threads=" + std::to_string(opts_.worker_threads));
+    argv.push_back("--baseline=none");
+    argv.push_back("--quiet");
+    return argv;
+  };
+
+  std::deque<std::size_t> queue;
+  for (std::size_t i = 0; i < n_shards; ++i) queue.push_back(i);
+  std::vector<std::optional<Slot>> slots(workers);
+
+  const auto finish = [&](bool ok, std::string msg) {
+    slots.clear();  // ~Child kills and reaps anything still running
+    result.shards.clear();
+    for (std::size_t i = 0; i < n_shards; ++i) {
+      const auto& s = shards[i];
+      result.shards.push_back({i, s.attempts, s.completed,
+                               s.tailer->rows_seen(), s.journal_path,
+                               s.log_path});
+    }
+    if (!ok) return fail(std::move(msg));
+    result.ok = true;
+    return result;
+  };
+
+  std::size_t last_reported = static_cast<std::size_t>(-1);
+  const auto report_progress = [&] {
+    std::size_t done = 0;
+    for (const auto& s : shards) done += s.tailer->rows_seen();
+    if (opts_.on_progress && done != last_reported) {
+      last_reported = done;
+      opts_.on_progress(done, points.size());
+    }
+  };
+
+  std::size_t remaining = n_shards;
+  while (remaining > 0) {
+    // Fill idle slots. A requeued shard is *reassigned*: it takes a free
+    // slot other than the one it just died on when one exists, and only
+    // reuses its old slot rather than leave it idle.
+    while (!queue.empty()) {
+      const std::size_t shard_i = queue.front();
+      auto& s = shards[shard_i];
+      std::size_t slot_i = kNoSlot;
+      for (std::size_t c = 0; c < slots.size(); ++c) {
+        if (slots[c]) continue;
+        slot_i = c;
+        if (c != s.last_slot) break;  // keep looking past the death slot
+      }
+      if (slot_i == kNoSlot) break;  // every slot busy
+      queue.pop_front();
+      auto child =
+          common::Child::spawn(worker_argv(shard_i), s.log_path, &error);
+      if (!child)
+        return finish(false, error);  // environmental: binary/log unusable
+      if (opts_.on_spawn)
+        opts_.on_spawn(shard_i, s.attempts, slot_i, child->pid());
+      s.last_slot = slot_i;
+      slots[slot_i].emplace(Slot{std::move(*child), shard_i, s.attempts});
+    }
+
+    // Tail journals for live progress.
+    for (auto& s : shards) {
+      if (s.completed) continue;
+      if (!s.tailer->poll().empty() && opts_.on_shard_rows)
+        opts_.on_shard_rows(std::size_t(&s - shards.data()),
+                            s.tailer->rows_seen());
+    }
+    report_progress();
+
+    // Reap finished workers.
+    for (auto& slot : slots) {
+      if (!slot) continue;
+      const auto status = slot->child.poll();
+      if (!status) continue;
+      auto& s = shards[slot->shard];
+      s.attempts++;
+      s.tailer->poll();  // pick up rows that landed just before exit
+      // "Done" means exited 0 *and* the journal holds the whole shard: a
+      // worker that exits cleanly without journaling its rows (wrong
+      // binary, journal path lost) must not count as success.
+      const bool done =
+          status->success() && s.tailer->rows_seen() >= s.expected;
+      const bool will_retry = !done && s.attempts < opts_.max_attempts;
+      if (opts_.on_worker_exit)
+        opts_.on_worker_exit(slot->shard, slot->attempt, done, will_retry);
+      if (done) {
+        s.completed = true;
+        --remaining;
+      } else if (!will_retry) {
+        return finish(
+            false, "shard " + std::to_string(slot->shard) + " failed " +
+                       std::to_string(s.attempts) + "/" +
+                       std::to_string(opts_.max_attempts) + " attempts (" +
+                       status->describe() + "); see " + s.log_path);
+      } else {
+        result.restarts++;
+        queue.push_back(slot->shard);  // restart via --resume, other slot
+      }
+      slot.reset();
+    }
+
+    if (remaining > 0) std::this_thread::sleep_for(opts_.poll_interval);
+  }
+
+  report_progress();
+  return finish(true, "");
+}
+
+std::optional<RowTable> merge_dispatch_journals(
+    const std::vector<std::string>& journal_paths, std::string* error) {
+  std::vector<RowTable> tables;
+  tables.reserve(journal_paths.size());
+  for (const auto& path : journal_paths) {
+    auto table = load_rows(path, error);
+    if (!table) return std::nullopt;
+    tables.push_back(std::move(*table));
+  }
+  return merge_tables(std::move(tables), error);
+}
+
+}  // namespace reap::campaign

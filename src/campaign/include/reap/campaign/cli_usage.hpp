@@ -1,0 +1,106 @@
+// The --help text of the three campaign CLIs, in one header so the mains
+// and the documentation cross-check share the same bytes: each tool
+// printf()s its string (the lone %s is argv[0]), and
+// tests/campaign/test_docs.cpp extracts every --flag token from these
+// strings and verifies docs/cli.md documents exactly that set, per tool.
+// Add a flag to a main without adding it here (or to the docs) and the
+// test fails -- the reference cannot rot.
+#pragma once
+
+namespace reap::campaign {
+
+inline constexpr char kCampaignUsage[] =
+    "usage: %s [--spec=FILE] [--key=value ...]\n"
+    "\n"
+    "spec keys (file or flags; flags override the file):\n"
+    "  workloads=a,b|all     policies=conventional,reap,...|all\n"
+    "  ecc=1,2               read_ratios=0.55,0.693,0.8\n"
+    "  seeds=0,1,2           campaign_seed=N\n"
+    "  instructions=N        warmup=N        clock_ghz=G\n"
+    "  scrub_every=N,N,...   dirty_check=0|1\n"
+    "  l2_kb=N  l2_ways=N    block_bytes=N   name=STR\n"
+    "\n"
+    "runner/output flags:\n"
+    "  --threads=N           worker threads (0 = all cores)\n"
+    "  --baseline=POLICY     aggregate vs this policy (default\n"
+    "                        conventional; 'none' to skip aggregates)\n"
+    "  --csv=PATH            per-experiment rows as CSV\n"
+    "  --jsonl=PATH          per-experiment rows as JSONL\n"
+    "  --quiet               no progress line\n"
+    "  --dry-run             expand and list the grid, run nothing\n"
+    "\n"
+    "sharding / durability:\n"
+    "  --shard=I/N           run only grid rows with index %% N == I;\n"
+    "                        merge shard outputs with reap_report\n"
+    "  --journal=PATH        journal each row as it completes (JSONL,\n"
+    "                        crash-safe; rows survive a killed run)\n"
+    "  --resume              skip rows already in --journal and\n"
+    "                        continue (refuses a journal whose spec\n"
+    "                        hash or shard assignment differs)\n"
+    "\n"
+    "other modes:\n"
+    "  --config=\"k=v ...\"    run exactly one experiment from a row's\n"
+    "                        config string and print its row\n"
+    "  --list-workloads      bundled workload profile names\n"
+    "  --list-policies       read-path policy names\n"
+    "  --help                this text\n";
+
+inline constexpr char kReportUsage[] =
+    "usage: %s [flags] ROWS [ROWS...]\n"
+    "\n"
+    "ROWS are campaign row files: .csv / .jsonl sink output or an\n"
+    "execution journal. Multiple files (e.g. the outputs of --shard\n"
+    "runs) are merged by grid index before any processing.\n"
+    "\n"
+    "flags:\n"
+    "  --baseline=POLICY     aggregate vs this policy (default\n"
+    "                        conventional; 'none' skips the tables)\n"
+    "  --merged-csv=PATH     write the merged rows as CSV (byte-\n"
+    "                        identical to a single-process run)\n"
+    "  --merged-jsonl=PATH   write the merged rows as JSONL\n"
+    "  --figures=DIR         write fig5/fig6/policy-summary CSV data\n"
+    "                        and gnuplot scripts into DIR\n"
+    "  --help                this text\n";
+
+inline constexpr char kDispatchUsage[] =
+    "usage: %s --spec=FILE [--key=value ...] [--workers=K] [flags]\n"
+    "\n"
+    "Distributes a campaign across a pool of reap_campaign worker\n"
+    "processes: expands the spec, splits it into shards, runs each shard\n"
+    "as `reap_campaign --shard=i/N --journal=... --resume`, restarts a\n"
+    "crashed worker from its journal, reassigns a shard whose worker\n"
+    "keeps dying, live-tails the journals into one progress line, and\n"
+    "merges the shard journals into output byte-identical to a\n"
+    "single-process run. Spec keys are the same file-or-flag set\n"
+    "reap_campaign accepts (see its --help).\n"
+    "\n"
+    "distribution flags:\n"
+    "  --workers=K           worker process slots (0 = all cores); at\n"
+    "                        most one worker runs per pending shard,\n"
+    "                        spare slots host reassigned shards\n"
+    "  --jobs=N              shard count (default: the worker count;\n"
+    "                        N > K queues shards and backfills idle\n"
+    "                        workers)\n"
+    "  --worker-threads=T    simulation threads per worker (default 1)\n"
+    "  --work-dir=DIR        journals + worker logs; a re-run with the\n"
+    "                        same dir resumes completed rows (default:\n"
+    "                        <campaign-name>.dispatch)\n"
+    "  --campaign-bin=PATH   reap_campaign binary to launch (default:\n"
+    "                        next to this binary)\n"
+    "  --max-attempts=M      give up on a shard after M failed worker\n"
+    "                        attempts (default 3)\n"
+    "\n"
+    "merged-output flags (after all shards complete):\n"
+    "  --csv=PATH            merged rows as CSV, byte-identical to an\n"
+    "                        un-sharded reap_campaign run\n"
+    "  --jsonl=PATH          merged rows as JSONL\n"
+    "  --baseline=POLICY     aggregate vs this policy (default\n"
+    "                        conventional; 'none' to skip aggregates)\n"
+    "  --figures=DIR         fig5/fig6/policy-summary CSV + gnuplot\n"
+    "\n"
+    "other:\n"
+    "  --quiet               no progress line\n"
+    "  --dry-run             print the shard plan, launch nothing\n"
+    "  --help                this text\n";
+
+}  // namespace reap::campaign

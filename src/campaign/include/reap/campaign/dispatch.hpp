@@ -1,0 +1,158 @@
+// Dispatcher: automatic shard distribution over a local worker pool.
+//
+// PR 3 made a campaign a durable, partitionable artifact (--shard,
+// --journal, --resume); the dispatcher turns that into a one-command
+// distributed run. It expands the spec, splits the grid into N shards,
+// and keeps K `reap_campaign --shard=i/N --journal=... --resume` worker
+// processes busy until every shard's journal is complete:
+//
+//   - a worker that crashes (or is killed) is restarted on the same
+//     journal; --resume skips the rows that already landed, so no work
+//     is lost and no row runs twice;
+//   - a shard whose worker dies repeatedly is reassigned to a different
+//     worker slot (and given up on, with its log path, after
+//     max_attempts failures);
+//   - the per-shard journals are live-tailed (JournalTailer) into one
+//     aggregated rows-done count for a single progress line;
+//   - on completion the shard journals merge through the report layer
+//     into CSV/JSONL byte-identical to an un-sharded single-process run
+//     (the same guarantee reap_report gives, pinned by
+//     tests/campaign/test_dispatch.cpp and the CI dispatch smoke).
+//
+// Because every shard journals into work_dir, the dispatcher itself is
+// resumable: re-running it with the same spec and work_dir re-launches
+// the workers, which skip every journaled row. Supervision is
+// crash-fault only (a worker that *hangs* is outside its contract).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "reap/campaign/report.hpp"
+#include "reap/campaign/spec.hpp"
+
+namespace reap::campaign {
+
+struct DispatchOptions {
+  // The reap_campaign binary each worker runs. Required.
+  std::string campaign_binary;
+
+  // Directory for the per-shard journals and worker logs. Required;
+  // created if missing. Re-dispatching with the same dir (and spec)
+  // resumes from whatever the journals already hold.
+  std::string work_dir;
+
+  // Worker process slots. 0 = hardware concurrency. Concurrency is
+  // naturally bounded by pending shards (never more than one worker per
+  // shard); slots beyond that stay idle as spares, which is what lets a
+  // repeatedly-dying shard be reassigned off its old slot even when it
+  // is the only shard left.
+  std::size_t workers = 0;
+
+  // Shard count N (workers run `--shard=i/N`). 0 = the effective worker
+  // count. More jobs than workers queues shards and backfills idle slots.
+  std::size_t jobs = 0;
+
+  // --threads for each worker. The dispatcher's parallelism is
+  // workers x worker_threads simulation threads.
+  std::size_t worker_threads = 1;
+
+  // A shard is abandoned (failing the dispatch) after this many failed
+  // worker attempts.
+  std::size_t max_attempts = 3;
+
+  // Supervisor poll cadence: child liveness + journal tailing.
+  std::chrono::milliseconds poll_interval{50};
+
+  // Aggregated progress: (rows done across all shards, full grid size).
+  // Called from the supervisor loop, monotone in `done`.
+  std::function<void(std::size_t done, std::size_t total)> on_progress;
+
+  // Observability / test seams. on_spawn fires for every worker launch
+  // (attempt 0 is the first try); on_worker_exit fires when one ends --
+  // `ok` means "exited 0 with a complete shard journal", and on failure
+  // `will_retry` distinguishes a restart from the shard being abandoned;
+  // on_shard_rows fires when tailing observes a shard's journal growing.
+  std::function<void(std::size_t shard, std::size_t attempt,
+                     std::size_t slot, long pid)>
+      on_spawn;
+  std::function<void(std::size_t shard, std::size_t attempt, bool ok,
+                     bool will_retry)>
+      on_worker_exit;
+  std::function<void(std::size_t shard, std::size_t rows)> on_shard_rows;
+};
+
+// Where one shard ended up.
+struct ShardOutcome {
+  std::size_t shard = 0;
+  std::size_t attempts = 0;  // worker launches consumed
+  bool completed = false;
+  std::size_t rows = 0;  // journaled rows observed (== shard size if done)
+  std::string journal_path;
+  std::string log_path;
+};
+
+struct DispatchResult {
+  bool ok = false;
+  std::string error;  // set when !ok
+  std::size_t points = 0;          // full grid size
+  std::size_t restarts = 0;        // failed attempts that were retried
+  std::vector<ShardOutcome> shards;
+
+  // The shard journal paths, for the merge step.
+  std::vector<std::string> journal_paths() const;
+};
+
+// The resolved execution plan of a dispatch: slot-pool size and shard
+// count for a grid of `n_points`, after scanning opts.work_dir (when it
+// exists) for journals of a previous run -- their recorded shard split
+// wins over opts.jobs/workers (shards are meaningless under a different
+// N), and every readable journal's spec hash must match `spec` or the
+// plan fails up front with the real reason instead of letting workers
+// burn their attempts on 'cannot resume' exits. Shared by
+// Dispatcher::run and the CLI's --dry-run so the printed plan cannot
+// drift from the executed one.
+struct DispatchPlan {
+  std::size_t workers = 1;
+  std::size_t n_shards = 1;
+  bool adopted_split = false;  // shard count taken from existing journals
+};
+std::optional<DispatchPlan> plan_dispatch(const CampaignSpec& spec,
+                                          std::size_t n_points,
+                                          const DispatchOptions& opts,
+                                          std::string* error = nullptr);
+
+class Dispatcher {
+ public:
+  // `spec_kv` is the fully resolved key/value spec (what spec_kv_from_cli
+  // returns). The dispatcher expands it locally for the shard plan and
+  // forwards it to every worker as --key=value flags, so supervisor and
+  // workers parse the identical spec (and the workers' journal spec-hash
+  // check would refuse any drift).
+  Dispatcher(std::map<std::string, std::string> spec_kv,
+             DispatchOptions opts);
+
+  // Runs the campaign to completion (or failure). Never throws: spec
+  // errors, spawn errors, and abandoned shards all surface as
+  // DispatchResult{ok=false, error}.
+  DispatchResult run();
+
+ private:
+  std::map<std::string, std::string> spec_kv_;
+  DispatchOptions opts_;
+};
+
+// The merge step: loads every shard journal of a completed dispatch and
+// merges them (report layer) into one index-ordered table -- cell-for-cell
+// identical to what a single-process run writes. Returns nullopt and sets
+// `error` on unreadable/incomplete journals.
+std::optional<RowTable> merge_dispatch_journals(
+    const std::vector<std::string>& journal_paths,
+    std::string* error = nullptr);
+
+}  // namespace reap::campaign

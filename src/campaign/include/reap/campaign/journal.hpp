@@ -16,6 +16,7 @@
 #include <fstream>
 #include <optional>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "reap/campaign/result_sink.hpp"
@@ -76,6 +77,12 @@ class JournalWriter {
 std::optional<Journal> read_journal(const std::string& path,
                                     std::string* error = nullptr);
 
+// Reads only the header line -- O(1) regardless of journal size. What
+// the dispatcher's work-dir scan uses to learn a journal's spec hash and
+// shard split without parsing every row.
+std::optional<JournalHeader> read_journal_header(const std::string& path,
+                                                 std::string* error = nullptr);
+
 // Atomically replaces `path` with a clean serialization of `j` (temp file
 // + rename). Resume uses this to drop a torn tail before appending -- new
 // rows written after an unterminated line would corrupt both.
@@ -89,6 +96,35 @@ bool rewrite_journal(const std::string& path, const Journal& j,
 bool journal_compatible(const JournalHeader& header, const CampaignSpec& spec,
                         std::size_t n_points, std::size_t shard_index,
                         std::size_t shard_count, std::string* why = nullptr);
+
+// Incrementally tails a journal that another process is appending to --
+// the live-progress primitive of reap_dispatch. Each poll() scans only
+// the bytes appended since the previous poll and reports the keys of
+// newly completed rows. Tolerant of everything a live worker journal
+// does: the file not existing yet (worker still starting), a torn tail
+// (the in-flight line stays unreported until its '\n' lands), and the
+// file *shrinking* (a resumed worker's atomic torn-tail rewrite) -- a
+// shrink restarts the scan from byte 0, and the per-key dedupe set keeps
+// already-reported rows from being counted twice.
+class JournalTailer {
+ public:
+  explicit JournalTailer(std::string path);
+
+  // Returns the keys of rows completed since the last poll (possibly
+  // empty). Malformed complete lines are skipped, not fatal: a live file
+  // is allowed to be mid-anything.
+  std::vector<std::string> poll();
+
+  // Distinct row keys observed so far (header line excluded).
+  std::size_t rows_seen() const { return seen_.size(); }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::uint64_t offset_ = 0;  // bytes consumed through the last complete line
+  std::unordered_set<std::string> seen_;
+};
 
 // Concatenates completion-order row batches, drops duplicate keys (first
 // occurrence wins), and sorts by grid index: the merge step that turns a

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "reap/common/cli.hpp"
 #include "reap/core/experiment.hpp"
 
 namespace reap::campaign {
@@ -98,6 +99,13 @@ std::vector<CampaignPoint> shard(const std::vector<CampaignPoint>& points,
                                  std::size_t shard_index,
                                  std::size_t shard_count);
 
+// |shard(points, shard_index, shard_count)| for a grid of `n_points`,
+// without materializing anything: the count of indices in [0, n_points)
+// congruent to shard_index mod shard_count. Same argument contract as
+// shard().
+std::size_t shard_size(std::size_t n_points, std::size_t shard_index,
+                       std::size_t shard_count);
+
 // Deterministic serialization of every field that affects expansion or
 // experiment outcomes (axes, base-config overrides, campaign seed). Two
 // specs with equal canonical strings expand to identical configs.
@@ -111,5 +119,18 @@ std::uint64_t spec_hash(const CampaignSpec& spec);
 // lines ignored. Returns the raw map; feed it to CampaignSpec::from_kv.
 std::optional<std::map<std::string, std::string>> parse_spec_file(
     const std::string& path, std::string* error = nullptr);
+
+// The spec keys a campaign CLI accepts as --key=value flags: exactly the
+// set CampaignSpec::from_kv parses. Shared by reap_campaign and
+// reap_dispatch so their spec-flag vocabularies cannot drift.
+const std::vector<std::string>& spec_cli_keys();
+
+// Assembles the fully resolved spec key/value map of a CLI invocation:
+// the --spec=FILE contents first (when the flag is present), then any
+// spec-key flags override the file's values. Returns an empty map when
+// neither is given, and nullopt (with `error` set) on an unreadable or
+// malformed spec file.
+std::optional<std::map<std::string, std::string>> spec_kv_from_cli(
+    const common::CliArgs& args, std::string* error = nullptr);
 
 }  // namespace reap::campaign

@@ -173,6 +173,23 @@ std::optional<Journal> read_journal(const std::string& path,
   return j;
 }
 
+std::optional<JournalHeader> read_journal_header(const std::string& path,
+                                                 std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    fail(error, "cannot open journal: " + path);
+    return std::nullopt;
+  }
+  std::string line;
+  if (!std::getline(in, line) || line.empty()) {
+    fail(error, "journal is empty: " + path);
+    return std::nullopt;
+  }
+  JournalHeader h;
+  if (!parse_header(line, h, error)) return std::nullopt;
+  return h;
+}
+
 bool rewrite_journal(const std::string& path, const Journal& j,
                      std::string* error) {
   const std::string tmp = path + ".tmp";
@@ -210,6 +227,47 @@ bool journal_compatible(const JournalHeader& header, const CampaignSpec& spec,
   if (header.columns != result_header())
     return mismatch("column schema differs from this binary's");
   return true;
+}
+
+JournalTailer::JournalTailer(std::string path) : path_(std::move(path)) {}
+
+std::vector<std::string> JournalTailer::poll() {
+  std::vector<std::string> fresh;
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path_, ec);
+  if (ec) return fresh;  // not created yet (worker still starting)
+  // A shrink is resume's atomic torn-tail rewrite landing: the bytes at
+  // our offset are no longer the bytes we consumed, so rescan from the
+  // start. `seen_` keeps rescanned rows from being re-reported.
+  if (size < offset_) offset_ = 0;
+  if (size == offset_) return fresh;
+
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) return fresh;
+  in.seekg(static_cast<std::streamoff>(offset_));
+  std::string appended(static_cast<std::size_t>(size - offset_), '\0');
+  in.read(appended.data(), static_cast<std::streamsize>(appended.size()));
+  appended.resize(static_cast<std::size_t>(in.gcount()));
+
+  // Consume only through the last newline: everything after it is a line
+  // still being written.
+  const auto last_nl = appended.rfind('\n');
+  if (last_nl == std::string::npos) return fresh;
+  std::size_t pos = 0;
+  while (pos <= last_nl) {
+    const auto nl = appended.find('\n', pos);
+    const std::string line = appended.substr(pos, nl - pos);
+    pos = nl + 1;
+    if (line.empty()) continue;
+    // Rows lead with a "key" field; the header line (and any malformed
+    // mid-flight content) does not and is skipped.
+    const auto fields = common::parse_jsonl_line(line);
+    if (!fields || fields->empty() || (*fields)[0].first != "key") continue;
+    if (seen_.insert((*fields)[0].second).second)
+      fresh.push_back((*fields)[0].second);
+  }
+  offset_ += last_nl + 1;
+  return fresh;
 }
 
 std::vector<JournalRow> merge_journal_rows(std::vector<JournalRow> a,

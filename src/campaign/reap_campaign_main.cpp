@@ -19,8 +19,8 @@
 #include <unordered_set>
 
 #include "reap/campaign/campaign.hpp"
+#include "reap/campaign/cli_usage.hpp"
 #include "reap/common/cli.hpp"
-#include "reap/common/strings.hpp"
 #include "reap/core/config_kv.hpp"
 #include "reap/trace/spec2006.hpp"
 
@@ -29,41 +29,7 @@ using namespace reap;
 namespace {
 
 int usage(const char* argv0) {
-  std::printf(
-      "usage: %s [--spec=FILE] [--key=value ...]\n"
-      "\n"
-      "spec keys (file or flags; flags override the file):\n"
-      "  workloads=a,b|all     policies=conventional,reap,...|all\n"
-      "  ecc=1,2               read_ratios=0.55,0.693,0.8\n"
-      "  seeds=0,1,2           campaign_seed=N\n"
-      "  instructions=N        warmup=N        clock_ghz=G\n"
-      "  scrub_every=N,N,...   dirty_check=0|1\n"
-      "  l2_kb=N  l2_ways=N    block_bytes=N   name=STR\n"
-      "\n"
-      "runner/output flags:\n"
-      "  --threads=N           worker threads (0 = all cores)\n"
-      "  --baseline=POLICY     aggregate vs this policy (default\n"
-      "                        conventional; 'none' to skip aggregates)\n"
-      "  --csv=PATH            per-experiment rows as CSV\n"
-      "  --jsonl=PATH          per-experiment rows as JSONL\n"
-      "  --quiet               no progress line\n"
-      "  --dry-run             expand and list the grid, run nothing\n"
-      "\n"
-      "sharding / durability:\n"
-      "  --shard=I/N           run only grid rows with index %% N == I;\n"
-      "                        merge shard outputs with reap_report\n"
-      "  --journal=PATH        journal each row as it completes (JSONL,\n"
-      "                        crash-safe; rows survive a killed run)\n"
-      "  --resume              skip rows already in --journal and\n"
-      "                        continue (refuses a journal whose spec\n"
-      "                        hash or shard assignment differs)\n"
-      "\n"
-      "other modes:\n"
-      "  --config=\"k=v ...\"    run exactly one experiment from a row's\n"
-      "                        config string and print its row\n"
-      "  --list-workloads      bundled workload profile names\n"
-      "  --list-policies       read-path policy names\n",
-      argv0);
+  std::printf(campaign::kCampaignUsage, argv0);
   return 0;
 }
 
@@ -73,20 +39,6 @@ void print_row(const campaign::CampaignPoint& pt,
   const auto cells = campaign::result_cells(pt, r);
   for (std::size_t i = 0; i < header.size(); ++i)
     std::printf("%-20s %s\n", header[i].c_str(), cells[i].c_str());
-}
-
-// Parses "I/N". Returns false on garbage, N == 0, or I >= N.
-bool parse_shard(const std::string& text, std::size_t& index,
-                 std::size_t& count) {
-  const auto slash = text.find('/');
-  if (slash == std::string::npos) return false;
-  std::uint64_t i = 0, n = 0;
-  if (!common::parse_u64(text.substr(0, slash), i)) return false;
-  if (!common::parse_u64(text.substr(slash + 1), n)) return false;
-  if (n == 0 || i >= n) return false;
-  index = std::size_t(i);
-  count = std::size_t(n);
-  return true;
 }
 
 }  // namespace
@@ -120,26 +72,15 @@ int main(int argc, char** argv) {
   }
 
   // Assemble the spec key/value map: file first, flags override.
-  std::map<std::string, std::string> kv;
   std::string error;
-  if (args.has("spec")) {
-    const auto file_kv =
-        campaign::parse_spec_file(args.get_string("spec", ""), &error);
-    if (!file_kv) {
-      std::fprintf(stderr, "%s\n", error.c_str());
-      return 1;
-    }
-    kv = *file_kv;
+  const auto kv = campaign::spec_kv_from_cli(args, &error);
+  if (!kv) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
   }
-  for (const char* key :
-       {"name", "workloads", "policies", "ecc", "read_ratios", "seeds",
-        "campaign_seed", "instructions", "warmup", "clock_ghz", "scrub_every",
-        "dirty_check", "l2_kb", "l2_ways", "block_bytes"}) {
-    if (args.has(key)) kv[key] = args.get_string(key, "");
-  }
-  if (kv.empty()) return usage(argv[0]);
+  if (kv->empty()) return usage(argv[0]);
 
-  const auto spec = campaign::CampaignSpec::from_kv(kv, &error);
+  const auto spec = campaign::CampaignSpec::from_kv(*kv, &error);
   if (!spec) {
     std::fprintf(stderr, "bad spec: %s\n", error.c_str());
     return 1;
@@ -156,7 +97,8 @@ int main(int argc, char** argv) {
   // Shard selection: deterministic, disjoint coverage by index stripe.
   std::size_t shard_index = 0, shard_count = 1;
   if (args.has("shard") &&
-      !parse_shard(args.get_string("shard", ""), shard_index, shard_count)) {
+      !common::parse_shard(args.get_string("shard", ""), shard_index,
+                           shard_count)) {
     std::fprintf(stderr, "bad --shard (want I/N with I < N): %s\n",
                  args.get_string("shard", "").c_str());
     return 1;
@@ -344,7 +286,6 @@ int main(int argc, char** argv) {
     }
   }
 
-  for (const auto& key : args.unconsumed())
-    std::fprintf(stderr, "warning: unused flag --%s\n", key.c_str());
+  common::warn_unused(args);
   return 0;
 }

@@ -1,0 +1,217 @@
+// reap_dispatch: one-command distributed campaign. Expands a spec, splits
+// it into shards, keeps a pool of reap_campaign worker processes busy
+// (restarting crashed workers from their journals, reassigning shards
+// whose workers keep dying), live-tails the shard journals into one
+// progress line, and merges the journals into CSV/JSONL/figures
+// byte-identical to a single-process run. See docs/campaign.md.
+//
+// Usage:
+//   reap_dispatch --spec=specs/fig5.spec --workers=8 --csv=fig5.csv
+//   reap_dispatch --spec=grid.spec --workers=4 --jobs=16 --figures=figdata/
+//   reap_dispatch --spec=grid.spec --workers=2 --work-dir=run1   # re-run to resume
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+
+#include "reap/campaign/aggregate.hpp"
+#include "reap/campaign/cli_usage.hpp"
+#include "reap/campaign/dispatch.hpp"
+#include "reap/campaign/progress.hpp"
+#include "reap/campaign/result_sink.hpp"
+#include "reap/common/cli.hpp"
+
+using namespace reap;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::printf(campaign::kDispatchUsage, argv0);
+  return 0;
+}
+
+// reap_campaign normally sits next to reap_dispatch; a bare name (PATH
+// lookup) is the fallback when argv[0] carries no directory.
+std::string default_campaign_binary(const char* argv0) {
+  const auto dir = std::filesystem::path(argv0).parent_path();
+  if (dir.empty()) return "reap_campaign";
+  return (dir / "reap_campaign").string();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::CliArgs args(argc, argv);
+  if (args.has("help")) return usage(argv[0]);
+
+  std::string error;
+  const auto kv = campaign::spec_kv_from_cli(args, &error);
+  if (!kv) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  if (kv->empty()) return usage(argv[0]);
+  const auto spec = campaign::CampaignSpec::from_kv(*kv, &error);
+  if (!spec) {
+    std::fprintf(stderr, "bad spec: %s\n", error.c_str());
+    return 1;
+  }
+
+  campaign::DispatchOptions opts;
+  opts.campaign_binary =
+      args.get_string("campaign-bin", default_campaign_binary(argv[0]));
+  opts.work_dir = args.get_string("work-dir", spec->name + ".dispatch");
+  opts.workers = std::size_t(args.get_u64("workers", 0));
+  opts.jobs = std::size_t(args.get_u64("jobs", 0));
+  opts.worker_threads = std::size_t(args.get_u64("worker-threads", 1));
+  opts.max_attempts = std::size_t(args.get_u64("max-attempts", 3));
+
+  // Consume every real flag before --dry-run can exit, so the unused-flag
+  // typo warning never fires on flags the full run would honor.
+  const bool quiet = args.has("quiet");
+  const bool want_csv = args.has("csv");
+  const bool want_jsonl = args.has("jsonl");
+  const bool want_figures = args.has("figures");
+  const auto csv_path = args.get_string("csv", "");
+  const auto jsonl_path = args.get_string("jsonl", "");
+  const auto figures_dir = args.get_string("figures", "");
+  const auto baseline_name = args.get_string("baseline", "conventional");
+
+  if (args.has("dry-run")) {
+    std::vector<campaign::CampaignPoint> points;
+    try {
+      points = campaign::expand(*spec);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+    // The exact plan Dispatcher::run would execute, including a shard
+    // split adopted from existing work-dir journals.
+    const auto plan =
+        campaign::plan_dispatch(*spec, points.size(), opts, &error);
+    if (!plan) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    std::printf(
+        "campaign '%s': %zu points, %zu shards%s, %zu worker slots "
+        "(<= %zu concurrent)\n",
+        spec->name.c_str(), points.size(), plan->n_shards,
+        plan->adopted_split ? " (split adopted from work-dir journals)" : "",
+        plan->workers, std::min(plan->workers, plan->n_shards));
+    std::printf("work dir: %s\n", opts.work_dir.c_str());
+    for (std::size_t i = 0; i < plan->n_shards; ++i)
+      std::printf("  shard %zu/%zu: %zu points  (%s --shard=%zu/%zu ...)\n",
+                  i, plan->n_shards,
+                  campaign::shard_size(points.size(), i, plan->n_shards),
+                  opts.campaign_binary.c_str(), i, plan->n_shards);
+    common::warn_unused(args);
+    return 0;
+  }
+
+  campaign::ProgressReporter progress;
+  if (!quiet) {
+    opts.on_progress = [&progress](std::size_t done, std::size_t total) {
+      progress(done, total);
+    };
+    opts.on_worker_exit = [](std::size_t shard, std::size_t attempt,
+                             bool ok, bool will_retry) {
+      if (ok) return;
+      std::fprintf(stderr, "\nworker for shard %zu died (attempt %zu); %s\n",
+                   shard, attempt + 1,
+                   will_retry ? "restarting with --resume"
+                              : "giving up on this shard");
+    };
+  }
+  // Validate the post-run flags and warn about typos up front: a bad
+  // baseline name must not surface only after hours of simulation.
+  std::optional<core::PolicyKind> baseline;
+  if (baseline_name != "none") {
+    baseline = core::policy_from_string(baseline_name);
+    if (!baseline) {
+      std::fprintf(stderr, "unknown --baseline policy: %s\n",
+                   baseline_name.c_str());
+      return 1;
+    }
+  } else if (want_figures) {
+    std::fprintf(stderr,
+                 "--figures needs aggregates; do not pass "
+                 "--baseline=none with it\n");
+    return 1;
+  }
+  common::warn_unused(args);
+
+  campaign::Dispatcher dispatcher(*kv, opts);
+  std::printf("dispatching campaign '%s' from %s\n", spec->name.c_str(),
+              opts.work_dir.c_str());
+  const auto run = dispatcher.run();
+  if (!run.ok) {
+    std::fprintf(stderr, "%s\n", run.error.c_str());
+    return 1;
+  }
+  std::printf("%zu points across %zu shards complete", run.points,
+              run.shards.size());
+  if (run.restarts > 0)
+    std::printf(" (%zu worker restart%s)", run.restarts,
+                run.restarts == 1 ? "" : "s");
+  std::printf("\n");
+
+  // Merge step: shard journals -> one index-ordered table, re-emitted
+  // through the ordinary sinks -- byte-identical to an un-sharded run.
+  auto merged = campaign::merge_dispatch_journals(run.journal_paths(), &error);
+  if (!merged) {
+    std::fprintf(stderr, "merge failed: %s\n", error.c_str());
+    return 1;
+  }
+  if (!campaign::covers_all_indices(*merged)) {
+    std::fprintf(stderr, "merge failed: journals do not cover the grid\n");
+    return 1;
+  }
+  if ((want_csv || want_jsonl) &&
+      merged->header != campaign::result_header()) {
+    std::fprintf(stderr,
+                 "cannot write merged rows: worker journals use a different "
+                 "column schema than this binary\n");
+    return 1;
+  }
+  const auto emit_merged = [&](campaign::ResultSink& sink, bool ok,
+                               const char* what, const std::string& path) {
+    if (!ok) {
+      std::fprintf(stderr, "cannot write %s output: %s\n", what,
+                   path.c_str());
+      return false;
+    }
+    for (const auto& row : merged->rows) sink.add_cells(row);
+    return true;
+  };
+  if (want_csv) {
+    campaign::CsvResultSink csv(csv_path);
+    if (!emit_merged(csv, csv.ok(), "csv", csv_path)) return 1;
+  }
+  if (want_jsonl) {
+    campaign::JsonlResultSink jsonl(jsonl_path);
+    if (!emit_merged(jsonl, jsonl.ok(), "jsonl", jsonl_path)) return 1;
+  }
+
+  std::optional<campaign::CampaignAggregates> agg;
+  if (baseline) {
+    agg = campaign::aggregate_rows(*merged, *baseline, &error);
+    if (!agg) {
+      std::fprintf(stderr, "no aggregates: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("\n%s", agg->render().c_str());
+  }
+  if (want_figures) {
+    const auto written =
+        campaign::write_figure_data(*agg, figures_dir, &error);
+    if (!written) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    for (const auto& path : *written)
+      std::fprintf(stderr, "wrote %s\n", path.c_str());
+  }
+  return 0;
+}

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "reap/campaign/cli_usage.hpp"
 #include "reap/campaign/report.hpp"
 #include "reap/campaign/result_sink.hpp"
 #include "reap/common/cli.hpp"
@@ -20,22 +21,7 @@ using namespace reap;
 namespace {
 
 int usage(const char* argv0) {
-  std::printf(
-      "usage: %s [flags] ROWS [ROWS...]\n"
-      "\n"
-      "ROWS are campaign row files: .csv / .jsonl sink output or an\n"
-      "execution journal. Multiple files (e.g. the outputs of --shard\n"
-      "runs) are merged by grid index before any processing.\n"
-      "\n"
-      "flags:\n"
-      "  --baseline=POLICY     aggregate vs this policy (default\n"
-      "                        conventional; 'none' skips the tables)\n"
-      "  --merged-csv=PATH     write the merged rows as CSV (byte-\n"
-      "                        identical to a single-process run)\n"
-      "  --merged-jsonl=PATH   write the merged rows as JSONL\n"
-      "  --figures=DIR         write fig5/fig6/policy-summary CSV data\n"
-      "                        and gnuplot scripts into DIR\n",
-      argv0);
+  std::printf(campaign::kReportUsage, argv0);
   return 0;
 }
 
@@ -152,7 +138,6 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "wrote %s\n", path.c_str());
   }
 
-  for (const auto& key : args.unconsumed())
-    std::fprintf(stderr, "warning: unused flag --%s\n", key.c_str());
+  common::warn_unused(args);
   return 0;
 }

@@ -165,6 +165,16 @@ std::vector<CampaignPoint> shard(const std::vector<CampaignPoint>& points,
   return out;
 }
 
+std::size_t shard_size(std::size_t n_points, std::size_t shard_index,
+                       std::size_t shard_count) {
+  if (shard_count == 0)
+    throw std::invalid_argument("shard_size: shard_count must be positive");
+  if (shard_index >= shard_count)
+    throw std::invalid_argument("shard_size: shard_index out of range");
+  if (shard_index >= n_points) return 0;
+  return (n_points - shard_index - 1) / shard_count + 1;
+}
+
 std::string canonical_string(const CampaignSpec& spec) {
   std::ostringstream out;
   out << "reap-campaign-spec-v1\n";
@@ -351,6 +361,30 @@ std::optional<std::map<std::string, std::string>> parse_spec_file(
     }
     kv[trim(line.substr(0, eq))] = trim(line.substr(eq + 1));
   }
+  return kv;
+}
+
+const std::vector<std::string>& spec_cli_keys() {
+  // Mirrors the from_kv dispatch above; from_kv rejects anything else, so
+  // a key added there without being listed here fails loudly on the CLI.
+  static const std::vector<std::string> keys = {
+      "name",        "workloads",     "policies",    "ecc",
+      "read_ratios", "seeds",         "campaign_seed", "instructions",
+      "warmup",      "clock_ghz",     "scrub_every", "dirty_check",
+      "l2_kb",       "l2_ways",       "block_bytes"};
+  return keys;
+}
+
+std::optional<std::map<std::string, std::string>> spec_kv_from_cli(
+    const common::CliArgs& args, std::string* error) {
+  std::map<std::string, std::string> kv;
+  if (args.has("spec")) {
+    auto file_kv = parse_spec_file(args.get_string("spec", ""), error);
+    if (!file_kv) return std::nullopt;
+    kv = std::move(*file_kv);
+  }
+  for (const auto& key : spec_cli_keys())
+    if (args.has(key)) kv[key] = args.get_string(key, "");
   return kv;
 }
 

@@ -1,6 +1,9 @@
 #include "reap/common/cli.hpp"
 
+#include <cstdio>
 #include <cstdlib>
+
+#include "reap/common/strings.hpp"
 
 namespace reap::common {
 
@@ -66,6 +69,24 @@ std::vector<std::string> CliArgs::unconsumed() const {
     if (!consumed_.count(k)) out.push_back(k);
   }
   return out;
+}
+
+bool parse_shard(const std::string& text, std::size_t& index,
+                 std::size_t& count) {
+  const auto slash = text.find('/');
+  if (slash == std::string::npos) return false;
+  std::uint64_t i = 0, n = 0;
+  if (!parse_u64(text.substr(0, slash), i)) return false;
+  if (!parse_u64(text.substr(slash + 1), n)) return false;
+  if (n == 0 || i >= n) return false;
+  index = std::size_t(i);
+  count = std::size_t(n);
+  return true;
+}
+
+void warn_unused(const CliArgs& args) {
+  for (const auto& key : args.unconsumed())
+    std::fprintf(stderr, "warning: unused flag --%s\n", key.c_str());
 }
 
 }  // namespace reap::common

@@ -37,4 +37,14 @@ class CliArgs {
   std::vector<std::string> positional_;
 };
 
+// Parses a shard assignment "I/N" (e.g. "--shard=2/8"). Returns false on
+// garbage, N == 0, or I >= N. Shared by reap_campaign (which runs one
+// shard) and reap_dispatch (which assigns all of them).
+bool parse_shard(const std::string& text, std::size_t& index,
+                 std::size_t& count);
+
+// Warns (to stderr) about every flag that was given but never queried --
+// the typo guard every CLI main ends with.
+void warn_unused(const CliArgs& args);
+
 }  // namespace reap::common

@@ -1,0 +1,109 @@
+// The CLI reference cannot rot: docs/cli.md must document, per tool,
+// exactly the set of --flags that tool's --help text (the shared usage
+// strings in cli_usage.hpp, printed verbatim by the binaries) mentions --
+// in both directions. Also pins the README links to the docs and the
+// layer coverage of docs/architecture.md.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <string>
+
+#include "reap/campaign/cli_usage.hpp"
+
+namespace reap::campaign {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << "cannot open " << path;
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+// Every distinct "--flag" token: "--" followed by a lowercase letter,
+// then [a-z0-9-]* (trailing hyphens trimmed so a line-wrapped "--foo-"
+// cannot occur -- flags never end in '-'). A " -- " em-dash does not
+// match (no letter follows).
+std::set<std::string> extract_flags(const std::string& text) {
+  std::set<std::string> flags;
+  for (std::size_t i = 0; i + 2 < text.size(); ++i) {
+    if (text[i] != '-' || text[i + 1] != '-') continue;
+    if (i > 0 && text[i - 1] == '-') continue;  // inside a longer dash run
+    std::size_t end = i + 2;
+    if (end >= text.size() || text[end] < 'a' || text[end] > 'z') continue;
+    while (end < text.size() &&
+           ((text[end] >= 'a' && text[end] <= 'z') ||
+            (text[end] >= '0' && text[end] <= '9') || text[end] == '-'))
+      ++end;
+    while (text[end - 1] == '-') --end;
+    flags.insert(text.substr(i, end - i));
+    i = end - 1;
+  }
+  return flags;
+}
+
+// The "## `tool`" section of a markdown file: from its heading to the
+// next "## " heading (or EOF).
+std::string section_of(const std::string& markdown, const std::string& tool) {
+  const auto heading = "## `" + tool + "`";
+  const auto start = markdown.find(heading);
+  EXPECT_NE(start, std::string::npos)
+      << "docs/cli.md has no section " << heading;
+  if (start == std::string::npos) return "";
+  auto end = markdown.find("\n## ", start + heading.size());
+  if (end == std::string::npos) end = markdown.size();
+  return markdown.substr(start, end - start);
+}
+
+void expect_flags_match(const char* tool, const std::string& doc_section,
+                        const std::string& usage) {
+  const auto documented = extract_flags(doc_section);
+  const auto in_help = extract_flags(usage);
+  for (const auto& flag : in_help)
+    EXPECT_TRUE(documented.count(flag))
+        << tool << ": " << flag
+        << " is in --help but missing from docs/cli.md";
+  for (const auto& flag : documented)
+    EXPECT_TRUE(in_help.count(flag))
+        << tool << ": docs/cli.md mentions " << flag
+        << " which is not in --help";
+}
+
+const std::string kSourceDir = REAP_SOURCE_DIR;
+
+TEST(Docs, CliReferenceMatchesHelpOutputPerTool) {
+  const auto cli_md = read_file(kSourceDir + "/docs/cli.md");
+  expect_flags_match("reap_campaign", section_of(cli_md, "reap_campaign"),
+                     kCampaignUsage);
+  expect_flags_match("reap_report", section_of(cli_md, "reap_report"),
+                     kReportUsage);
+  expect_flags_match("reap_dispatch", section_of(cli_md, "reap_dispatch"),
+                     kDispatchUsage);
+}
+
+TEST(Docs, ReadmeLinksTheDocSet) {
+  const auto readme = read_file(kSourceDir + "/README.md");
+  for (const char* doc : {"docs/architecture.md", "docs/cli.md",
+                          "docs/campaign.md", "docs/performance.md"})
+    EXPECT_NE(readme.find(doc), std::string::npos)
+        << "README.md does not link " << doc;
+}
+
+TEST(Docs, ArchitectureCoversEveryLayer) {
+  const auto arch = read_file(kSourceDir + "/docs/architecture.md");
+  for (const char* layer :
+       {"src/common", "src/mtj", "src/ecc", "src/trace", "src/nvsim",
+        "src/reliability", "src/sim", "src/core", "src/campaign"})
+    EXPECT_NE(arch.find(layer), std::string::npos)
+        << "docs/architecture.md does not mention " << layer;
+  // The determinism contract section must point at the tests pinning it.
+  for (const char* pin :
+       {"test_runner_determinism", "test_shard_resume", "test_dispatch"})
+    EXPECT_NE(arch.find(pin), std::string::npos)
+        << "docs/architecture.md does not reference " << pin;
+}
+
+}  // namespace
+}  // namespace reap::campaign

@@ -189,6 +189,64 @@ TEST(Journal, MergeRowsDedupesByKeyAndSortsByIndex) {
   EXPECT_EQ(merged[2].index, 5u);
 }
 
+TEST(JournalTailer, ReportsRowsIncrementallyAndHoldsBackTornTail) {
+  const auto spec = small_spec();
+  const auto path = temp_path("journal_tail.jsonl");
+  std::remove(path.c_str());
+
+  JournalTailer tailer(path);
+  EXPECT_TRUE(tailer.poll().empty());  // no file yet
+  EXPECT_EQ(tailer.rows_seen(), 0u);
+
+  JournalWriter writer(path, JournalHeader::for_run(spec, 8, 0, 1));
+  EXPECT_TRUE(tailer.poll().empty());  // header only: no rows
+  writer.add("k0", fake_cells(0));
+  writer.add("k1", fake_cells(1));
+  EXPECT_EQ(tailer.poll(), (std::vector<std::string>{"k0", "k1"}));
+  EXPECT_TRUE(tailer.poll().empty());  // nothing new
+
+  {
+    std::ofstream torn(path, std::ios::app);
+    torn << "{\"key\":\"k2\",\"ind";  // in-flight line, no newline yet
+  }
+  EXPECT_TRUE(tailer.poll().empty());  // torn tail is not a row yet
+  {
+    std::ofstream torn(path, std::ios::app);
+    torn << "ex\":2}\n";  // the rest of the line lands
+  }
+  EXPECT_EQ(tailer.poll(), (std::vector<std::string>{"k2"}));
+  EXPECT_EQ(tailer.rows_seen(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(JournalTailer, SurvivesResumeStyleShrinkWithoutDoubleCounting) {
+  const auto spec = small_spec();
+  const auto path = temp_path("journal_tail_shrink.jsonl");
+  {
+    JournalWriter writer(path, JournalHeader::for_run(spec, 8, 0, 1));
+    writer.add("k0", fake_cells(0));
+    writer.add("k1", fake_cells(1));
+    std::ofstream torn(path, std::ios::app);
+    torn << "{\"key\":\"torn";
+  }
+  JournalTailer tailer(path);
+  EXPECT_EQ(tailer.poll().size(), 2u);
+
+  // A resuming worker rewrites the journal without the torn tail (the
+  // file shrinks), then appends fresh rows.
+  auto journal = read_journal(path);
+  ASSERT_TRUE(journal && journal->truncated_tail);
+  std::string error;
+  ASSERT_TRUE(rewrite_journal(path, *journal, &error)) << error;
+  {
+    JournalWriter writer(path);
+    writer.add("k2", fake_cells(2));
+  }
+  EXPECT_EQ(tailer.poll(), (std::vector<std::string>{"k2"}));
+  EXPECT_EQ(tailer.rows_seen(), 3u);
+  std::remove(path.c_str());
+}
+
 TEST(Progress, ReportsRateElapsedAndEta) {
   const auto path = temp_path("progress_out.txt");
   std::FILE* out = std::fopen(path.c_str(), "w");

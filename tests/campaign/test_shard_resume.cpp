@@ -32,6 +32,8 @@ TEST(Shard, PartitionsTheGridExactly) {
     std::size_t total = 0;
     for (std::size_t i = 0; i < n; ++i) {
       const auto part = shard(points, i, n);
+      EXPECT_EQ(shard_size(points.size(), i, n), part.size())
+          << "i=" << i << " n=" << n;
       for (const auto& pt : part) {
         EXPECT_TRUE(seen.insert(pt.index).second)
             << "index " << pt.index << " in two shards (n=" << n << ")";
