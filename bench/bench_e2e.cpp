@@ -5,6 +5,13 @@
 //   E2E/static/<policy>   -- the production engine: batched trace pulls,
 //                            policy statically dispatched and inlined into
 //                            the cache access path (run_experiment)
+//   E2E/replay/<policy>   -- the same engine fed from a materialized trace
+//                            (run_experiment_replay over a pre-built
+//                            arena): the steady-state cost of a campaign
+//                            grid point whose trace-cache lookup hits,
+//                            i.e. every point of a paired group after the
+//                            first. replay/static isolates the RNG
+//                            generation share of the hot path
 //   E2E/virtual/<policy>  -- the runtime-dispatch reference loop: per-op
 //                            virtual TraceSource::next + virtual
 //                            L2PolicyHooks (run_experiment_virtual)
@@ -21,6 +28,7 @@
 #include <benchmark/benchmark.h>
 
 #include "reap/core/experiment.hpp"
+#include "reap/trace/replay.hpp"
 #include "reap/trace/spec2006.hpp"
 
 using namespace reap;
@@ -50,6 +58,23 @@ void run_e2e(benchmark::State& state,
       static_cast<std::int64_t>(state.iterations() * cfg.instructions));
 }
 
+// Replay steady state: the arena is materialized once outside the timed
+// region (amortized to ~zero across a paired group in a real campaign)
+// and every iteration replays it, exactly as a campaign point with a
+// trace-cache hit does.
+void run_e2e_replay(benchmark::State& state, core::PolicyKind policy) {
+  const auto cfg = bench_cfg(policy);
+  trace::WorkloadTraceSource gen(cfg.workload);
+  const auto trace = trace::MaterializedTrace::materialize(
+      gen, cfg.warmup_instructions + cfg.instructions);
+  for (auto _ : state) {
+    trace::ReplayTraceSource source(trace);
+    benchmark::DoNotOptimize(core::run_experiment_replay(cfg, source));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * cfg.instructions));
+}
+
 void register_all() {
   for (const core::PolicyKind policy : core::all_policies()) {
     benchmark::RegisterBenchmark(
@@ -57,6 +82,10 @@ void register_all() {
         [policy](benchmark::State& s) {
           run_e2e(s, core::run_experiment, policy);
         })
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(
+        ("E2E/replay/" + core::to_string(policy)).c_str(),
+        [policy](benchmark::State& s) { run_e2e_replay(s, policy); })
         ->Unit(benchmark::kMillisecond);
     benchmark::RegisterBenchmark(
         ("E2E/virtual/" + core::to_string(policy)).c_str(),

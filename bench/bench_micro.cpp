@@ -10,6 +10,7 @@
 #include "reap/ecc/secded.hpp"
 #include "reap/reliability/binomial.hpp"
 #include "reap/sim/cpu.hpp"
+#include "reap/trace/replay.hpp"
 #include "reap/trace/spec2006.hpp"
 
 using namespace reap;
@@ -109,6 +110,30 @@ void BM_TraceBatchGeneration(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(ops));
 }
 BENCHMARK(BM_TraceBatchGeneration);
+
+void BM_TraceReplayBatch(benchmark::State& state) {
+  // ReplayTraceSource::next_batch: the bounds-checked unpack of a
+  // materialized arena — the stream cost of every trace-cache hit.
+  // Compare against BM_TraceBatchGeneration for the per-op RNG work a
+  // replayed grid point skips.
+  auto profile = *trace::spec2006_profile("perlbench");
+  trace::WorkloadTraceSource gen(profile);
+  const auto trace = trace::MaterializedTrace::materialize(gen, 100'000);
+  trace::ReplayTraceSource src(trace);
+  std::vector<trace::MemOp> buf(sim::TraceCpu::kBatchOps);
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    std::size_t n = src.next_batch({buf.data(), buf.size()});
+    if (n == 0) {
+      src.reset();
+      n = src.next_batch({buf.data(), buf.size()});
+    }
+    ops += n;
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+}
+BENCHMARK(BM_TraceReplayBatch);
 
 void BM_CacheLookupHit(benchmark::State& state) {
   // SoA tag-column scan: L1-shaped cache, all reads hit, no hooks.

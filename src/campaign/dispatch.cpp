@@ -156,6 +156,9 @@ DispatchResult Dispatcher::run() {
     argv.push_back("--journal=" + shards[shard_i].journal_path);
     argv.push_back("--resume");
     argv.push_back("--threads=" + std::to_string(opts_.worker_threads));
+    if (opts_.trace_cache_mb > 0)
+      argv.push_back("--trace-cache-mb=" +
+                     std::to_string(opts_.trace_cache_mb));
     argv.push_back("--baseline=none");
     argv.push_back("--quiet");
     return argv;

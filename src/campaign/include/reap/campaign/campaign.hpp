@@ -10,3 +10,4 @@
 #include "reap/campaign/runner.hpp"       // IWYU pragma: export
 #include "reap/campaign/seed.hpp"         // IWYU pragma: export
 #include "reap/campaign/spec.hpp"         // IWYU pragma: export
+#include "reap/campaign/trace_cache.hpp"  // IWYU pragma: export

@@ -62,6 +62,13 @@ struct DispatchOptions {
   // workers x worker_threads simulation threads.
   std::size_t worker_threads = 1;
 
+  // --trace-cache-mb for each worker (0 = off): workers materialize each
+  // paired trace once and replay it across the policy/ecc/scrub axes.
+  // Per-worker caches — processes share nothing — so shards split by
+  // index stripe each materialize their own copy of a group's trace (see
+  // docs/campaign.md on how trace grouping interacts with --shard).
+  std::size_t trace_cache_mb = 0;
+
   // A shard is abandoned (failing the dispatch) after this many failed
   // worker attempts.
   std::size_t max_attempts = 3;

@@ -39,6 +39,22 @@ struct RunnerOptions {
 
   // Test seam; defaults to core::run_experiment.
   std::function<core::ExperimentResult(const core::ExperimentConfig&)> run_fn;
+
+  // Like run_fn but receives the whole grid point — for executions that
+  // depend on grid coordinates, e.g. the trace-replay path keyed on
+  // CampaignPoint::trace_key. Wins over run_fn when both are set.
+  std::function<core::ExperimentResult(const CampaignPoint&)> run_point_fn;
+
+  // Optional schedule grouping. When set, workers visit points in an order
+  // that keeps points with equal group_key contiguous (groups ordered by
+  // the smallest input position they contain, points within a group in
+  // input order), so a per-group resource — a materialized trace — is
+  // produced once and stays hot while its group runs. Results remain
+  // positionally aligned with the input (results[i] belongs to points[i])
+  // and index-ordered emission is untouched; only the *completion* order
+  // seen by on_result/on_progress changes, which the journal/merge path is
+  // already indifferent to (rows are re-sorted by grid index on merge).
+  std::function<std::string(const CampaignPoint&)> group_key;
 };
 
 class CampaignRunner {

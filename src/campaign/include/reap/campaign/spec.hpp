@@ -81,6 +81,13 @@ struct CampaignPoint {
   // any axis and identifies the same row across shards, resumed runs, and
   // spec revisions. `-` marks an axis left at its base value.
   std::string key;
+  // Trace identity, `<workload>/rr<ratio|->/s<replica>`: the key restricted
+  // to the *environment* coordinates — exactly the inputs of the seed
+  // derivation, with the design axes (policy, ecc, scrub) dropped. Two
+  // points share a trace_key iff they replay the byte-identical op stream,
+  // which is what the campaign trace cache and the grouped runner schedule
+  // key on.
+  std::string trace_key;
   core::ExperimentConfig config;
 };
 

@@ -13,6 +13,7 @@
 //   reap_campaign --spec=grid.spec --shard=0/4 --journal=s0.journal --resume
 //   reap_campaign --config="workload=mcf policy=reap ..."   # one row re-run
 //   reap_campaign --list-workloads | --list-policies
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <string>
@@ -22,6 +23,7 @@
 #include "reap/campaign/cli_usage.hpp"
 #include "reap/common/cli.hpp"
 #include "reap/core/config_kv.hpp"
+#include "reap/trace/replay.hpp"
 #include "reap/trace/spec2006.hpp"
 
 using namespace reap;
@@ -31,6 +33,10 @@ namespace {
 int usage(const char* argv0) {
   std::printf(campaign::kCampaignUsage, argv0);
   return 0;
+}
+
+double mb(std::size_t bytes) {
+  return static_cast<double>(bytes) / (1024.0 * 1024.0);
 }
 
 void print_row(const campaign::CampaignPoint& pt,
@@ -106,12 +112,36 @@ int main(int argc, char** argv) {
   const bool sharded = shard_count > 1;
   const auto mine = campaign::shard(points, shard_index, shard_count);
 
+  // Trace replay: 0 (default) = off, generate per point exactly as before.
+  const std::uint64_t trace_cache_mb = args.get_u64("trace-cache-mb", 0);
+
   if (args.has("dry-run")) {
     std::printf("campaign '%s': %zu points\n", spec->name.c_str(),
                 points.size());
     if (sharded)
       std::printf("shard %zu/%zu: %zu points\n", shard_index, shard_count,
                   mine.size());
+    // The trace-group plan, next to the shard plan: how many distinct
+    // traces this (shard of the) grid replays and the estimated peak of
+    // materialized bytes — with grouped scheduling, one trace per worker
+    // thread is live at a time, plus whatever the cache retains.
+    const auto plan = campaign::trace_plan(mine);
+    campaign::RunnerOptions thread_probe;
+    thread_probe.threads = static_cast<unsigned>(args.get_u64("threads", 0));
+    const unsigned threads =
+        campaign::CampaignRunner(thread_probe).effective_threads(mine.size());
+    if (trace_cache_mb > 0)
+      std::printf(
+          "trace groups: %zu (largest ~%.1f MB; est. peak ~%.1f MB "
+          "materialized on %u threads, cache cap %llu MB)\n",
+          plan.groups, mb(plan.largest_bytes),
+          mb(plan.largest_bytes * threads), threads,
+          static_cast<unsigned long long>(trace_cache_mb));
+    else
+      std::printf(
+          "trace groups: %zu (largest ~%.1f MB; replay off — enable with "
+          "--trace-cache-mb=N)\n",
+          plan.groups, mb(plan.largest_bytes));
     for (const auto& pt : mine)
       std::printf("%4zu  %s\n", pt.index,
                   core::to_kv_string(pt.config).c_str());
@@ -226,6 +256,29 @@ int main(int argc, char** argv) {
     opts.on_progress = [&progress](std::size_t d, std::size_t t) {
       progress(d, t);
     };
+
+  // Trace replay: group the schedule by trace identity and materialize
+  // each paired trace once; every other point of the group replays the
+  // byte-identical stream from the cache instead of regenerating it.
+  std::optional<campaign::TraceCache> trace_cache;
+  if (trace_cache_mb > 0) {
+    trace_cache.emplace(static_cast<std::size_t>(trace_cache_mb) << 20);
+    opts.group_key = [](const campaign::CampaignPoint& pt) {
+      return pt.trace_key;
+    };
+    opts.run_point_fn = [&cache = *trace_cache](
+                            const campaign::CampaignPoint& pt) {
+      const std::uint64_t budget =
+          pt.config.warmup_instructions + pt.config.instructions;
+      const auto trace = cache.acquire(pt.trace_key, [&] {
+        trace::WorkloadTraceSource gen(pt.config.workload);
+        return trace::MaterializedTrace::materialize(gen, budget);
+      });
+      trace::ReplayTraceSource source(*trace);
+      return core::run_experiment_replay(pt.config, source);
+    };
+    if (!quiet) progress.watch_trace_cache(&trace_cache->stats());
+  }
 
   campaign::CampaignRunner runner(opts);
   std::printf("campaign '%s': %zu points on %u threads\n", spec->name.c_str(),

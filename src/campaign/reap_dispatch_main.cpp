@@ -20,6 +20,7 @@
 #include "reap/campaign/dispatch.hpp"
 #include "reap/campaign/progress.hpp"
 #include "reap/campaign/result_sink.hpp"
+#include "reap/campaign/trace_cache.hpp"
 #include "reap/common/cli.hpp"
 
 using namespace reap;
@@ -66,6 +67,7 @@ int main(int argc, char** argv) {
   opts.jobs = std::size_t(args.get_u64("jobs", 0));
   opts.worker_threads = std::size_t(args.get_u64("worker-threads", 1));
   opts.max_attempts = std::size_t(args.get_u64("max-attempts", 3));
+  opts.trace_cache_mb = std::size_t(args.get_u64("trace-cache-mb", 0));
 
   // Consume every real flag before --dry-run can exit, so the unused-flag
   // typo warning never fires on flags the full run would honor.
@@ -101,6 +103,26 @@ int main(int argc, char** argv) {
         plan->adopted_split ? " (split adopted from work-dir journals)" : "",
         plan->workers, std::min(plan->workers, plan->n_shards));
     std::printf("work dir: %s\n", opts.work_dir.c_str());
+    // Trace-group plan next to the shard plan. Index striping scatters a
+    // trace group's points across every shard, so each worker
+    // materializes its shard's groups independently (caches are
+    // per-process).
+    const auto tplan = campaign::trace_plan(points);
+    const double largest_mb =
+        static_cast<double>(tplan.largest_bytes) / (1024.0 * 1024.0);
+    if (opts.trace_cache_mb > 0)
+      std::printf(
+          "trace groups: %zu (largest ~%.1f MB; est. peak ~%.1f MB "
+          "materialized per worker, cache cap %zu MB each)\n",
+          tplan.groups, largest_mb,
+          largest_mb * static_cast<double>(
+                           std::max<std::size_t>(1, opts.worker_threads)),
+          opts.trace_cache_mb);
+    else
+      std::printf(
+          "trace groups: %zu (largest ~%.1f MB; replay off — enable with "
+          "--trace-cache-mb=N)\n",
+          tplan.groups, largest_mb);
     for (std::size_t i = 0; i < plan->n_shards; ++i)
       std::printf("  shard %zu/%zu: %zu points  (%s --shard=%zu/%zu ...)\n",
                   i, plan->n_shards,

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <mutex>
+#include <numeric>
+#include <string>
 #include <thread>
+#include <unordered_map>
 
 namespace reap::campaign {
 namespace {
@@ -51,6 +54,29 @@ class Shard {
   std::size_t end_ = 0;
 };
 
+// The visiting order of the workers: positions into `points`, identity by
+// default, grouped by group_key when one is set. Grouping is a stable
+// reorder — groups sorted by the smallest input position they contain,
+// members in input order — so a 1-thread run visits every group en bloc
+// and deterministically.
+std::vector<std::size_t> schedule_order(
+    const std::vector<CampaignPoint>& points,
+    const std::function<std::string(const CampaignPoint&)>& group_key) {
+  std::vector<std::size_t> order(points.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  if (!group_key) return order;
+  std::unordered_map<std::string, std::size_t> rank;
+  rank.reserve(points.size());
+  std::vector<std::size_t> ranks(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i)
+    ranks[i] = rank.emplace(group_key(points[i]), rank.size()).first->second;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return ranks[a] < ranks[b];
+                   });
+  return order;
+}
+
 }  // namespace
 
 CampaignRunner::CampaignRunner(RunnerOptions opts) : opts_(std::move(opts)) {
@@ -71,8 +97,11 @@ std::vector<core::ExperimentResult> CampaignRunner::run(
   if (total == 0) return results;
 
   const unsigned n_threads = effective_threads(total);
+  const std::vector<std::size_t> order = schedule_order(points, opts_.group_key);
 
-  // Pre-split [0, total) into one contiguous shard per worker.
+  // Pre-split [0, total) into one contiguous shard per worker. Shards hold
+  // *schedule positions*; order[] maps a position to its input index, so
+  // grouped scheduling never disturbs the positional results contract.
   std::vector<Shard> shards(n_threads);
   for (unsigned t = 0; t < n_threads; ++t) {
     const std::size_t begin = total * t / n_threads;
@@ -89,9 +118,11 @@ std::vector<core::ExperimentResult> CampaignRunner::run(
   std::atomic<std::size_t> unclaimed{total};
   std::mutex progress_mu;
 
-  const auto run_one = [&](std::size_t idx) {
+  const auto run_one = [&](std::size_t pos) {
     unclaimed.fetch_sub(1, std::memory_order_relaxed);
-    results[idx] = opts_.run_fn(points[idx].config);
+    const std::size_t idx = order[pos];
+    results[idx] = opts_.run_point_fn ? opts_.run_point_fn(points[idx])
+                                      : opts_.run_fn(points[idx].config);
     const std::size_t d = done.fetch_add(1, std::memory_order_relaxed) + 1;
     if (opts_.on_result || opts_.on_progress) {
       std::lock_guard lock(progress_mu);
@@ -102,9 +133,9 @@ std::vector<core::ExperimentResult> CampaignRunner::run(
 
   const auto worker = [&](unsigned self) {
     for (;;) {
-      std::size_t idx;
-      if (shards[self].pop(idx)) {
-        run_one(idx);
+      std::size_t pos;
+      if (shards[self].pop(pos)) {
+        run_one(pos);
         continue;
       }
       // Own shard drained: steal the back half of the fullest victim, or
@@ -127,8 +158,8 @@ std::vector<core::ExperimentResult> CampaignRunner::run(
       std::size_t b, e;
       if (best_remaining >= 2 && shards[best].steal(b, e)) {
         shards[self].assign(b, e);
-      } else if (shards[best].pop(idx)) {
-        run_one(idx);
+      } else if (shards[best].pop(pos)) {
+        run_one(pos);
       } else {
         std::this_thread::yield();  // lost a race; rescan
       }

@@ -132,6 +132,12 @@ std::vector<CampaignPoint> expand(const CampaignSpec& spec) {
             cfg.workload.seed = derive_companion_seed(derived);
 
             // Row key from coordinate values (see CampaignPoint::key).
+            const std::string env_suffix =
+                "/rr" +
+                (spec.read_ratios.empty()
+                     ? std::string("-")
+                     : common::fmt_double(spec.read_ratios[r])) +
+                "/s" + std::to_string(spec.seeds[s]);
             std::string key = spec.workloads[w];
             key += '/';
             key += core::to_string(spec.policies[p]);
@@ -139,11 +145,11 @@ std::vector<CampaignPoint> expand(const CampaignSpec& spec) {
             key += "/sc" + (spec.scrub_everys.empty()
                                 ? std::string("-")
                                 : std::to_string(spec.scrub_everys[sc]));
-            key += "/rr" + (spec.read_ratios.empty()
-                                ? std::string("-")
-                                : common::fmt_double(spec.read_ratios[r]));
-            key += "/s" + std::to_string(spec.seeds[s]);
+            key += env_suffix;
             pt.key = std::move(key);
+            // Trace identity: the environment coordinates alone (the seed
+            // derivation's inputs), so equal trace_key <=> identical trace.
+            pt.trace_key = spec.workloads[w] + env_suffix;
 
             pt.config = std::move(cfg);
             points.push_back(std::move(pt));

@@ -77,11 +77,16 @@ struct ExperimentRig {
   PolicyContext ctx;
   sim::MemoryHierarchy hier;
   trace::DataValueModel values;
-  trace::WorkloadTraceSource source;
+  // The op stream: the config's own generator by default, or an external
+  // source (e.g. a trace::ReplayTraceSource over a materialized arena) —
+  // which must yield the byte-identical sequence the generator would.
+  std::unique_ptr<trace::WorkloadTraceSource> own_source;
+  trace::TraceSource& source;
   sim::TraceCpu cpu;
   std::uint32_t hit_cycles;
 
-  explicit ExperimentRig(const ExperimentConfig& cfg)
+  explicit ExperimentRig(const ExperimentConfig& cfg,
+                         trace::TraceSource* external = nullptr)
       : line_code(make_line_code(cfg.hierarchy.l2.block_bytes * 8, cfg.ecc_t)),
         p_rd(mtj::read_disturb_probability(cfg.mtj)),
         p_wf(mtj::write_failure_probability(cfg.mtj)),
@@ -90,7 +95,10 @@ struct ExperimentRig {
         hier(cfg.hierarchy, cfg.seed),
         values(cfg.workload.values, cfg.hierarchy.l2.block_bytes * 8,
                cfg.workload.seed ^ 0xABCD),
-        source(cfg.workload),
+        own_source(external ? nullptr
+                            : std::make_unique<trace::WorkloadTraceSource>(
+                                  cfg.workload)),
+        source(external ? *external : *own_source),
         cpu(source, hier, cfg.clock_ghz),
         hit_cycles(l2_hit_cycles_for(cfg.policy, circuit.timing(),
                                      cfg.clock_ghz)) {
@@ -143,9 +151,9 @@ void check_config(const ExperimentConfig& cfg) {
 
 }  // namespace
 
-ExperimentResult run_experiment(const ExperimentConfig& cfg) {
-  check_config(cfg);
-  ExperimentRig rig(cfg);
+namespace {
+
+ExperimentResult run_static(const ExperimentConfig& cfg, ExperimentRig& rig) {
   return with_policy_impl(cfg.policy, rig.ctx, [&](auto& policy) {
     // Warmup: populate caches, then reset all accounting.
     if (cfg.warmup_instructions > 0) {
@@ -156,6 +164,21 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     rig.cpu.run(cfg.instructions, policy);
     return collect(cfg, rig, policy);
   });
+}
+
+}  // namespace
+
+ExperimentResult run_experiment(const ExperimentConfig& cfg) {
+  check_config(cfg);
+  ExperimentRig rig(cfg);
+  return run_static(cfg, rig);
+}
+
+ExperimentResult run_experiment_replay(const ExperimentConfig& cfg,
+                                       trace::TraceSource& source) {
+  check_config(cfg);
+  ExperimentRig rig(cfg, &source);
+  return run_static(cfg, rig);
 }
 
 ExperimentResult run_experiment_virtual(const ExperimentConfig& cfg) {

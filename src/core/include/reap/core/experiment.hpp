@@ -71,6 +71,16 @@ struct ExperimentResult {
 // with no per-access virtual calls.
 ExperimentResult run_experiment(const ExperimentConfig& cfg);
 
+// Same static-dispatch drive loop, but ops are pulled from `source`
+// instead of a freshly constructed WorkloadTraceSource(cfg.workload).
+// `source` must yield the byte-identical op sequence that generator would
+// (e.g. a trace::ReplayTraceSource over an arena materialized from it);
+// results are then byte-identical to run_experiment (golden-pinned by
+// tests/core/test_static_dispatch.cpp). The campaign trace cache hangs off
+// this: one materialized trace serves every point of a paired comparison.
+ExperimentResult run_experiment_replay(const ExperimentConfig& cfg,
+                                       trace::TraceSource& source);
+
 // Reference implementation driving the same wiring through the runtime
 // interfaces (per-op virtual TraceSource::next, virtual L2PolicyHooks).
 // Kept as the equivalence baseline: for any config it must produce results

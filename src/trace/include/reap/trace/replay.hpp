@@ -1,0 +1,94 @@
+// Trace replay: materialize a generator's op stream once, replay it many
+// times.
+//
+// RNG-driven generation is the dominant residual cost of the simulator hot
+// path (see docs/performance.md): every instruction pays several
+// data-dependent uniform draws whose branches the host cannot predict. But
+// the points of one paired campaign comparison (policy / ecc / scrub axes)
+// replay the byte-identical trace by construction — the seed rule excludes
+// the design axes — so the stream can be generated once, stored compactly,
+// and replayed from flat memory for every other point of the group.
+//
+// MaterializedTrace packs each MemOp into 8 bytes ((addr << 2) | type, half
+// of sizeof(MemOp)); ReplayTraceSource is a TraceSource whose next_batch is
+// a bounds-checked unpack loop — no RNG, no branches on draw results. The
+// replayed stream is byte-identical to the producer's, op for op, so every
+// simulator observable is unchanged (pinned by tests/trace/test_replay.cpp
+// and the golden suite in tests/core/test_static_dispatch.cpp).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "reap/trace/record.hpp"
+#include "reap/trace/workload.hpp"
+
+namespace reap::trace {
+
+class MaterializedTrace {
+ public:
+  MaterializedTrace() = default;
+
+  // Drains `source` in TraceCpu-sized batches until the arena holds
+  // `instructions` + 1 whole instruction fetches (or the source ends).
+  // The +1 matters: a TraceCpu stops a budgeted run only after *reading*
+  // the fetch that begins the next instruction, so a replay that ended
+  // exactly at the budget would report a premature end of trace. Whole
+  // batches are kept, so the arena covers every op a TraceCpu driving the
+  // same budget would ever pull from the live generator.
+  static MaterializedTrace materialize(TraceSource& source,
+                                       std::uint64_t instructions);
+
+  std::size_t size() const { return packed_.size(); }  // ops stored
+  std::uint64_t instructions() const { return instructions_; }
+
+  // Arena footprint, the number a byte-capped cache accounts. Includes the
+  // vector's allocation only; the object header is noise.
+  std::size_t bytes() const { return packed_.capacity() * sizeof(std::uint64_t); }
+
+  // Decodes ops [begin, begin + out.size()) into `out`; returns the count
+  // written (clamped at the end of the arena, 0 when begin is past it).
+  std::size_t read(std::size_t begin, std::span<MemOp> out) const;
+
+  // Packs one op. Addresses are confined to the low 62 bits (the synthetic
+  // address spaces top out far below that; checked on materialization).
+  static std::uint64_t pack(MemOp op) {
+    return (op.addr << 2) | static_cast<std::uint64_t>(op.type);
+  }
+  static MemOp unpack(std::uint64_t p) {
+    return {static_cast<OpType>(p & 3u), p >> 2};
+  }
+
+ private:
+  std::vector<std::uint64_t> packed_;
+  std::uint64_t instructions_ = 0;
+};
+
+// Replays a MaterializedTrace. The trace is borrowed, not owned: one
+// materialized arena serves any number of concurrent ReplayTraceSources
+// (each holds only its own cursor), which is what lets a campaign share a
+// trace across the policy axis.
+class ReplayTraceSource final : public TraceSource {
+ public:
+  explicit ReplayTraceSource(const MaterializedTrace& trace)
+      : trace_(&trace) {}
+
+  bool next(MemOp& op) override;
+  std::size_t next_batch(std::span<MemOp> out) override;
+  void reset() override { pos_ = 0; }
+
+ private:
+  const MaterializedTrace* trace_;
+  std::size_t pos_ = 0;
+};
+
+// Expected arena bytes for materializing `instructions` of `profile`:
+// (instructions + 1) x (1 + loads/inst + stores/inst) ops x 8 bytes, plus
+// one TraceCpu batch of slack for the whole-batch tail. An estimate (the
+// op mix is stochastic), used for --dry-run reporting and cache-cap
+// planning, not accounting — the cache accounts real bytes().
+std::size_t estimate_trace_bytes(const WorkloadProfile& profile,
+                                 std::uint64_t instructions);
+
+}  // namespace reap::trace

@@ -1,0 +1,70 @@
+#include "reap/trace/replay.hpp"
+
+#include <algorithm>
+
+#include "reap/common/assert.hpp"
+
+namespace reap::trace {
+
+namespace {
+// Matches sim::TraceCpu::kBatchOps (not included here: trace must stay
+// below sim in the layer stack). The value only affects materialization
+// chunking, never the stream: the producer emits the same op sequence for
+// any span size. Pinned by test_replay's chunk-size-invariance test.
+constexpr std::size_t kChunkOps = 4096;
+}  // namespace
+
+MaterializedTrace MaterializedTrace::materialize(TraceSource& source,
+                                                 std::uint64_t instructions) {
+  MaterializedTrace t;
+  t.instructions_ = instructions;
+  // +1: see the header comment — the consuming TraceCpu reads one fetch
+  // past its budget.
+  const std::uint64_t want_fetches = instructions + 1;
+  t.packed_.reserve(static_cast<std::size_t>(
+      want_fetches + (want_fetches / 2) + kChunkOps));
+
+  MemOp buf[kChunkOps];
+  std::uint64_t fetches = 0;
+  while (fetches < want_fetches) {
+    const std::size_t n = source.next_batch({buf, kChunkOps});
+    if (n == 0) break;  // finite source ended early; replay ends there too
+    for (std::size_t i = 0; i < n; ++i) {
+      REAP_EXPECTS(buf[i].addr < (std::uint64_t{1} << 62));
+      fetches += buf[i].type == OpType::inst_fetch;
+      t.packed_.push_back(pack(buf[i]));
+    }
+  }
+  t.packed_.shrink_to_fit();
+  return t;
+}
+
+std::size_t MaterializedTrace::read(std::size_t begin,
+                                    std::span<MemOp> out) const {
+  if (begin >= packed_.size()) return 0;
+  const std::size_t n = std::min(out.size(), packed_.size() - begin);
+  const std::uint64_t* src = packed_.data() + begin;
+  for (std::size_t i = 0; i < n; ++i) out[i] = unpack(src[i]);
+  return n;
+}
+
+bool ReplayTraceSource::next(MemOp& op) {
+  return next_batch({&op, 1}) == 1;
+}
+
+std::size_t ReplayTraceSource::next_batch(std::span<MemOp> out) {
+  const std::size_t n = trace_->read(pos_, out);
+  pos_ += n;
+  return n;
+}
+
+std::size_t estimate_trace_bytes(const WorkloadProfile& profile,
+                                 std::uint64_t instructions) {
+  const double ops_per_inst =
+      1.0 + profile.loads_per_inst + profile.stores_per_inst;
+  const double ops = static_cast<double>(instructions + 1) * ops_per_inst;
+  return static_cast<std::size_t>(ops) * sizeof(std::uint64_t) +
+         kChunkOps * sizeof(std::uint64_t);
+}
+
+}  // namespace reap::trace

@@ -6,6 +6,7 @@
 
 #include "reap/campaign/seed.hpp"
 #include "reap/campaign/spec.hpp"
+#include "reap/common/strings.hpp"
 
 namespace reap::campaign {
 namespace {
@@ -76,6 +77,30 @@ TEST(CampaignGrid, PairedPointsShareSeedsAcrossDesignAxes) {
         EXPECT_EQ(a.config.seed, b.config.seed);
         EXPECT_EQ(a.config.workload.seed, b.config.workload.seed);
       }
+}
+
+TEST(CampaignGrid, TraceKeyIsTheEnvironmentCoordinateSubset) {
+  CampaignSpec spec = small_spec();
+  spec.read_ratios = {0.55, 0.8};
+  spec.scrub_everys = {16, 64};
+  const auto points = expand(spec);
+  for (const auto& pt : points) {
+    // trace_key = row key minus the design axes: workload + rr + s fields.
+    const auto expected = spec.workloads[pt.workload_i] + "/rr" +
+                          common::fmt_double(spec.read_ratios[pt.ratio_i]) +
+                          "/s" + std::to_string(spec.seeds[pt.seed_i]);
+    EXPECT_EQ(pt.trace_key, expected);
+    // And the invariant it names: equal trace_key <=> identical trace
+    // seeds (same generator, same stream).
+    for (const auto& other : points) {
+      if (other.trace_key == pt.trace_key) {
+        EXPECT_EQ(other.config.workload.seed, pt.config.workload.seed);
+        EXPECT_EQ(other.config.seed, pt.config.seed);
+      } else {
+        EXPECT_NE(other.config.workload.seed, pt.config.workload.seed);
+      }
+    }
+  }
 }
 
 TEST(CampaignGrid, DistinctEnvironmentsGetDistinctSeeds) {

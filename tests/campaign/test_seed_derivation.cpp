@@ -3,9 +3,12 @@
 // The golden values below pin the exact splitmix64 construction.
 #include <gtest/gtest.h>
 
+#include <map>
 #include <set>
+#include <string>
 
 #include "reap/campaign/seed.hpp"
+#include "reap/campaign/spec.hpp"
 
 namespace reap::campaign {
 namespace {
@@ -44,6 +47,50 @@ TEST(SeedDerivation, CompanionSeedDecorrelates) {
   for (std::uint64_t index = 0; index < 64; ++index) {
     const auto s = derive_seed(7, index, 0);
     EXPECT_NE(derive_companion_seed(s), s);
+  }
+}
+
+// The trace cache keys sharing on CampaignPoint::trace_key, trusting that
+// distinct trace keys imply distinct trace *seeds* — a companion-seed
+// collision across workloads would make two different workloads replay
+// correlated streams and would be invisible in any per-point check. That
+// was only implicitly impossible; pin it against the real figure specs so
+// a seed-rule change that introduces a collision fails loudly here.
+TEST(SeedDerivation, FigureSpecTraceKeysMapToDistinctTraceSeeds) {
+  const std::string source_dir = REAP_SOURCE_DIR;
+  for (const char* rel : {"/specs/fig5.spec", "/specs/fig6.spec"}) {
+    SCOPED_TRACE(rel);
+    std::string error;
+    const auto kv = parse_spec_file(source_dir + rel, &error);
+    ASSERT_TRUE(kv.has_value()) << error;
+    const auto spec = CampaignSpec::from_kv(*kv, &error);
+    ASSERT_TRUE(spec.has_value()) << error;
+    const auto points = expand(*spec);
+    ASSERT_FALSE(points.empty());
+
+    // trace_key -> (workload seed, hierarchy seed) must be injective both
+    // ways: equal keys share seeds (the paired-comparison contract),
+    // distinct keys never collide on either seed.
+    std::map<std::string, std::pair<std::uint64_t, std::uint64_t>> by_key;
+    std::map<std::uint64_t, std::string> by_trace_seed;
+    for (const auto& pt : points) {
+      const auto seeds =
+          std::make_pair(pt.config.workload.seed, pt.config.seed);
+      const auto [it, fresh] = by_key.emplace(pt.trace_key, seeds);
+      if (!fresh) {
+        EXPECT_EQ(it->second, seeds) << pt.key;
+      }
+      const auto [ts, ts_fresh] =
+          by_trace_seed.emplace(pt.config.workload.seed, pt.trace_key);
+      if (!ts_fresh) {
+        EXPECT_EQ(ts->second, pt.trace_key)
+            << "companion-seed collision: " << pt.key << " vs "
+            << ts->second;
+      }
+    }
+    // The full workload set produces one group per workload here (single
+    // seed replica, no ratio axis).
+    EXPECT_EQ(by_key.size(), spec->workloads.size());
   }
 }
 

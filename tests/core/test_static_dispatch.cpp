@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "reap/core/experiment.hpp"
+#include "reap/trace/replay.hpp"
 #include "reap/trace/spec2006.hpp"
 
 namespace reap::core {
@@ -115,6 +116,47 @@ TEST(StaticDispatch, IdenticalWithoutWarmup) {
   auto cfg = small_cfg("mcf", PolicyKind::reap);
   cfg.warmup_instructions = 0;
   expect_identical(run_experiment(cfg), run_experiment_virtual(cfg));
+}
+
+// Replay equivalence: feeding the engine from a materialized arena
+// (run_experiment_replay) must be byte-identical to generating the trace
+// inline — for every policy, since the campaign trace cache replays one
+// arena across the whole policy axis.
+TEST(StaticDispatch, ReplayIdenticalToGenerationForEveryPolicy) {
+  for (const PolicyKind kind : all_policies()) {
+    SCOPED_TRACE(to_string(kind));
+    const auto cfg = small_cfg("perlbench", kind);
+    trace::WorkloadTraceSource gen(cfg.workload);
+    const auto trace = trace::MaterializedTrace::materialize(
+        gen, cfg.warmup_instructions + cfg.instructions);
+    trace::ReplayTraceSource source(trace);
+    expect_identical(run_experiment_replay(cfg, source),
+                     run_experiment(cfg));
+  }
+}
+
+TEST(StaticDispatch, ReplayIdenticalWithoutWarmup) {
+  auto cfg = small_cfg("h264ref", PolicyKind::reap);
+  cfg.warmup_instructions = 0;
+  trace::WorkloadTraceSource gen(cfg.workload);
+  const auto trace =
+      trace::MaterializedTrace::materialize(gen, cfg.instructions);
+  trace::ReplayTraceSource source(trace);
+  expect_identical(run_experiment_replay(cfg, source), run_experiment(cfg));
+}
+
+TEST(StaticDispatch, OneArenaServesManySequentialReplays) {
+  // The sharing pattern the campaign cache relies on: one arena, several
+  // consumers, each with its own cursor, every run byte-identical.
+  const auto cfg = small_cfg("gcc", PolicyKind::conventional_parallel);
+  trace::WorkloadTraceSource gen(cfg.workload);
+  const auto trace = trace::MaterializedTrace::materialize(
+      gen, cfg.warmup_instructions + cfg.instructions);
+  const auto reference = run_experiment(cfg);
+  for (int i = 0; i < 3; ++i) {
+    trace::ReplayTraceSource source(trace);
+    expect_identical(run_experiment_replay(cfg, source), reference);
+  }
 }
 
 }  // namespace

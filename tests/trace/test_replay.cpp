@@ -1,0 +1,155 @@
+// MaterializedTrace / ReplayTraceSource: the packed arena must replay the
+// producer's op stream byte-identically, the pack encoding must round-trip
+// every op, and the replay reader must be bounds-checked at every edge.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "reap/trace/replay.hpp"
+#include "reap/trace/spec2006.hpp"
+#include "reap/trace/trace_io.hpp"
+#include "reap/trace/workload.hpp"
+
+namespace reap::trace {
+namespace {
+
+WorkloadProfile profile(const char* name = "perlbench",
+                        std::uint64_t seed = 0x5EED) {
+  auto p = *spec2006_profile(name);
+  p.seed = seed;
+  return p;
+}
+
+TEST(MaterializedTrace, PackUnpackRoundTrips) {
+  for (const OpType type : {OpType::inst_fetch, OpType::load, OpType::store}) {
+    for (const std::uint64_t addr :
+         {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{0x0040'0000},
+          std::uint64_t{0x1234'5678'9ABC}, (std::uint64_t{1} << 62) - 1}) {
+      const MemOp op{type, addr};
+      const MemOp back = MaterializedTrace::unpack(MaterializedTrace::pack(op));
+      EXPECT_EQ(back.type, op.type);
+      EXPECT_EQ(back.addr, op.addr);
+    }
+  }
+}
+
+TEST(MaterializedTrace, ReplayStreamIdenticalToGenerator) {
+  WorkloadTraceSource gen(profile());
+  const auto trace = MaterializedTrace::materialize(gen, 10'000);
+
+  // A fresh generator over the same profile produces the reference stream.
+  WorkloadTraceSource ref(profile());
+  ReplayTraceSource replay(trace);
+  MemOp a, b;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    ASSERT_TRUE(replay.next(a));
+    ASSERT_TRUE(ref.next(b));
+    ASSERT_EQ(a.addr, b.addr) << "op " << i;
+    ASSERT_EQ(a.type, b.type) << "op " << i;
+  }
+  EXPECT_FALSE(replay.next(a));  // arena exhausted
+}
+
+TEST(MaterializedTrace, HoldsBudgetPlusOneFetches) {
+  // The consuming TraceCpu reads one instruction fetch past its budget;
+  // the arena must contain it so replay never ends a run early.
+  const std::uint64_t budget = 5'000;
+  WorkloadTraceSource gen(profile());
+  const auto trace = MaterializedTrace::materialize(gen, budget);
+  std::uint64_t fetches = 0;
+  ReplayTraceSource replay(trace);
+  MemOp op;
+  while (replay.next(op)) fetches += op.type == OpType::inst_fetch;
+  EXPECT_GE(fetches, budget + 1);
+}
+
+TEST(MaterializedTrace, FiniteSourceEndsReplayAtSameOp) {
+  std::vector<MemOp> ops;
+  for (std::uint64_t i = 0; i < 100; ++i)
+    ops.push_back({i % 3 == 0 ? OpType::inst_fetch : OpType::load, i * 64});
+  VectorTraceSource finite(ops);
+  const auto trace = MaterializedTrace::materialize(finite, 1'000'000);
+  EXPECT_EQ(trace.size(), ops.size());
+  ReplayTraceSource replay(trace);
+  MemOp op;
+  std::size_t n = 0;
+  while (replay.next(op)) {
+    EXPECT_EQ(op.addr, ops[n].addr);
+    EXPECT_EQ(op.type, ops[n].type);
+    ++n;
+  }
+  EXPECT_EQ(n, ops.size());
+}
+
+TEST(ReplayTraceSource, BatchPullsMatchPerOpPulls) {
+  WorkloadTraceSource gen(profile("mcf"));
+  const auto trace = MaterializedTrace::materialize(gen, 3'000);
+
+  ReplayTraceSource per_op(trace);
+  ReplayTraceSource batched(trace);
+  std::vector<MemOp> a, b;
+  MemOp op;
+  while (per_op.next(op)) a.push_back(op);
+  MemOp buf[777];  // deliberately unaligned with the arena size
+  for (;;) {
+    const std::size_t n = batched.next_batch({buf, 777});
+    if (n == 0) break;
+    b.insert(b.end(), buf, buf + n);
+  }
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].addr, b[i].addr);
+    EXPECT_EQ(a[i].type, b[i].type);
+  }
+}
+
+TEST(ReplayTraceSource, BoundsCheckedAtTheTail) {
+  std::vector<MemOp> ops(10, MemOp{OpType::load, 0x1000});
+  ops.insert(ops.begin(), {OpType::inst_fetch, 0x40});
+  VectorTraceSource finite(ops);
+  const auto trace = MaterializedTrace::materialize(finite, 1'000);
+
+  ReplayTraceSource replay(trace);
+  MemOp buf[64];
+  // First pull: span larger than the whole arena — clamped, not overrun.
+  EXPECT_EQ(replay.next_batch({buf, 64}), trace.size());
+  // Past the end: 0 (end of trace), repeatedly.
+  EXPECT_EQ(replay.next_batch({buf, 64}), 0u);
+  EXPECT_EQ(replay.next_batch({buf, 64}), 0u);
+  // reset() rewinds to the start.
+  replay.reset();
+  EXPECT_EQ(replay.next_batch({buf, 3}), 3u);
+}
+
+TEST(ReplayTraceSource, ReadClampsArbitraryOffsets) {
+  WorkloadTraceSource gen(profile());
+  const auto trace = MaterializedTrace::materialize(gen, 100);
+  MemOp buf[8];
+  EXPECT_EQ(trace.read(trace.size(), {buf, 8}), 0u);
+  EXPECT_EQ(trace.read(trace.size() + 1000, {buf, 8}), 0u);
+  EXPECT_EQ(trace.read(trace.size() - 2, {buf, 8}), 2u);
+  EXPECT_EQ(trace.read(0, {buf, 0}), 0u);
+}
+
+TEST(MaterializedTrace, EstimateTracksActualBytes) {
+  for (const char* name : {"perlbench", "mcf", "h264ref"}) {
+    WorkloadTraceSource gen(profile(name));
+    const auto trace = MaterializedTrace::materialize(gen, 50'000);
+    const auto est = estimate_trace_bytes(profile(name), 50'000);
+    // The op mix is stochastic; the estimate only needs to be the right
+    // size class (dry-run reporting, cache-cap planning).
+    EXPECT_GT(est, trace.bytes() / 2) << name;
+    EXPECT_LT(est, trace.bytes() * 2) << name;
+  }
+}
+
+TEST(MaterializedTrace, BytesReflectArenaFootprint) {
+  WorkloadTraceSource gen(profile());
+  const auto trace = MaterializedTrace::materialize(gen, 10'000);
+  EXPECT_GE(trace.bytes(), trace.size() * sizeof(std::uint64_t));
+  // Packed at 8 bytes per op — half of sizeof(MemOp) (16 with padding).
+  EXPECT_LT(trace.bytes(), trace.size() * sizeof(MemOp));
+}
+
+}  // namespace
+}  // namespace reap::trace
