@@ -1,27 +1,61 @@
 #include "reap/campaign/dispatch.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <csignal>
 #include <deque>
 #include <filesystem>
+#include <fstream>
 #include <thread>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "reap/campaign/journal.hpp"
+#include "reap/campaign/seed.hpp"
+#include "reap/common/jsonl.hpp"
+#include "reap/common/strings.hpp"
 #include "reap/common/subprocess.hpp"
 
 namespace reap::campaign {
 namespace {
 
+using Clock = std::chrono::steady_clock;
+
 constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+
+std::string join(const std::vector<std::string>& items, char sep) {
+  std::string out;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i) out += sep;
+    out += items[i];
+  }
+  return out;
+}
 
 // Supervisor-side view of one shard.
 struct ShardState {
   std::size_t expected = 0;  // points in this shard
   std::size_t attempts = 0;
+  // Consecutive failed attempts that journaled no new row. Progress
+  // resets it: a worker that crashes midway but lands rows is
+  // converging, not failing. This -- not `attempts` -- is what exhausts
+  // the max_attempts budget and what drives the backoff exponent.
+  std::size_t no_progress = 0;
   std::size_t last_slot = kNoSlot;  // slot of the most recent attempt
   bool completed = false;
+  bool abandoned = false;
   std::string journal_path;
   std::string log_path;
   std::optional<JournalTailer> tailer;
+  std::unordered_set<std::string> done_keys;     // journaled row keys
+  std::unordered_set<std::string> quarantined;   // poisoned keys (this shard)
+  // Quarantine bisect state. `suspects` is the candidate set the poison
+  // is known to live in (index order); each probe runs the first half
+  // (`probe_target`) and skips the rest, narrowing by outcome.
+  bool probing = false;
+  std::vector<std::string> suspects;
+  std::vector<std::string> probe_target;
+  Clock::time_point eligible_at{};  // backoff gate for the next launch
 };
 
 // One busy worker slot.
@@ -29,6 +63,12 @@ struct Slot {
   common::Child child;
   std::size_t shard = 0;
   std::size_t attempt = 0;
+  std::size_t rows_at_spawn = 0;
+  // Watchdog heartbeat: the shard journal's tailer offset. A worker
+  // whose offset stops moving has stopped completing rows.
+  std::uint64_t last_offset = 0;
+  Clock::time_point last_change{};
+  std::optional<Clock::time_point> term_at;  // SIGTERM sent, grace running
 };
 
 }  // namespace
@@ -100,8 +140,10 @@ std::optional<DispatchPlan> plan_dispatch(const CampaignSpec& spec,
 
 DispatchResult Dispatcher::run() {
   DispatchResult result;
-  const auto fail = [&result](std::string msg) {
+  const auto fail = [&result](std::string msg,
+                              DispatchStatus st = DispatchStatus::error) {
     result.ok = false;
+    result.status = st;
     result.error = std::move(msg);
     return result;
   };
@@ -123,8 +165,10 @@ DispatchResult Dispatcher::run() {
   }
   result.points = points.size();
 
+  // plan_dispatch only fails when the work dir belongs to a different
+  // spec or shard split -- the spec_mismatch exit condition.
   const auto plan = plan_dispatch(*spec, points.size(), opts_, &error);
-  if (!plan) return fail(error);
+  if (!plan) return fail(error, DispatchStatus::spec_mismatch);
   const std::size_t workers = plan->workers;
   const std::size_t n_shards = plan->n_shards;
 
@@ -144,31 +188,138 @@ DispatchResult Dispatcher::run() {
     s.tailer.emplace(s.journal_path);
   }
 
+  // Shard membership (index striping, matching campaign::shard) and the
+  // key->point map the quarantine machinery navigates by.
+  std::vector<std::vector<const CampaignPoint*>> members(n_shards);
+  std::unordered_map<std::string, const CampaignPoint*> by_key;
+  by_key.reserve(points.size());
+  for (const auto& p : points) {
+    members[p.index % n_shards].push_back(&p);
+    by_key.emplace(p.key, &p);
+  }
+
+  // Quarantine sidecar: already-quarantined points of a previous run
+  // stay quarantined -- a re-dispatch must not re-poison itself on them.
+  const std::string sidecar = opts_.work_dir + "/quarantine.jsonl";
+  {
+    std::ifstream in(sidecar);
+    std::string line;
+    while (in && std::getline(in, line)) {
+      if (line.empty()) continue;
+      const auto fields = common::parse_jsonl_line(line);
+      if (!fields) continue;
+      std::string key, reason;
+      for (const auto& [k, v] : *fields) {
+        if (k == "key") key = v;
+        else if (k == "reason") reason = v;
+      }
+      const auto it = by_key.find(key);
+      if (it == by_key.end()) continue;  // stale entry; spec check caught worse
+      const std::size_t shard_i = it->second->index % n_shards;
+      if (!shards[shard_i].quarantined.insert(key).second) continue;
+      result.quarantined.push_back(
+          {key, it->second->index, shard_i, reason});
+    }
+  }
+
+  const auto quarantine_point = [&](std::size_t shard_i,
+                                    const std::string& key,
+                                    const std::string& reason) {
+    auto& s = shards[shard_i];
+    if (!s.quarantined.insert(key).second) return;
+    const std::uint64_t index = by_key.at(key)->index;
+    result.quarantined.push_back({key, index, shard_i, reason});
+    std::ofstream out(sidecar, std::ios::app);
+    out << "{\"key\":\"" << common::json_escape(key)
+        << "\",\"index\":" << index << ",\"shard\":" << shard_i
+        << ",\"reason\":\"" << common::json_escape(reason) << "\"}\n";
+    out.flush();
+    if (opts_.on_quarantine) opts_.on_quarantine(key, index, shard_i);
+  };
+
   // Worker command line: the resolved spec as flags (workers parse the
   // identical spec; their journal spec-hash check enforces it), plus the
   // shard assignment and durability flags. --resume makes first runs,
   // crash restarts, and dispatcher re-runs the same code path.
+  // Quarantined keys -- and, while probing, the suspects outside the
+  // probe target -- are excluded via --skip-rows.
   const auto worker_argv = [&](std::size_t shard_i) {
+    const auto& s = shards[shard_i];
     std::vector<std::string> argv = {opts_.campaign_binary};
     for (const auto& [k, v] : spec_kv_) argv.push_back("--" + k + "=" + v);
     argv.push_back("--shard=" + std::to_string(shard_i) + "/" +
                    std::to_string(n_shards));
-    argv.push_back("--journal=" + shards[shard_i].journal_path);
+    argv.push_back("--journal=" + s.journal_path);
     argv.push_back("--resume");
     argv.push_back("--threads=" + std::to_string(opts_.worker_threads));
     if (opts_.trace_cache_mb > 0)
       argv.push_back("--trace-cache-mb=" +
                      std::to_string(opts_.trace_cache_mb));
+    std::vector<std::string> skip(s.quarantined.begin(), s.quarantined.end());
+    std::sort(skip.begin(), skip.end());
+    if (s.probing)
+      skip.insert(skip.end(), s.suspects.begin() + s.probe_target.size(),
+                  s.suspects.end());
+    if (!skip.empty()) argv.push_back("--skip-rows=" + join(skip, ','));
     argv.push_back("--baseline=none");
     argv.push_back("--quiet");
     return argv;
+  };
+
+  // Probe-round bookkeeping, run just before a probing shard launches:
+  // suspects that journaled in the meantime (or were quarantined) are
+  // settled; the first half of what remains is this round's target.
+  const auto prepare_probe = [&](std::size_t shard_i) {
+    auto& s = shards[shard_i];
+    if (!s.probing) return;
+    std::vector<std::string> live;
+    for (const auto& k : s.suspects)
+      if (!s.done_keys.count(k) && !s.quarantined.count(k))
+        live.push_back(k);
+    s.suspects = std::move(live);
+    if (s.suspects.empty()) {  // every suspect settled: back to normal
+      s.probing = false;
+      s.probe_target.clear();
+      return;
+    }
+    const std::size_t take = (s.suspects.size() + 1) / 2;
+    s.probe_target.assign(s.suspects.begin(),
+                          s.suspects.begin() + static_cast<long>(take));
+  };
+
+  std::size_t remaining = n_shards;
+
+  const auto abandon = [&](std::size_t shard_i, std::string msg) {
+    auto& s = shards[shard_i];
+    s.abandoned = true;
+    --remaining;
+    if (result.error.empty()) result.error = std::move(msg);
+  };
+
+  const auto backoff_delay = [&](std::size_t shard_i) {
+    const auto& s = shards[shard_i];
+    if (s.no_progress == 0) return std::chrono::milliseconds{0};
+    const std::size_t exp = std::min<std::size_t>(s.no_progress - 1, 16);
+    auto delay = opts_.backoff_base * (1LL << exp);
+    if (delay > opts_.backoff_max) delay = opts_.backoff_max;
+    if (delay.count() > 0) {
+      // Deterministic jitter: same seed/shard/attempt -> same delay, so
+      // chaos tests replay exactly while real fleets de-synchronize.
+      const std::uint64_t j =
+          splitmix64(opts_.backoff_seed ^
+                     (static_cast<std::uint64_t>(shard_i) << 32) ^
+                     static_cast<std::uint64_t>(s.attempts));
+      delay += std::chrono::milliseconds(
+          j % static_cast<std::uint64_t>(delay.count() / 2 + 1));
+    }
+    return std::chrono::duration_cast<std::chrono::milliseconds>(delay);
   };
 
   std::deque<std::size_t> queue;
   for (std::size_t i = 0; i < n_shards; ++i) queue.push_back(i);
   std::vector<std::optional<Slot>> slots(workers);
 
-  const auto finish = [&](bool ok, std::string msg) {
+  const auto finish = [&](bool ok, std::string msg, DispatchStatus st) {
     slots.clear();  // ~Child kills and reaps anything still running
     result.shards.clear();
     for (std::size_t i = 0; i < n_shards; ++i) {
@@ -177,8 +328,9 @@ DispatchResult Dispatcher::run() {
                                s.tailer->rows_seen(), s.journal_path,
                                s.log_path});
     }
-    if (!ok) return fail(std::move(msg));
+    if (!ok) return fail(std::move(msg), st);
     result.ok = true;
+    result.status = st;
     return result;
   };
 
@@ -192,14 +344,20 @@ DispatchResult Dispatcher::run() {
     }
   };
 
-  std::size_t remaining = n_shards;
   while (remaining > 0) {
-    // Fill idle slots. A requeued shard is *reassigned*: it takes a free
-    // slot other than the one it just died on when one exists, and only
-    // reuses its old slot rather than leave it idle.
-    while (!queue.empty()) {
-      const std::size_t shard_i = queue.front();
+    const auto now = Clock::now();
+
+    // Fill idle slots with backoff-eligible queued shards. A requeued
+    // shard is *reassigned*: it takes a free slot other than the one it
+    // just died on when one exists, and only reuses its old slot rather
+    // than leave it idle.
+    for (std::size_t qi = 0; qi < queue.size();) {
+      const std::size_t shard_i = queue[qi];
       auto& s = shards[shard_i];
+      if (now < s.eligible_at) {  // still backing off
+        ++qi;
+        continue;
+      }
       std::size_t slot_i = kNoSlot;
       for (std::size_t c = 0; c < slots.size(); ++c) {
         if (slots[c]) continue;
@@ -207,25 +365,73 @@ DispatchResult Dispatcher::run() {
         if (c != s.last_slot) break;  // keep looking past the death slot
       }
       if (slot_i == kNoSlot) break;  // every slot busy
-      queue.pop_front();
-      auto child =
-          common::Child::spawn(worker_argv(shard_i), s.log_path, &error);
-      if (!child)
-        return finish(false, error);  // environmental: binary/log unusable
+      queue.erase(queue.begin() + static_cast<long>(qi));
+      prepare_probe(shard_i);
+      bool transient = false;
+      auto child = common::Child::spawn(worker_argv(shard_i), s.log_path,
+                                        &error, &transient);
+      if (!child) {
+        // A permanent spawn failure (missing binary, unwritable log)
+        // would fail every shard identically: stop the dispatch with
+        // the real reason. A transient one (fork/fd pressure, injected
+        // worker.spawn fault) is just a failed attempt.
+        if (!transient) return finish(false, error, DispatchStatus::error);
+        s.attempts++;
+        s.no_progress++;
+        if (s.no_progress >= opts_.max_attempts) {
+          abandon(shard_i,
+                  "shard " + std::to_string(shard_i) + " failed " +
+                      std::to_string(s.no_progress) + "/" +
+                      std::to_string(opts_.max_attempts) + " attempts (" +
+                      error + "); see " + s.log_path);
+        } else {
+          result.restarts++;
+          s.eligible_at = now + backoff_delay(shard_i);
+          queue.push_back(shard_i);
+        }
+        continue;
+      }
       if (opts_.on_spawn)
         opts_.on_spawn(shard_i, s.attempts, slot_i, child->pid());
       s.last_slot = slot_i;
-      slots[slot_i].emplace(Slot{std::move(*child), shard_i, s.attempts});
+      slots[slot_i].emplace(Slot{std::move(*child), shard_i, s.attempts,
+                                 s.tailer->rows_seen(), s.tailer->offset(),
+                                 now, std::nullopt});
     }
 
-    // Tail journals for live progress.
+    // Tail journals for live progress (and the done_keys bookkeeping the
+    // quarantine bisect navigates by).
     for (auto& s : shards) {
-      if (s.completed) continue;
-      if (!s.tailer->poll().empty() && opts_.on_shard_rows)
+      if (s.completed || s.abandoned) continue;
+      const auto fresh = s.tailer->poll();
+      for (const auto& k : fresh) s.done_keys.insert(k);
+      if (!fresh.empty() && opts_.on_shard_rows)
         opts_.on_shard_rows(std::size_t(&s - shards.data()),
                             s.tailer->rows_seen());
     }
     report_progress();
+
+    // Watchdog: a worker whose journal offset has not moved within
+    // stall_timeout gets SIGTERM (graceful row-boundary exit), then
+    // SIGKILL after kill_grace. The kill surfaces below as an ordinary
+    // failed attempt -- restart, backoff, quarantine all apply.
+    for (auto& slot : slots) {
+      if (!slot) continue;
+      const auto off = shards[slot->shard].tailer->offset();
+      if (off != slot->last_offset) {
+        slot->last_offset = off;
+        slot->last_change = now;
+      }
+      if (opts_.stall_timeout.count() > 0 && !slot->term_at &&
+          now - slot->last_change >= opts_.stall_timeout) {
+        result.stalls++;
+        if (opts_.on_stall) opts_.on_stall(slot->shard, slot->attempt);
+        slot->child.kill(SIGTERM);
+        slot->term_at = now;
+      }
+      if (slot->term_at && now - *slot->term_at >= opts_.kill_grace)
+        slot->child.kill(SIGKILL);
+    }
 
     // Reap finished workers.
     for (auto& slot : slots) {
@@ -234,26 +440,104 @@ DispatchResult Dispatcher::run() {
       if (!status) continue;
       auto& s = shards[slot->shard];
       s.attempts++;
-      s.tailer->poll();  // pick up rows that landed just before exit
-      // "Done" means exited 0 *and* the journal holds the whole shard: a
-      // worker that exits cleanly without journaling its rows (wrong
-      // binary, journal path lost) must not count as success.
-      const bool done =
-          status->success() && s.tailer->rows_seen() >= s.expected;
-      const bool will_retry = !done && s.attempts < opts_.max_attempts;
-      if (opts_.on_worker_exit)
-        opts_.on_worker_exit(slot->shard, slot->attempt, done, will_retry);
+      for (const auto& k : s.tailer->poll())  // rows landed just before exit
+        s.done_keys.insert(k);
+      const std::size_t rows = s.tailer->rows_seen();
+      const bool progressed = rows > slot->rows_at_spawn;
+
+      // "Done" means exited 0 *and* every non-quarantined point of the
+      // shard is journaled: a worker that exits cleanly without
+      // journaling its rows (wrong binary, journal path lost) must not
+      // count as success.
+      std::size_t covered = s.quarantined.size();
+      for (const auto& k : s.done_keys)
+        if (!s.quarantined.count(k)) ++covered;
+      const bool done = status->success() && covered >= s.expected;
+
       if (done) {
+        if (opts_.on_worker_exit)
+          opts_.on_worker_exit(slot->shard, slot->attempt, true, false);
         s.completed = true;
+        s.probing = false;
         --remaining;
-      } else if (!will_retry) {
-        return finish(
-            false, "shard " + std::to_string(slot->shard) + " failed " +
-                       std::to_string(s.attempts) + "/" +
-                       std::to_string(opts_.max_attempts) + " attempts (" +
-                       status->describe() + "); see " + s.log_path);
+        slot.reset();
+        continue;
+      }
+
+      if (progressed)
+        s.no_progress = 0;
+      else
+        s.no_progress++;
+
+      bool give_up = false;
+      std::string give_up_msg;
+
+      if (s.probing) {
+        // Narrow the bisect. Journaled targets are innocent; a failure
+        // pins the poison inside the un-journaled targets; a clean exit
+        // pins it in the excluded half (which prepare_probe recomputes).
+        std::vector<std::string> still;
+        for (const auto& k : s.probe_target)
+          if (!s.done_keys.count(k)) still.push_back(k);
+        if (!status->success()) {
+          if (s.probe_target.size() == 1 && still.size() == 1) {
+            // The probe ran exactly one un-journaled point and died on
+            // it: that point is the poison.
+            if (result.quarantined.size() >= opts_.max_quarantine) {
+              give_up = true;
+              give_up_msg =
+                  "shard " + std::to_string(slot->shard) +
+                  " would quarantine more than " +
+                  std::to_string(opts_.max_quarantine) +
+                  " points (--max-quarantine); see " + s.log_path;
+            } else {
+              quarantine_point(slot->shard, still[0],
+                               "worker " + status->describe() +
+                                   " isolating this point");
+              s.no_progress = 0;  // pinning the poison is progress
+            }
+          } else if (!still.empty()) {
+            s.suspects = still;
+          }
+          // still.empty(): every target journaled yet the worker died
+          // in teardown -- no information; prepare_probe widens again.
+        }
+      } else if (s.no_progress >= opts_.max_attempts) {
+        // The shard is failing without progress. Bisect for a poisoned
+        // point when allowed and possible; abandon otherwise. No
+        // journal at all means the worker never even started a run --
+        // skipping rows cannot fix that.
+        std::error_code jec;
+        const bool has_journal =
+            std::filesystem::exists(s.journal_path, jec) && !jec;
+        std::vector<std::string> fresh_suspects;
+        if (!opts_.fail_fast && has_journal)
+          for (const auto* p : members[slot->shard])
+            if (!s.done_keys.count(p->key) && !s.quarantined.count(p->key))
+              fresh_suspects.push_back(p->key);
+        if (!fresh_suspects.empty()) {
+          s.probing = true;
+          s.suspects = std::move(fresh_suspects);
+          s.no_progress = 0;  // the bisect gets its own budget
+        } else {
+          give_up = true;
+          give_up_msg = "shard " + std::to_string(slot->shard) + " failed " +
+                        std::to_string(std::max(s.no_progress,
+                                                opts_.max_attempts)) +
+                        "/" + std::to_string(opts_.max_attempts) +
+                        " attempts (" + status->describe() + "); see " +
+                        s.log_path;
+        }
+      }
+
+      const bool will_retry = !give_up;
+      if (opts_.on_worker_exit)
+        opts_.on_worker_exit(slot->shard, slot->attempt, false, will_retry);
+      if (give_up) {
+        abandon(slot->shard, std::move(give_up_msg));
       } else {
         result.restarts++;
+        s.eligible_at = now + backoff_delay(slot->shard);
         queue.push_back(slot->shard);  // restart via --resume, other slot
       }
       slot.reset();
@@ -263,7 +547,13 @@ DispatchResult Dispatcher::run() {
   }
 
   report_progress();
-  return finish(true, "");
+  bool any_abandoned = false;
+  for (const auto& s : shards) any_abandoned = any_abandoned || s.abandoned;
+  if (any_abandoned)
+    return finish(false, result.error, DispatchStatus::abandoned);
+  if (!result.quarantined.empty())
+    return finish(true, "", DispatchStatus::quarantined);
+  return finish(true, "", DispatchStatus::ok);
 }
 
 std::optional<RowTable> merge_dispatch_journals(

@@ -21,8 +21,29 @@
 //
 // Because every shard journals into work_dir, the dispatcher itself is
 // resumable: re-running it with the same spec and work_dir re-launches
-// the workers, which skip every journaled row. Supervision is
-// crash-fault only (a worker that *hangs* is outside its contract).
+// the workers, which skip every journaled row.
+//
+// PR 6 extends supervision beyond crash faults:
+//
+//   - a progress *watchdog* (stall_timeout): each worker's heartbeat is
+//     its journal tailer offset; a worker whose journal stops growing
+//     for too long is sent SIGTERM (graceful: it flushes and exits at a
+//     row boundary), then SIGKILL after kill_grace, and restarts as an
+//     ordinary failed attempt;
+//   - *exponential backoff* between restarts of a shard that is failing
+//     without progress, with deterministic seeded jitter so a fleet of
+//     crashing workers does not restart in lockstep (and test runs
+//     replay exactly);
+//   - *point quarantine*: a shard that keeps dying without journaling a
+//     new row has a poisoned point. Instead of abandoning the whole
+//     shard, the dispatcher bisects -- relaunching with --skip-rows over
+//     halves of the un-journaled keys -- until the poison is pinned to a
+//     single point, records it in work_dir/quarantine.jsonl, and lets
+//     the rest of the shard complete. --fail-fast restores the old
+//     abandon-at-max_attempts behavior;
+//   - *graceful degradation*: an abandoned shard no longer aborts the
+//     dispatch; the other shards finish and the result reports the
+//     worst condition seen (see DispatchStatus / exit_codes.hpp).
 #pragma once
 
 #include <chrono>
@@ -69,12 +90,43 @@ struct DispatchOptions {
   // docs/campaign.md on how trace grouping interacts with --shard).
   std::size_t trace_cache_mb = 0;
 
-  // A shard is abandoned (failing the dispatch) after this many failed
-  // worker attempts.
+  // A shard's failure budget: after this many *consecutive* failed
+  // attempts that journal no new row, the shard is given up on --
+  // quarantine-probed when possible (see fail_fast), abandoned
+  // otherwise. Attempts that make progress reset the count: a worker
+  // that crashes midway but lands rows is converging, not failing.
   std::size_t max_attempts = 3;
 
   // Supervisor poll cadence: child liveness + journal tailing.
   std::chrono::milliseconds poll_interval{50};
+
+  // Progress watchdog. 0 = disabled. A worker whose journal offset is
+  // unchanged for this long is presumed wedged: it gets SIGTERM (the
+  // worker's graceful path flushes and exits at a row boundary), then
+  // SIGKILL once kill_grace expires, and is retried like any crash.
+  // Must comfortably exceed the slowest single experiment -- the journal
+  // only grows at row boundaries, so a long compute looks idle.
+  std::chrono::milliseconds stall_timeout{0};
+  std::chrono::milliseconds kill_grace{2000};
+
+  // Restart backoff for shards failing without progress: delay
+  // min(backoff_base * 2^(n-1), backoff_max) after the n-th consecutive
+  // no-progress failure, plus deterministic jitter (up to half the
+  // delay, derived from backoff_seed, the shard, and the attempt) so
+  // restarts de-synchronize reproducibly.
+  std::chrono::milliseconds backoff_base{100};
+  std::chrono::milliseconds backoff_max{10000};
+  std::uint64_t backoff_seed = 0;
+
+  // When true, a shard that exhausts max_attempts is abandoned
+  // immediately (pre-PR6 behavior). When false, the dispatcher first
+  // bisects for a poisoned point and quarantines it, abandoning only
+  // when no single point is to blame.
+  bool fail_fast = false;
+
+  // Abandon a shard rather than quarantine more than this many points:
+  // a campaign shedding rows wholesale is broken, not poisoned.
+  std::size_t max_quarantine = 4;
 
   // Aggregated progress: (rows done across all shards, full grid size).
   // Called from the supervisor loop, monotone in `done`.
@@ -92,6 +144,33 @@ struct DispatchOptions {
                      bool will_retry)>
       on_worker_exit;
   std::function<void(std::size_t shard, std::size_t rows)> on_shard_rows;
+
+  // Watchdog and quarantine observability. on_stall fires when a worker
+  // is declared stalled (before the SIGTERM); on_quarantine fires when a
+  // point is pinned as poisoned and recorded in the sidecar.
+  std::function<void(std::size_t shard, std::size_t attempt)> on_stall;
+  std::function<void(const std::string& key, std::uint64_t index,
+                     std::size_t shard)>
+      on_quarantine;
+};
+
+// How a dispatch ended, worst condition wins; exit_codes.hpp maps these
+// onto the reap_dispatch exit-code contract.
+enum class DispatchStatus {
+  ok,             // every row ran
+  error,          // configuration/environment failure (nothing useful ran)
+  spec_mismatch,  // work dir belongs to a different spec or shard split
+  quarantined,    // complete except for explicitly quarantined points
+  abandoned,      // at least one shard was given up on
+};
+
+// One poisoned point: pinned by the quarantine bisect and recorded in
+// work_dir/quarantine.jsonl (one JSON object per line, these fields).
+struct QuarantinedPoint {
+  std::string key;
+  std::uint64_t index = 0;
+  std::size_t shard = 0;
+  std::string reason;
 };
 
 // Where one shard ended up.
@@ -105,11 +184,16 @@ struct ShardOutcome {
 };
 
 struct DispatchResult {
+  // True when every non-quarantined row ran (status ok or quarantined):
+  // "the merged outputs are worth writing".
   bool ok = false;
+  DispatchStatus status = DispatchStatus::error;
   std::string error;  // set when !ok
   std::size_t points = 0;          // full grid size
   std::size_t restarts = 0;        // failed attempts that were retried
+  std::size_t stalls = 0;          // watchdog interventions
   std::vector<ShardOutcome> shards;
+  std::vector<QuarantinedPoint> quarantined;  // sidecar contents
 
   // The shard journal paths, for the merge step.
   std::vector<std::string> journal_paths() const;

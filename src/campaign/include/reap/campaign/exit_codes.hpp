@@ -1,0 +1,34 @@
+// The exit-code contract of the campaign CLIs, in one header so the
+// binaries, the dispatcher's worker-exit classification, the tests, and
+// docs/robustness.md all agree on the same numbers. Callers script
+// against these; treat them as a stable interface.
+#pragma once
+
+namespace reap::campaign {
+
+// reap_campaign --------------------------------------------------------
+// 0   every requested row ran and was emitted/journaled
+// 1   usage, spec, or configuration error (nothing ran, or setup failed)
+// 3   journal append hit EIO/ENOSPC: the run stopped cleanly at a row
+//     boundary; every journaled row is intact and --resume continues it
+// 4   SIGTERM/SIGINT: the journal was flushed and closed at a row
+//     boundary (no torn tail by construction); --resume continues it
+inline constexpr int kExitOk = 0;
+inline constexpr int kExitError = 1;
+inline constexpr int kExitJournalIo = 3;
+inline constexpr int kExitInterrupted = 4;
+
+// reap_dispatch --------------------------------------------------------
+// Severity-ordered: a run reports the *worst* condition it saw, and
+// larger code = worse. 0 clean; 2 the work dir belongs to a different
+// spec or shard split (nothing launched); 3 complete except for
+// explicitly quarantined points (merged outputs written, quarantine
+// sidecar names every skipped row); 4 at least one shard was abandoned
+// (no merged outputs).
+inline constexpr int kDispatchOk = 0;
+inline constexpr int kDispatchError = 1;
+inline constexpr int kDispatchSpecMismatch = 2;
+inline constexpr int kDispatchQuarantined = 3;
+inline constexpr int kDispatchAbandoned = 4;
+
+}  // namespace reap::campaign

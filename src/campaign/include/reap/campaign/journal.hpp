@@ -10,6 +10,20 @@
 // (merge_journal_rows + emit_rows) replays the rows in grid-index order
 // into the ordinary sinks, producing output byte-identical to an
 // uninterrupted run.
+//
+// Format v2 ("reap-journal-v2") suffixes every row with a CRC32C over the
+// row body (the line up to but excluding the `,"crc":"..."` suffix, with
+// the closing brace restored), so a reader can tell three states apart:
+//   ok      the row parses and its checksum matches (v1 rows, which carry
+//           no checksum, parse-check only);
+//   torn    the *final* line is an unparseable prefix -- the signature of a
+//           mid-write kill; the row re-runs on resume;
+//   corrupt anything else -- an unparseable line before the tail, or a
+//           parseable row whose checksum does not match (bit rot, partial
+//           overwrite). Corrupt rows are reported, skipped, and healed by
+//           the next rewrite; they never abort a read.
+// Readers accept v1 and v2 files, and mixed rows: each row is
+// self-describing by the presence of its "crc" field.
 #pragma once
 
 #include <cstdint>
@@ -25,7 +39,7 @@
 namespace reap::campaign {
 
 struct JournalHeader {
-  std::string format = "reap-journal-v1";
+  std::string format = "reap-journal-v2";
   std::string name;                 // campaign name
   std::uint64_t spec_hash = 0;      // campaign::spec_hash of the spec
   std::uint64_t points = 0;         // full-grid point count
@@ -47,10 +61,19 @@ struct JournalRow {
   std::vector<std::string> cells;
 };
 
+// One line read_journal could not accept as a row: where and why. Corrupt
+// lines are data already lost on disk -- the reader's job is to contain
+// the damage (skip, report, re-run that point), not to refuse the file.
+struct CorruptLine {
+  std::size_t line_no = 0;  // 1-based line number in the file
+  std::string reason;       // "malformed row" / "CRC mismatch (...)"
+};
+
 struct Journal {
   JournalHeader header;
-  std::vector<JournalRow> rows;  // completion order
-  bool truncated_tail = false;   // last line was torn (killed mid-write)
+  std::vector<JournalRow> rows;      // completion order
+  bool truncated_tail = false;       // last line was torn (mid-write kill)
+  std::vector<CorruptLine> corrupt;  // damaged lines before the tail
 };
 
 // Appends rows to a journal file, flushing after every line so a killed
@@ -66,14 +89,24 @@ class JournalWriter {
   bool ok() const;
   void add(const std::string& key, const std::vector<std::string>& cells);
 
+  // 0 while appends are landing; the errno (EIO, ENOSPC, ...) of the
+  // first failed append otherwise. Once set, further add() calls are
+  // no-ops: the journal ends cleanly at the last durable row and the
+  // caller should stop the run (reap_campaign exits kExitJournalIo) so
+  // --resume can continue from exactly that boundary.
+  int io_errno() const { return io_errno_; }
+
  private:
   std::ofstream out_;
   std::vector<std::string> columns_;
+  int io_errno_ = 0;
 };
 
 // Reads a journal back. A torn final line (the signature of a mid-write
-// kill) is dropped and flagged; malformed content anywhere else is an
-// error. Returns nullopt and sets `error` on failure.
+// kill) is dropped and flagged, and damaged lines before the tail are
+// collected in `corrupt` (the rows they carried re-run on resume);
+// neither aborts the read. Returns nullopt and sets `error` only when
+// the file itself is unusable: unopenable, empty, or a bad header line.
 std::optional<Journal> read_journal(const std::string& path,
                                     std::string* error = nullptr);
 
@@ -111,12 +144,17 @@ class JournalTailer {
   explicit JournalTailer(std::string path);
 
   // Returns the keys of rows completed since the last poll (possibly
-  // empty). Malformed complete lines are skipped, not fatal: a live file
-  // is allowed to be mid-anything.
+  // empty). Malformed complete lines and rows whose CRC does not verify
+  // are skipped, not fatal: a live file is allowed to be mid-anything.
   std::vector<std::string> poll();
 
   // Distinct row keys observed so far (header line excluded).
   std::size_t rows_seen() const { return seen_.size(); }
+
+  // Bytes consumed through the last complete line. The dispatcher's
+  // watchdog uses this as a worker heartbeat: an offset that stops
+  // moving is a worker that stopped writing.
+  std::uint64_t offset() const { return offset_; }
 
   const std::string& path() const { return path_; }
 

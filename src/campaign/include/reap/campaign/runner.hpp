@@ -45,6 +45,15 @@ struct RunnerOptions {
   // CampaignPoint::trace_key. Wins over run_fn when both are set.
   std::function<core::ExperimentResult(const CampaignPoint&)> run_point_fn;
 
+  // Early-stop predicate, checked by each worker between experiments.
+  // When it returns true workers finish the point in hand and stop
+  // claiming new ones, so run() returns with some results still
+  // default-constructed -- the caller is expected to consult its journal
+  // (which has exactly the completed rows) rather than the return value.
+  // This is how SIGTERM and journal I/O errors end a run at a row
+  // boundary instead of mid-write.
+  std::function<bool()> should_stop;
+
   // Optional schedule grouping. When set, workers visit points in an order
   // that keeps points with equal group_key contiguous (groups ordered by
   // the smallest input position they contain, points within a group in

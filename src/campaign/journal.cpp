@@ -1,10 +1,14 @@
 #include "reap/campaign/journal.hpp"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <unordered_set>
 
+#include "reap/common/crc32c.hpp"
+#include "reap/common/fault.hpp"
 #include "reap/common/jsonl.hpp"
 #include "reap/common/strings.hpp"
 
@@ -68,32 +72,67 @@ bool parse_header(const std::string& line, JournalHeader& h,
     }
     // Unknown header fields are ignored: newer writers may add metadata.
   }
-  if (!saw_format || h.format != "reap-journal-v1")
-    return fail(error, "journal: not a reap-journal-v1 file");
+  if (!saw_format ||
+      (h.format != "reap-journal-v1" && h.format != "reap-journal-v2"))
+    return fail(error, "journal: not a reap-journal file");
   if (h.columns.empty()) return fail(error, "journal: header lists no columns");
   return true;
 }
 
-// Parses one row line into (key, cells). Returns false when the line is
-// not a well-formed row -- the caller decides whether that is a torn tail
-// (acceptable on the last line) or corruption.
-bool parse_row(const std::string& line,
-               const std::vector<std::string>& columns, JournalRow& row) {
-  const auto fields = common::parse_jsonl_line(line);
-  if (!fields) return false;
-  if (fields->size() != columns.size() + 1) return false;
-  if ((*fields)[0].first != "key") return false;
+// The checksum suffix of a v2 row: `,"crc":"xxxxxxxx"}` closes the line.
+// The CRC covers the row body -- the line with that suffix removed and the
+// closing brace restored, i.e. exactly the v1 serialization of the row.
+constexpr char kCrcSuffix[] = ",\"crc\":\"";
+constexpr std::size_t kCrcSuffixLen = sizeof(kCrcSuffix) - 1;
+
+// Splits a v2 line into (body, crc hex). Returns false for a line without
+// the suffix -- a v1 row, which simply has no checksum to verify.
+bool split_crc(const std::string& line, std::string& body, std::string& hex) {
+  const auto pos = line.rfind(kCrcSuffix);
+  if (pos == std::string::npos) return false;
+  const auto tail = line.substr(pos + kCrcSuffixLen);
+  if (tail.size() != 10 || tail.substr(8) != "\"}") return false;
+  body = line.substr(0, pos) + "}";
+  hex = tail.substr(0, 8);
+  return true;
+}
+
+enum class RowParse { ok, malformed, bad_crc };
+
+// Parses one row line into (key, cells), verifying the v2 checksum when
+// present. The caller decides whether `malformed` is a torn tail
+// (acceptable on the last line) or corruption; `bad_crc` is always
+// corruption -- only a complete, well-formed line can carry a checksum
+// that fails to verify.
+RowParse parse_row(const std::string& line,
+                   const std::vector<std::string>& columns,
+                   JournalRow& row) {
+  std::string body;
+  std::string hex;
+  const bool has_crc = split_crc(line, body, hex);
+  if (has_crc) {
+    std::uint32_t stored = 0;
+    if (!common::parse_hex32(hex, stored)) return RowParse::malformed;
+    if (common::crc32c(body) != stored) return RowParse::bad_crc;
+  } else {
+    body = line;
+  }
+  const auto fields = common::parse_jsonl_line(body);
+  if (!fields) return RowParse::malformed;
+  if (fields->size() != columns.size() + 1) return RowParse::malformed;
+  if ((*fields)[0].first != "key") return RowParse::malformed;
   row.key = (*fields)[0].second;
   row.cells.clear();
   row.cells.reserve(columns.size());
   for (std::size_t i = 0; i < columns.size(); ++i) {
     const auto& [name, value] = (*fields)[i + 1];
-    if (name != columns[i]) return false;
+    if (name != columns[i]) return RowParse::malformed;
     row.cells.push_back(value);
   }
   // Column 0 is the grid index by construction of result_header().
-  if (columns.empty() || columns[0] != "index") return false;
-  return common::parse_u64(row.cells[0], row.index);
+  if (columns.empty() || columns[0] != "index") return RowParse::malformed;
+  return common::parse_u64(row.cells[0], row.index) ? RowParse::ok
+                                                    : RowParse::malformed;
 }
 
 }  // namespace
@@ -133,10 +172,36 @@ bool JournalWriter::ok() const { return static_cast<bool>(out_); }
 
 void JournalWriter::add(const std::string& key,
                         const std::vector<std::string>& cells) {
-  if (!out_) return;
-  out_ << "{\"key\":\"" << common::json_escape(key) << "\","
-       << jsonl_fields(columns_, cells) << "}\n";
+  // Sticky after the first failure: appending past an error would put
+  // rows after a hole and break "journal = durable prefix of the run".
+  if (!out_ || io_errno_ != 0) return;
+
+  const std::string body = "{\"key\":\"" + common::json_escape(key) + "\"," +
+                           jsonl_fields(columns_, cells) + "}";
+  const std::string line =
+      body.substr(0, body.size() - 1) + kCrcSuffix +
+      common::fmt_hex32(common::crc32c(body)) + "\"}\n";
+
+  if (const auto f = common::fault::hit("journal.write", key)) {
+    if (f->kind == common::fault::Kind::torn_write) {
+      // A mid-write kill: some prefix of the line lands, then the
+      // process dies. Exactly what read_journal's torn-tail path heals.
+      const auto n = f->param ? std::min<std::size_t>(f->param, line.size())
+                              : line.size() / 2;
+      out_.write(line.data(), static_cast<std::streamsize>(n));
+      out_.flush();
+      std::_Exit(common::fault::kCrashExit);
+    }
+    io_errno_ = f->kind == common::fault::Kind::enospc ? ENOSPC : EIO;
+    return;
+  }
+
+  errno = 0;
+  out_ << line;
   out_.flush();
+  if (const auto f = common::fault::hit("journal.fsync", key))
+    io_errno_ = f->kind == common::fault::Kind::enospc ? ENOSPC : EIO;
+  if (!out_ && io_errno_ == 0) io_errno_ = errno != 0 ? errno : EIO;
 }
 
 std::optional<Journal> read_journal(const std::string& path,
@@ -159,15 +224,24 @@ std::optional<Journal> read_journal(const std::string& path,
   if (!parse_header(lines[0], j.header, error)) return std::nullopt;
   for (std::size_t i = 1; i < lines.size(); ++i) {
     JournalRow row;
-    if (parse_row(lines[i], j.header.columns, row)) {
-      j.rows.push_back(std::move(row));
-    } else if (i + 1 == lines.size()) {
-      // A torn final line is the expected signature of a mid-write kill;
-      // the row it carried simply re-runs on resume.
-      j.truncated_tail = true;
-    } else {
-      fail(error, path + ": corrupt journal line " + std::to_string(i + 1));
-      return std::nullopt;
+    switch (parse_row(lines[i], j.header.columns, row)) {
+      case RowParse::ok:
+        j.rows.push_back(std::move(row));
+        break;
+      case RowParse::malformed:
+        if (i + 1 == lines.size()) {
+          // A torn final line is the expected signature of a mid-write
+          // kill; the row it carried simply re-runs on resume.
+          j.truncated_tail = true;
+        } else {
+          j.corrupt.push_back({i + 1, "malformed row"});
+        }
+        break;
+      case RowParse::bad_crc:
+        // A complete line whose checksum fails is damage, not a tear --
+        // even on the last line.
+        j.corrupt.push_back({i + 1, "CRC mismatch"});
+        break;
     }
   }
   return j;
@@ -194,7 +268,12 @@ bool rewrite_journal(const std::string& path, const Journal& j,
                      std::string* error) {
   const std::string tmp = path + ".tmp";
   {
-    JournalWriter writer(tmp, j.header);
+    // Only parsed rows are re-serialized, so a rewrite heals corrupt
+    // lines along with the torn tail -- and upgrades v1 files to v2,
+    // since the writer always emits checksummed rows.
+    JournalHeader header = j.header;
+    header.format = "reap-journal-v2";
+    JournalWriter writer(tmp, header);
     for (const auto& row : j.rows) writer.add(row.key, row.cells);
     if (!writer.ok()) return fail(error, "cannot write " + tmp);
   }
@@ -233,6 +312,9 @@ JournalTailer::JournalTailer(std::string path) : path_(std::move(path)) {}
 
 std::vector<std::string> JournalTailer::poll() {
   std::vector<std::string> fresh;
+  // An injected read fault models a flaky shared filesystem: the poll
+  // sees nothing this round and simply retries later.
+  if (common::fault::hit("tailer.read", path_)) return fresh;
   std::error_code ec;
   const auto size = std::filesystem::file_size(path_, ec);
   if (ec) return fresh;  // not created yet (worker still starting)
@@ -260,8 +342,18 @@ std::vector<std::string> JournalTailer::poll() {
     pos = nl + 1;
     if (line.empty()) continue;
     // Rows lead with a "key" field; the header line (and any malformed
-    // mid-flight content) does not and is skipped.
-    const auto fields = common::parse_jsonl_line(line);
+    // mid-flight content) does not and is skipped. A checksummed row
+    // that fails to verify is damage, not progress: skip it unseen so
+    // the supervisor still counts that point as outstanding.
+    std::string body = line;
+    std::string hex;
+    if (split_crc(line, body, hex)) {
+      std::uint32_t stored = 0;
+      if (!common::parse_hex32(hex, stored) ||
+          common::crc32c(body) != stored)
+        continue;
+    }
+    const auto fields = common::parse_jsonl_line(body);
     if (!fields || fields->empty() || (*fields)[0].first != "key") continue;
     if (seen_.insert((*fields)[0].second).second)
       fresh.push_back((*fields)[0].second);

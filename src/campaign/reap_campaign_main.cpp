@@ -14,14 +14,18 @@
 //   reap_campaign --config="workload=mcf policy=reap ..."   # one row re-run
 //   reap_campaign --list-workloads | --list-policies
 #include <algorithm>
+#include <csignal>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <string>
 #include <unordered_set>
 
 #include "reap/campaign/campaign.hpp"
 #include "reap/campaign/cli_usage.hpp"
+#include "reap/campaign/exit_codes.hpp"
 #include "reap/common/cli.hpp"
+#include "reap/common/fault.hpp"
 #include "reap/core/config_kv.hpp"
 #include "reap/trace/replay.hpp"
 #include "reap/trace/spec2006.hpp"
@@ -34,6 +38,16 @@ int usage(const char* argv0) {
   std::printf(campaign::kCampaignUsage, argv0);
   return 0;
 }
+
+// SIGTERM/SIGINT request a graceful stop: workers finish the row in
+// hand, the journal flushes at a row boundary (it is flushed per row
+// already, so there is no torn tail to heal), and the process exits
+// kExitInterrupted so a supervisor can tell "asked to stop" from
+// "crashed". The handler only sets a flag; the runner's should_stop
+// does the rest.
+volatile std::sig_atomic_t g_signal = 0;
+
+void on_signal(int sig) { g_signal = sig; }
 
 double mb(std::size_t bytes) {
   return static_cast<double>(bytes) / (1024.0 * 1024.0);
@@ -52,6 +66,22 @@ void print_row(const campaign::CampaignPoint& pt,
 int main(int argc, char** argv) {
   common::CliArgs args(argc, argv);
   if (args.has("help")) return usage(argv[0]);
+
+  // Fault injection (chaos testing): sites armed from the REAP_FAULT
+  // environment (inherited by dispatched workers) and/or --inject-fault.
+  {
+    std::string ferr;
+    if (!common::fault::arm_from_env(&ferr)) {
+      std::fprintf(stderr, "bad %s: %s\n", common::fault::kEnvVar,
+                   ferr.c_str());
+      return 1;
+    }
+    if (args.has("inject-fault") &&
+        !common::fault::arm(args.get_string("inject-fault", ""), &ferr)) {
+      std::fprintf(stderr, "bad --inject-fault: %s\n", ferr.c_str());
+      return 1;
+    }
+  }
 
   if (args.has("list-workloads")) {
     for (const auto& name : trace::spec2006_names()) std::puts(name.c_str());
@@ -170,12 +200,19 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot resume: %s\n", why.c_str());
       return 1;
     }
-    if (loaded->truncated_tail) {
+    if (loaded->truncated_tail)
       std::fprintf(stderr,
                    "note: journal ends in a torn line (killed mid-write); "
                    "that row will re-run\n");
-      // Drop the torn tail before appending: new rows written after an
-      // unterminated line would corrupt both.
+    for (const auto& bad : loaded->corrupt)
+      std::fprintf(stderr,
+                   "note: journal line %zu is corrupt (%s); skipped, its "
+                   "row will re-run\n",
+                   bad.line_no, bad.reason.c_str());
+    if (loaded->truncated_tail || !loaded->corrupt.empty()) {
+      // Heal the journal before appending: new rows written after an
+      // unterminated line would corrupt both, and re-serializing only
+      // the parsed rows drops the corrupt ones for good.
       if (!campaign::rewrite_journal(journal_path, *loaded, &error)) {
         std::fprintf(stderr, "cannot resume: %s\n", error.c_str());
         return 1;
@@ -188,12 +225,29 @@ int main(int argc, char** argv) {
                  journal_path.c_str());
   }
 
+  // --skip-rows: keys excluded from this run (the dispatcher's
+  // quarantine/bisect mechanism). A run is complete -- exit 0 -- when
+  // every *non-skipped* row of its shard is journaled.
+  std::unordered_set<std::string> skipped;
+  if (args.has("skip-rows")) {
+    const std::string list = args.get_string("skip-rows", "");
+    std::size_t pos = 0;
+    while (pos <= list.size()) {
+      const auto next = list.find(',', pos);
+      const auto end = next == std::string::npos ? list.size() : next;
+      if (end > pos) skipped.insert(list.substr(pos, end - pos));
+      if (next == std::string::npos) break;
+      pos = next + 1;
+    }
+  }
+
   std::unordered_set<std::string> completed;
   for (const auto& row : prior) completed.insert(row.key);
   std::vector<campaign::CampaignPoint> to_run;
   to_run.reserve(mine.size());
   for (const auto& pt : mine)
-    if (!completed.count(pt.key)) to_run.push_back(pt);
+    if (!completed.count(pt.key) && !skipped.count(pt.key))
+      to_run.push_back(pt);
 
   // Open sinks before running so an unwritable path fails fast instead of
   // after the whole grid has been simulated.
@@ -250,6 +304,14 @@ int main(int argc, char** argv) {
     if (journal) journal->add(pt.key, cells);
     fresh.push_back({pt.key, pt.index, std::move(cells)});
   };
+  // Stop claiming points on SIGTERM/SIGINT or after a journal append
+  // fails (EIO/ENOSPC): either way the run ends cleanly at a row
+  // boundary and --resume continues from the journal.
+  opts.should_stop = [&journal] {
+    return g_signal != 0 || (journal && journal->io_errno() != 0);
+  };
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
   campaign::ProgressReporter progress;
   const bool quiet = args.has("quiet");
   if (!quiet)
@@ -290,6 +352,24 @@ int main(int argc, char** argv) {
     std::printf("resuming: %zu of %zu rows already journaled, %zu to run\n",
                 prior.size(), mine.size(), to_run.size());
   const auto results = runner.run(to_run);
+
+  // An aborted run stops here: the journal holds every completed row
+  // (flushed per row, no torn tail), the in-memory results are partial,
+  // and the distinct exit codes tell a supervisor which case this is.
+  if (journal && journal->io_errno() != 0) {
+    std::fprintf(stderr,
+                 "journal append failed (%s); stopped at a row boundary, "
+                 "re-run with --resume to continue\n",
+                 std::strerror(journal->io_errno()));
+    return campaign::kExitJournalIo;
+  }
+  if (g_signal != 0) {
+    std::fprintf(stderr,
+                 "interrupted (signal %d); journal is complete through the "
+                 "last finished row, re-run with --resume to continue\n",
+                 static_cast<int>(g_signal));
+    return campaign::kExitInterrupted;
+  }
 
   // Merge step: journaled + fresh rows, deduplicated and re-ordered by
   // grid index, stream through the sinks -- byte-identical to an

@@ -10,18 +10,23 @@
 //   reap_dispatch --spec=grid.spec --workers=4 --jobs=16 --figures=figdata/
 //   reap_dispatch --spec=grid.spec --workers=2 --work-dir=run1   # re-run to resume
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <string>
 #include <thread>
+#include <unordered_set>
 
 #include "reap/campaign/aggregate.hpp"
 #include "reap/campaign/cli_usage.hpp"
 #include "reap/campaign/dispatch.hpp"
+#include "reap/campaign/exit_codes.hpp"
 #include "reap/campaign/progress.hpp"
 #include "reap/campaign/result_sink.hpp"
 #include "reap/campaign/trace_cache.hpp"
 #include "reap/common/cli.hpp"
+#include "reap/common/fault.hpp"
+#include "reap/common/strings.hpp"
 
 using namespace reap;
 
@@ -46,6 +51,24 @@ int main(int argc, char** argv) {
   common::CliArgs args(argc, argv);
   if (args.has("help")) return usage(argv[0]);
 
+  // Fault injection (chaos testing). --inject-fault arms sites in *this*
+  // process (worker.spawn, tailer.read); REAP_FAULT is inherited by the
+  // spawned workers too, so worker-side sites (runner.point,
+  // journal.write, ...) are armed through the environment.
+  {
+    std::string ferr;
+    if (!common::fault::arm_from_env(&ferr)) {
+      std::fprintf(stderr, "bad %s: %s\n", common::fault::kEnvVar,
+                   ferr.c_str());
+      return 1;
+    }
+    if (args.has("inject-fault") &&
+        !common::fault::arm(args.get_string("inject-fault", ""), &ferr)) {
+      std::fprintf(stderr, "bad --inject-fault: %s\n", ferr.c_str());
+      return 1;
+    }
+  }
+
   std::string error;
   const auto kv = campaign::spec_kv_from_cli(args, &error);
   if (!kv) {
@@ -68,6 +91,12 @@ int main(int argc, char** argv) {
   opts.worker_threads = std::size_t(args.get_u64("worker-threads", 1));
   opts.max_attempts = std::size_t(args.get_u64("max-attempts", 3));
   opts.trace_cache_mb = std::size_t(args.get_u64("trace-cache-mb", 0));
+  opts.stall_timeout =
+      std::chrono::milliseconds(args.get_u64("stall-timeout", 0) * 1000);
+  opts.backoff_base =
+      std::chrono::milliseconds(args.get_u64("backoff-ms", 100));
+  opts.fail_fast = args.has("fail-fast");
+  opts.max_quarantine = std::size_t(args.get_u64("max-quarantine", 4));
 
   // Consume every real flag before --dry-run can exit, so the unused-flag
   // typo warning never fires on flags the full run would honor.
@@ -170,32 +199,82 @@ int main(int argc, char** argv) {
   const auto run = dispatcher.run();
   if (!run.ok) {
     std::fprintf(stderr, "%s\n", run.error.c_str());
-    return 1;
+    switch (run.status) {
+      case campaign::DispatchStatus::spec_mismatch:
+        return campaign::kDispatchSpecMismatch;
+      case campaign::DispatchStatus::abandoned:
+        return campaign::kDispatchAbandoned;
+      default:
+        return campaign::kDispatchError;
+    }
   }
   std::printf("%zu points across %zu shards complete", run.points,
               run.shards.size());
   if (run.restarts > 0)
     std::printf(" (%zu worker restart%s)", run.restarts,
                 run.restarts == 1 ? "" : "s");
+  if (run.stalls > 0)
+    std::printf(" (%zu stalled worker%s killed)", run.stalls,
+                run.stalls == 1 ? "" : "s");
+  if (!run.quarantined.empty())
+    std::printf(" (%zu point%s quarantined)", run.quarantined.size(),
+                run.quarantined.size() == 1 ? "" : "s");
   std::printf("\n");
+  for (const auto& q : run.quarantined)
+    std::fprintf(stderr, "quarantined: %s (index %llu, shard %zu): %s\n",
+                 q.key.c_str(), static_cast<unsigned long long>(q.index),
+                 q.shard, q.reason.c_str());
 
   // Merge step: shard journals -> one index-ordered table, re-emitted
-  // through the ordinary sinks -- byte-identical to an un-sharded run.
+  // through the ordinary sinks -- byte-identical to an un-sharded run,
+  // minus exactly the quarantined rows (whose indices must account for
+  // every hole; any other hole is a merge failure).
   auto merged = campaign::merge_dispatch_journals(run.journal_paths(), &error);
   if (!merged) {
     std::fprintf(stderr, "merge failed: %s\n", error.c_str());
-    return 1;
+    return campaign::kDispatchError;
   }
-  if (!campaign::covers_all_indices(*merged)) {
-    std::fprintf(stderr, "merge failed: journals do not cover the grid\n");
-    return 1;
+  if (run.quarantined.empty()) {
+    if (!campaign::covers_all_indices(*merged)) {
+      std::fprintf(stderr, "merge failed: journals do not cover the grid\n");
+      return campaign::kDispatchError;
+    }
+  } else {
+    const auto index_col = merged->col("index");
+    if (!index_col) {
+      std::fprintf(stderr, "merge failed: no `index` column\n");
+      return campaign::kDispatchError;
+    }
+    std::unordered_set<std::uint64_t> present;
+    for (const auto& row : merged->rows) {
+      std::uint64_t idx = 0;
+      if (common::parse_u64(row[*index_col], idx)) present.insert(idx);
+    }
+    std::unordered_set<std::uint64_t> poisoned;
+    for (const auto& q : run.quarantined) poisoned.insert(q.index);
+    for (std::uint64_t i = 0; i < run.points; ++i) {
+      if (!present.count(i) && !poisoned.count(i)) {
+        std::fprintf(stderr,
+                     "merge failed: row %llu is missing but not "
+                     "quarantined\n",
+                     static_cast<unsigned long long>(i));
+        return campaign::kDispatchError;
+      }
+      if (present.count(i) && poisoned.count(i)) {
+        std::fprintf(stderr,
+                     "merge failed: row %llu is quarantined yet present in "
+                     "the journals\n",
+                     static_cast<unsigned long long>(i));
+        return campaign::kDispatchError;
+      }
+    }
   }
   if ((want_csv || want_jsonl) &&
       merged->header != campaign::result_header()) {
     std::fprintf(stderr,
                  "cannot write merged rows: worker journals use a different "
                  "column schema than this binary\n");
-    return 1;
+    return campaign::kDispatchError;
   }
   const auto emit_merged = [&](campaign::ResultSink& sink, bool ok,
                                const char* what, const std::string& path) {
@@ -209,11 +288,26 @@ int main(int argc, char** argv) {
   };
   if (want_csv) {
     campaign::CsvResultSink csv(csv_path);
-    if (!emit_merged(csv, csv.ok(), "csv", csv_path)) return 1;
+    if (!emit_merged(csv, csv.ok(), "csv", csv_path))
+      return campaign::kDispatchError;
   }
   if (want_jsonl) {
     campaign::JsonlResultSink jsonl(jsonl_path);
-    if (!emit_merged(jsonl, jsonl.ok(), "jsonl", jsonl_path)) return 1;
+    if (!emit_merged(jsonl, jsonl.ok(), "jsonl", jsonl_path))
+      return campaign::kDispatchError;
+  }
+
+  if (!run.quarantined.empty()) {
+    // Aggregates (and figures) need the full grid; a quarantined run is
+    // complete-minus-named-rows by construction, so say so and exit with
+    // the distinct code instead of failing.
+    if (baseline)
+      std::printf(
+          "(skipping aggregates: %zu quarantined row%s leave the grid "
+          "partial; see %s/quarantine.jsonl)\n",
+          run.quarantined.size(), run.quarantined.size() == 1 ? "" : "s",
+          opts.work_dir.c_str());
+    return campaign::kDispatchQuarantined;
   }
 
   std::optional<campaign::CampaignAggregates> agg;
@@ -221,7 +315,7 @@ int main(int argc, char** argv) {
     agg = campaign::aggregate_rows(*merged, *baseline, &error);
     if (!agg) {
       std::fprintf(stderr, "no aggregates: %s\n", error.c_str());
-      return 1;
+      return campaign::kDispatchError;
     }
     std::printf("\n%s", agg->render().c_str());
   }
@@ -230,10 +324,10 @@ int main(int argc, char** argv) {
         campaign::write_figure_data(*agg, figures_dir, &error);
     if (!written) {
       std::fprintf(stderr, "%s\n", error.c_str());
-      return 1;
+      return campaign::kDispatchError;
     }
     for (const auto& path : *written)
       std::fprintf(stderr, "wrote %s\n", path.c_str());
   }
-  return 0;
+  return campaign::kDispatchOk;
 }

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "reap/common/crc32c.hpp"
 #include "reap/common/csv.hpp"
 #include "reap/common/jsonl.hpp"
 #include "reap/common/strings.hpp"
@@ -120,8 +121,24 @@ std::optional<RowTable> load_rows_jsonl(const std::string& path,
     }
     if (!fields->empty() && (*fields)[0].first == "key") begin = 1;
 
+    // Journal v2 rows close with a checksum over the rest of the line;
+    // verify it and strip the field. A mismatch here is a hard error:
+    // reports run on settled files, where bad bytes mean real damage.
+    std::size_t end = fields->size();
+    if (begin == 1 && end > begin && (*fields)[end - 1].first == "crc") {
+      const auto pos = line.rfind(",\"crc\":\"");
+      std::uint32_t stored = 0;
+      if (pos == std::string::npos ||
+          !common::parse_hex32((*fields)[end - 1].second, stored) ||
+          common::crc32c(line.substr(0, pos) + "}") != stored) {
+        fail(error, path + ":" + std::to_string(lineno) + ": row CRC mismatch");
+        return std::nullopt;
+      }
+      --end;
+    }
+
     std::vector<std::string> names, cells;
-    for (std::size_t i = begin; i < fields->size(); ++i) {
+    for (std::size_t i = begin; i < end; ++i) {
       names.push_back((*fields)[i].first);
       cells.push_back((*fields)[i].second);
     }

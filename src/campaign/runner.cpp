@@ -8,6 +8,8 @@
 #include <thread>
 #include <unordered_map>
 
+#include "reap/common/fault.hpp"
+
 namespace reap::campaign {
 namespace {
 
@@ -121,6 +123,10 @@ std::vector<core::ExperimentResult> CampaignRunner::run(
   const auto run_one = [&](std::size_t pos) {
     unclaimed.fetch_sub(1, std::memory_order_relaxed);
     const std::size_t idx = order[pos];
+    // The per-point fault site, matched on the row key: this is where an
+    // injected crash/hang lands to model an experiment taking the whole
+    // process down, deterministically, at one named grid point.
+    common::fault::hit("runner.point", points[idx].key);
     results[idx] = opts_.run_point_fn ? opts_.run_point_fn(points[idx])
                                       : opts_.run_fn(points[idx].config);
     const std::size_t d = done.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -133,6 +139,8 @@ std::vector<core::ExperimentResult> CampaignRunner::run(
 
   const auto worker = [&](unsigned self) {
     for (;;) {
+      if (opts_.should_stop && opts_.should_stop())
+        return;  // stop claiming; the point in hand already finished
       std::size_t pos;
       if (shards[self].pop(pos)) {
         run_one(pos);

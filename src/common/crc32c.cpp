@@ -1,0 +1,56 @@
+#include "reap/common/crc32c.hpp"
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+
+namespace reap::common {
+namespace {
+
+std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1) ? 0x82F63B78u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32c(std::string_view data) {
+  static const auto table = make_table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const char ch : data)
+    crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xFF] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::string fmt_hex32(std::uint32_t v) {
+  char buf[9];
+  std::snprintf(buf, sizeof buf, "%08x", v);
+  return buf;
+}
+
+bool parse_hex32(const std::string& s, std::uint32_t& out) {
+  // Exactly 8 hex digits: strtoul alone would also take "0x…", spaces,
+  // or a sign, none of which a well-formed CRC suffix can contain.
+  if (s.size() != 8) return false;
+  std::uint32_t v = 0;
+  for (const char ch : s) {
+    v <<= 4;
+    if (ch >= '0' && ch <= '9') v |= static_cast<std::uint32_t>(ch - '0');
+    else if (ch >= 'a' && ch <= 'f')
+      v |= static_cast<std::uint32_t>(ch - 'a' + 10);
+    else if (ch >= 'A' && ch <= 'F')
+      v |= static_cast<std::uint32_t>(ch - 'A' + 10);
+    else
+      return false;
+  }
+  out = v;
+  return true;
+}
+
+}  // namespace reap::common

@@ -1,0 +1,101 @@
+// Deterministic fault injection for the campaign fleet.
+//
+// Robustness claims are only as good as the failures they were tested
+// against, so the failure handling in reap_campaign / reap_dispatch is
+// driven by *injected* faults, not by hoping the right crash happens in
+// CI. Code that can fail declares a named fault site (`journal.write`,
+// `runner.point`, ...) and calls fault::hit(site, context) at the moment
+// the failure would occur. Sites are compiled in always and cost one
+// relaxed atomic load when nothing is armed; arming happens only via the
+// REAP_FAULT environment variable or an explicit --inject-fault flag, so
+// production runs can never trip a fault by accident.
+//
+// Arming grammar (comma-separated list of faults):
+//
+//   site:kind[:N|:*][:PARAM][:key=SUBSTR]
+//
+//   site   one of known_sites() (unknown sites are a hard error)
+//   kind   crash | hang | eio | enospc | torn-write | slow
+//   N      fire on the Nth matching execution of the site (default 1,
+//          one-shot); '*' fires on every matching execution
+//   PARAM  kind parameter: milliseconds for `slow`, bytes written before
+//          the crash for `torn-write` (0 = half the payload)
+//   key=S  only executions whose context string contains S match (e.g. a
+//          campaign row key: fault exactly one grid point)
+//
+// Examples:
+//   REAP_FAULT='journal.write:enospc:3'           3rd row append ENOSPCs
+//   REAP_FAULT='runner.point:hang:2'              2nd experiment hangs
+//   REAP_FAULT='runner.point:crash:*:key=mcf/reap/t1/sc-/rr-/s0'
+//                                                 one poisoned grid point
+//
+// Process-level kinds (crash, hang, slow) act inside hit(): crash _exits
+// with kCrashExit, hang sleeps forever (only SIGKILL ends it, exactly
+// like a real hang), slow sleeps PARAM ms and then lets the call proceed.
+// I/O kinds (eio, enospc, torn-write) are returned to the call site,
+// which alone knows how to realize them.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace reap::common::fault {
+
+enum class Kind { crash, hang, eio, enospc, torn_write, slow };
+
+const char* to_string(Kind kind);
+
+// Exit code of an injected `crash` (and of `torn-write`, which crashes
+// right after the partial payload lands). Distinct from every deliberate
+// exit code in exit_codes.hpp so logs attribute the death correctly.
+inline constexpr int kCrashExit = 70;
+
+// Environment variable the CLI mains arm from (same grammar as arm()).
+inline constexpr char kEnvVar[] = "REAP_FAULT";
+
+// What an armed fault asks the call site to do.
+struct Hit {
+  Kind kind = Kind::eio;
+  std::uint64_t param = 0;  // slow: ms; torn-write: bytes to keep (0 = half)
+};
+
+// Arms every fault in `spec` (additive across calls). Returns false and
+// sets `error` on bad grammar, an unknown site, or an unknown kind.
+bool arm(const std::string& spec, std::string* error = nullptr);
+
+// Arms from REAP_FAULT when set; no-op (true) when unset.
+bool arm_from_env(std::string* error = nullptr);
+
+// Disarms everything and resets all hit counters (test teardown).
+void disarm();
+
+namespace detail {
+extern std::atomic<unsigned> g_armed;
+std::optional<Hit> hit_slow(const char* site, std::string_view context);
+}  // namespace detail
+
+// True when at least one fault is armed. The whole cost of an unarmed
+// fault site is this one relaxed load.
+inline bool armed() {
+  return detail::g_armed.load(std::memory_order_relaxed) != 0;
+}
+
+// Declares one execution of a fault site. When an armed fault matches
+// (site, context-substring, occurrence count), process-level kinds act
+// immediately (see header comment) and I/O kinds are returned for the
+// call site to realize; otherwise returns nullopt.
+inline std::optional<Hit> hit(const char* site,
+                              std::string_view context = {}) {
+  if (!armed()) return std::nullopt;
+  return detail::hit_slow(site, context);
+}
+
+// Every fault site compiled into the tree. arm() validates against this
+// list, and docs/robustness.md is pinned to document exactly this set.
+const std::vector<std::string>& known_sites();
+
+}  // namespace reap::common::fault

@@ -32,9 +32,14 @@ class Child {
   // stderr are appended to that file (created if needed); otherwise both
   // are inherited. Returns nullopt and sets `error` when the process
   // cannot be started (fork failure, unwritable log, missing binary).
+  // When `transient` is non-null it reports whether the failure is worth
+  // retrying: resource exhaustion (fork/pipe EAGAIN, injected
+  // worker.spawn faults) is transient; a missing or non-executable
+  // binary and an unwritable log are permanent -- retrying cannot help.
   static std::optional<Child> spawn(const std::vector<std::string>& argv,
                                     const std::string& log_path = "",
-                                    std::string* error = nullptr);
+                                    std::string* error = nullptr,
+                                    bool* transient = nullptr);
 
   Child(Child&& other) noexcept;
   Child& operator=(Child&& other) noexcept;

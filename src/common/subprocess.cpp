@@ -8,6 +8,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "reap/common/fault.hpp"
+
 namespace reap::common {
 namespace {
 
@@ -37,9 +39,16 @@ std::string ExitStatus::describe() const {
 
 std::optional<Child> Child::spawn(const std::vector<std::string>& argv,
                                   const std::string& log_path,
-                                  std::string* error) {
+                                  std::string* error, bool* transient) {
+  if (transient) *transient = false;
   if (argv.empty()) {
     fail(error, "spawn: empty argv");
+    return std::nullopt;
+  }
+
+  if (const auto f = fault::hit("worker.spawn", argv[0])) {
+    if (transient) *transient = true;  // injected scarcity, not a bad argv
+    fail(error, std::string("spawn: injected ") + fault::to_string(f->kind));
     return std::nullopt;
   }
 
@@ -64,6 +73,7 @@ std::optional<Child> Child::spawn(const std::vector<std::string>& argv,
     if (exec_pipe[0] >= 0) ::close(exec_pipe[0]);
     if (exec_pipe[1] >= 0) ::close(exec_pipe[1]);
     if (log_fd >= 0) ::close(log_fd);
+    if (transient) *transient = true;  // fd exhaustion clears itself
     fail(error, std::string("spawn: pipe: ") + std::strerror(errno));
     return std::nullopt;
   }
@@ -80,6 +90,7 @@ std::optional<Child> Child::spawn(const std::vector<std::string>& argv,
     ::close(exec_pipe[0]);
     ::close(exec_pipe[1]);
     if (log_fd >= 0) ::close(log_fd);
+    if (transient) *transient = true;  // EAGAIN/ENOMEM: retry may succeed
     fail(error, std::string("spawn: fork: ") + std::strerror(errno));
     return std::nullopt;
   }

@@ -48,7 +48,10 @@ class ArrayModel {
 
  private:
   ArrayGeometry geom_;
-  const TechNode& tech_;
+  // By value: callers routinely pass a freshly built node (tech_32nm() is
+  // a factory), and a reference member would dangle the moment that
+  // temporary dies. The struct is a handful of doubles; copying is free.
+  TechNode tech_;
   common::Joules read_per_bit_;
   common::Joules write_per_bit_;
 };

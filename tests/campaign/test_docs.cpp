@@ -9,8 +9,11 @@
 #include <fstream>
 #include <set>
 #include <string>
+#include <utility>
 
 #include "reap/campaign/cli_usage.hpp"
+#include "reap/campaign/exit_codes.hpp"
+#include "reap/common/fault.hpp"
 
 namespace reap::campaign {
 namespace {
@@ -85,10 +88,60 @@ TEST(Docs, CliReferenceMatchesHelpOutputPerTool) {
 
 TEST(Docs, ReadmeLinksTheDocSet) {
   const auto readme = read_file(kSourceDir + "/README.md");
-  for (const char* doc : {"docs/architecture.md", "docs/cli.md",
-                          "docs/campaign.md", "docs/performance.md"})
+  for (const char* doc :
+       {"docs/architecture.md", "docs/cli.md", "docs/campaign.md",
+        "docs/performance.md", "docs/robustness.md"})
     EXPECT_NE(readme.find(doc), std::string::npos)
         << "README.md does not link " << doc;
+}
+
+// docs/robustness.md is the contract page for the fault/quarantine
+// layer; pin it to the compiled-in reality so neither can drift.
+TEST(Docs, RobustnessContractMatchesTheCode) {
+  const auto doc = read_file(kSourceDir + "/docs/robustness.md");
+  // Every compiled-in fault site must be documented by name.
+  for (const auto& site : common::fault::known_sites())
+    EXPECT_NE(doc.find("`" + site + "`"), std::string::npos)
+        << "docs/robustness.md does not document fault site " << site;
+  // Every fault kind, by its spec-grammar name.
+  for (const auto kind :
+       {common::fault::Kind::crash, common::fault::Kind::hang,
+        common::fault::Kind::eio, common::fault::Kind::enospc,
+        common::fault::Kind::torn_write, common::fault::Kind::slow})
+    EXPECT_NE(doc.find("`" + std::string(common::fault::to_string(kind)) +
+                       "`"),
+              std::string::npos)
+        << "docs/robustness.md does not document fault kind "
+        << common::fault::to_string(kind);
+  // The arming channel, the sidecar, and the journal format tag.
+  for (const char* token : {"REAP_FAULT", "quarantine.jsonl",
+                            "reap-journal-v2", "--inject-fault",
+                            "--stall-timeout", "--skip-rows"})
+    EXPECT_NE(doc.find(token), std::string::npos)
+        << "docs/robustness.md does not mention " << token;
+  EXPECT_NE(doc.find("CRC32C"), std::string::npos);
+  // The exit-code tables must name each constant next to its number.
+  const std::pair<const char*, int> codes[] = {
+      {"kExitOk", kExitOk},
+      {"kExitError", kExitError},
+      {"kExitJournalIo", kExitJournalIo},
+      {"kExitInterrupted", kExitInterrupted},
+      {"kDispatchOk", kDispatchOk},
+      {"kDispatchError", kDispatchError},
+      {"kDispatchSpecMismatch", kDispatchSpecMismatch},
+      {"kDispatchQuarantined", kDispatchQuarantined},
+      {"kDispatchAbandoned", kDispatchAbandoned},
+  };
+  for (const auto& [name, value] : codes) {
+    const auto row = "| " + std::to_string(value) + " | `" + name + "` |";
+    EXPECT_NE(doc.find(row), std::string::npos)
+        << "docs/robustness.md exit-code table lacks the row '" << row
+        << "'";
+  }
+  EXPECT_NE(doc.find(std::to_string(common::fault::kCrashExit)),
+            std::string::npos)
+      << "docs/robustness.md does not document the injected-crash exit "
+         "code";
 }
 
 TEST(Docs, ArchitectureCoversEveryLayer) {

@@ -1,13 +1,16 @@
-// Execution journal: round trip, torn-tail tolerance, append/rewrite,
+// Execution journal: round trip, torn-tail tolerance, per-row CRC
+// classification (torn vs corrupt), v1 compatibility, append/rewrite,
 // compatibility checks, row merging, and the progress line.
 #include <gtest/gtest.h>
 
+#include <cerrno>
 #include <cstdio>
 #include <fstream>
 
 #include "reap/campaign/journal.hpp"
 #include "reap/campaign/progress.hpp"
 #include "reap/campaign/spec.hpp"
+#include "reap/common/fault.hpp"
 
 namespace reap::campaign {
 namespace {
@@ -33,6 +36,20 @@ std::vector<std::string> fake_cells(std::size_t index) {
 
 std::string temp_path(const char* name) {
   return ::testing::TempDir() + "/" + name;
+}
+
+std::vector<std::string> file_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+void write_lines(const std::string& path,
+                 const std::vector<std::string>& lines) {
+  std::ofstream out(path, std::ios::trunc);
+  for (const auto& line : lines) out << line << "\n";
 }
 
 TEST(Journal, HeaderAndRowsRoundTrip) {
@@ -84,7 +101,10 @@ TEST(Journal, ToleratesTornFinalLine) {
   EXPECT_EQ(journal->rows[1].key, "k1");
 }
 
-TEST(Journal, RejectsCorruptionBeforeTheTail) {
+// Mid-file damage no longer poisons the whole journal: the reader
+// classifies each row and reports the damaged lines so resume can heal
+// them and re-run exactly the lost rows.
+TEST(Journal, ClassifiesMidFileGarbageAsCorruptAndKeepsGoodRows) {
   const auto spec = small_spec();
   const auto path = temp_path("journal_corrupt.jsonl");
   {
@@ -100,8 +120,200 @@ TEST(Journal, RejectsCorruptionBeforeTheTail) {
     writer.add("k1", fake_cells(1));
   }
   std::string error;
-  EXPECT_FALSE(read_journal(path, &error));
-  EXPECT_NE(error.find("corrupt"), std::string::npos);
+  const auto journal = read_journal(path, &error);
+  ASSERT_TRUE(journal) << error;
+  EXPECT_FALSE(journal->truncated_tail);
+  ASSERT_EQ(journal->rows.size(), 2u);
+  EXPECT_EQ(journal->rows[0].key, "k0");
+  EXPECT_EQ(journal->rows[1].key, "k1");
+  ASSERT_EQ(journal->corrupt.size(), 1u);
+  EXPECT_EQ(journal->corrupt[0].line_no, 3u);  // header=1, k0=2
+  EXPECT_EQ(journal->corrupt[0].reason, "malformed row");
+
+  // Healing drops the damaged line for good.
+  ASSERT_TRUE(rewrite_journal(path, *journal, &error)) << error;
+  const auto healed = read_journal(path, &error);
+  ASSERT_TRUE(healed) << error;
+  EXPECT_TRUE(healed->corrupt.empty());
+  EXPECT_EQ(healed->rows.size(), 2u);
+  std::remove(path.c_str());
+}
+
+// Every v2 row carries a CRC32C suffix; a single flipped bit inside a
+// structurally valid row is caught by the checksum, not mistaken for a
+// torn tail -- even when it is the final line.
+TEST(Journal, BitFlippedRowFailsItsChecksumAndIsReported) {
+  const auto spec = small_spec();
+  const auto path = temp_path("journal_bitflip.jsonl");
+  {
+    JournalWriter writer(path, JournalHeader::for_run(spec, 8, 0, 1));
+    writer.add("k0", fake_cells(0));
+    writer.add("k1", fake_cells(1));
+    writer.add("k2", fake_cells(2));
+  }
+  auto lines = file_lines(path);
+  ASSERT_EQ(lines.size(), 4u);
+  // The on-disk format pin: rows end with the checksum suffix.
+  EXPECT_NE(lines[2].rfind(",\"crc\":\""), std::string::npos) << lines[2];
+  // Flip one payload byte of row k1: still perfectly valid JSON.
+  const auto at = lines[2].find("mcf");
+  ASSERT_NE(at, std::string::npos);
+  lines[2].replace(at, 3, "mcg");
+  write_lines(path, lines);
+
+  std::string error;
+  const auto journal = read_journal(path, &error);
+  ASSERT_TRUE(journal) << error;
+  EXPECT_FALSE(journal->truncated_tail);
+  ASSERT_EQ(journal->rows.size(), 2u);
+  EXPECT_EQ(journal->rows[0].key, "k0");
+  EXPECT_EQ(journal->rows[1].key, "k2");
+  ASSERT_EQ(journal->corrupt.size(), 1u);
+  EXPECT_EQ(journal->corrupt[0].line_no, 3u);
+  EXPECT_EQ(journal->corrupt[0].reason, "CRC mismatch");
+
+  // Same damage on the *last* line (k1 is still damaged too):
+  // corruption, not a tear, even at the tail.
+  lines = file_lines(path);
+  {
+    const auto pos = lines.back().find("mcf");
+    ASSERT_NE(pos, std::string::npos);
+    lines.back().replace(pos, 3, "mcg");
+  }
+  write_lines(path, lines);
+  const auto again = read_journal(path, &error);
+  ASSERT_TRUE(again) << error;
+  EXPECT_FALSE(again->truncated_tail);
+  ASSERT_EQ(again->corrupt.size(), 2u);
+  EXPECT_EQ(again->corrupt[1].line_no, 4u);
+  EXPECT_EQ(again->corrupt[1].reason, "CRC mismatch");
+  std::remove(path.c_str());
+}
+
+// A row truncated in the *middle* of the file (a partial overwrite, not
+// a mid-write kill) is corruption; only a torn FINAL line is a tail.
+TEST(Journal, TruncatedMiddleRowIsCorruptNotATornTail) {
+  const auto spec = small_spec();
+  const auto path = temp_path("journal_midtrunc.jsonl");
+  {
+    JournalWriter writer(path, JournalHeader::for_run(spec, 8, 0, 1));
+    writer.add("k0", fake_cells(0));
+    writer.add("k1", fake_cells(1));
+    writer.add("k2", fake_cells(2));
+  }
+  auto lines = file_lines(path);
+  ASSERT_EQ(lines.size(), 4u);
+  lines[2] = lines[2].substr(0, lines[2].size() / 2);
+  write_lines(path, lines);
+
+  std::string error;
+  const auto journal = read_journal(path, &error);
+  ASSERT_TRUE(journal) << error;
+  EXPECT_FALSE(journal->truncated_tail);
+  ASSERT_EQ(journal->rows.size(), 2u);
+  EXPECT_EQ(journal->rows[1].key, "k2");
+  ASSERT_EQ(journal->corrupt.size(), 1u);
+  EXPECT_EQ(journal->corrupt[0].line_no, 3u);
+  std::remove(path.c_str());
+}
+
+// A duplicated row (a replayed write, a copy-paste repair) parses fine;
+// dedup is the merge layer's job, and it keeps the first occurrence.
+TEST(Journal, DuplicatedRowIsDedupedByTheMergeNotTheReader) {
+  const auto spec = small_spec();
+  const auto path = temp_path("journal_dup.jsonl");
+  {
+    JournalWriter writer(path, JournalHeader::for_run(spec, 8, 0, 1));
+    writer.add("k0", fake_cells(0));
+    writer.add("k1", fake_cells(1));
+  }
+  auto lines = file_lines(path);
+  lines.push_back(lines[2]);  // duplicate k0, checksum intact
+  write_lines(path, lines);
+
+  std::string error;
+  const auto journal = read_journal(path, &error);
+  ASSERT_TRUE(journal) << error;
+  EXPECT_TRUE(journal->corrupt.empty());
+  ASSERT_EQ(journal->rows.size(), 3u);  // the reader reports what is there
+  const auto merged = merge_journal_rows(journal->rows, {});
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].key, "k0");
+  EXPECT_EQ(merged[1].key, "k1");
+  std::remove(path.c_str());
+}
+
+// v1 journals (pre-CRC) remain readable -- rows are self-describing --
+// and a rewrite upgrades the file to checksummed v2.
+TEST(Journal, V1FilesStayReadableAndRewriteUpgradesToV2) {
+  const auto spec = small_spec();
+  const auto path = temp_path("journal_v1.jsonl");
+  {
+    JournalWriter writer(path, JournalHeader::for_run(spec, 8, 0, 1));
+    writer.add("k0", fake_cells(0));
+    writer.add("k1", fake_cells(1));
+  }
+  // Regress the file to v1 by hand: v1 header tag, rows without the
+  // checksum suffix (the v1 serialization is exactly the CRC'd body).
+  auto lines = file_lines(path);
+  const auto tag = lines[0].find("reap-journal-v2");
+  ASSERT_NE(tag, std::string::npos);
+  lines[0].replace(tag, 15, "reap-journal-v1");
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const auto crc = lines[i].rfind(",\"crc\":\"");
+    ASSERT_NE(crc, std::string::npos);
+    lines[i] = lines[i].substr(0, crc) + "}";
+  }
+  write_lines(path, lines);
+
+  std::string error;
+  const auto journal = read_journal(path, &error);
+  ASSERT_TRUE(journal) << error;
+  EXPECT_TRUE(journal->corrupt.empty());
+  ASSERT_EQ(journal->rows.size(), 2u);
+  EXPECT_EQ(journal->rows[0].cells, fake_cells(0));
+
+  ASSERT_TRUE(rewrite_journal(path, *journal, &error)) << error;
+  const auto header = read_journal_header(path, &error);
+  ASSERT_TRUE(header) << error;
+  EXPECT_EQ(header->format, "reap-journal-v2");
+  const auto upgraded = file_lines(path);
+  for (std::size_t i = 1; i < upgraded.size(); ++i)
+    EXPECT_NE(upgraded[i].rfind(",\"crc\":\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// Injected journal I/O faults surface as a sticky errno: the first
+// failed append records the cause and every later add() is a no-op, so
+// the on-disk journal stays a clean durable prefix.
+TEST(Journal, InjectedIoFaultMakesTheWriterStickyWithItsErrno) {
+  const auto spec = small_spec();
+  const auto path = temp_path("journal_eio.jsonl");
+  common::fault::disarm();
+  ASSERT_TRUE(common::fault::arm("journal.write:eio:2"));
+  {
+    JournalWriter writer(path, JournalHeader::for_run(spec, 8, 0, 1));
+    writer.add("k0", fake_cells(0));
+    EXPECT_EQ(writer.io_errno(), 0);
+    writer.add("k1", fake_cells(1));  // injected EIO: row not written
+    EXPECT_EQ(writer.io_errno(), EIO);
+    writer.add("k2", fake_cells(2));  // sticky: no-op
+    EXPECT_EQ(writer.io_errno(), EIO);
+  }
+  common::fault::disarm();
+  const auto journal = read_journal(path);
+  ASSERT_TRUE(journal);
+  EXPECT_TRUE(journal->corrupt.empty());
+  ASSERT_EQ(journal->rows.size(), 1u);
+  EXPECT_EQ(journal->rows[0].key, "k0");
+
+  ASSERT_TRUE(common::fault::arm("journal.fsync:enospc:1"));
+  {
+    JournalWriter writer(path);
+    writer.add("k1", fake_cells(1));  // lands, then the flush "fails"
+    EXPECT_EQ(writer.io_errno(), ENOSPC);
+  }
+  common::fault::disarm();
   std::remove(path.c_str());
 }
 
@@ -216,6 +428,32 @@ TEST(JournalTailer, ReportsRowsIncrementallyAndHoldsBackTornTail) {
   }
   EXPECT_EQ(tailer.poll(), (std::vector<std::string>{"k2"}));
   EXPECT_EQ(tailer.rows_seen(), 3u);
+  std::remove(path.c_str());
+}
+
+// The live tailer applies the same checksum discipline as the reader: a
+// damaged row is not progress, and a duplicated row counts once.
+TEST(JournalTailer, SkipsChecksumFailuresAndCountsDuplicatesOnce) {
+  const auto spec = small_spec();
+  const auto path = temp_path("journal_tail_crc.jsonl");
+  std::remove(path.c_str());
+  {
+    JournalWriter writer(path, JournalHeader::for_run(spec, 8, 0, 1));
+    writer.add("k0", fake_cells(0));
+    writer.add("k1", fake_cells(1));
+  }
+  auto lines = file_lines(path);
+  {
+    const auto at = lines[1].find("mcf");  // flip a byte of k0's row
+    ASSERT_NE(at, std::string::npos);
+    lines[1].replace(at, 3, "mcg");
+  }
+  lines.push_back(lines[2]);  // and duplicate k1's row verbatim
+  write_lines(path, lines);
+
+  JournalTailer tailer(path);
+  EXPECT_EQ(tailer.poll(), (std::vector<std::string>{"k1"}));
+  EXPECT_EQ(tailer.rows_seen(), 1u);
   std::remove(path.c_str());
 }
 
