@@ -2,22 +2,29 @@
 // run_experiment per read-path policy on the paper's default Table I
 // configuration, for both dispatch paths:
 //
-//   E2E/static/<policy>   -- the production engine: batched trace pulls,
+//   E2E/simd/<policy>     -- the production engine: batched trace pulls,
 //                            policy statically dispatched and inlined into
-//                            the cache access path (run_experiment)
-//   E2E/replay/<policy>   -- the same engine fed from a materialized trace
-//                            (run_experiment_replay over a pre-built
-//                            arena): the steady-state cost of a campaign
-//                            grid point whose trace-cache lookup hits,
-//                            i.e. every point of a paired group after the
-//                            first. replay/static isolates the RNG
-//                            generation share of the hot path
+//                            the cache access path, vectorized drive loop
+//                            (batch pre-decode + prefetch + SIMD set
+//                            scans) (run_experiment)
+//   E2E/static/<policy>   -- the same engine on the plain batched loop,
+//                            no pre-decode/prefetch/SIMD
+//                            (run_experiment_basic)
+//   E2E/replay/<policy>   -- the production engine fed from a
+//                            materialized trace (run_experiment_replay
+//                            over a pre-built arena): the steady-state
+//                            cost of a campaign grid point whose
+//                            trace-cache lookup hits, i.e. every point of
+//                            a paired group after the first. replay/static
+//                            isolates the RNG generation share of the hot
+//                            path
 //   E2E/virtual/<policy>  -- the runtime-dispatch reference loop: per-op
 //                            virtual TraceSource::next + virtual
 //                            L2PolicyHooks (run_experiment_virtual)
 //
-// The static/virtual ratio isolates the dispatch + batching win inside one
-// binary; comparing BENCH_e2e.json files across commits (tools/
+// The simd/static and static/virtual ratios isolate the vectorization and
+// dispatch + batching wins inside one binary (bench_diff.py --gate holds
+// the floors in CI); comparing BENCH_e2e.json files across commits (tools/
 // bench_diff.py) tracks the full perf trajectory, including substrate
 // changes both paths share. items_per_second is simulated instructions per
 // wall second — the number ROADMAP's "SPEC-length windows become routine"
@@ -78,9 +85,15 @@ void run_e2e_replay(benchmark::State& state, core::PolicyKind policy) {
 void register_all() {
   for (const core::PolicyKind policy : core::all_policies()) {
     benchmark::RegisterBenchmark(
-        ("E2E/static/" + core::to_string(policy)).c_str(),
+        ("E2E/simd/" + core::to_string(policy)).c_str(),
         [policy](benchmark::State& s) {
           run_e2e(s, core::run_experiment, policy);
+        })
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(
+        ("E2E/static/" + core::to_string(policy)).c_str(),
+        [policy](benchmark::State& s) {
+          run_e2e(s, core::run_experiment_basic, policy);
         })
         ->Unit(benchmark::kMillisecond);
     benchmark::RegisterBenchmark(

@@ -167,6 +167,67 @@ void BM_CacheLookupMissAndFill(benchmark::State& state) {
 }
 BENCHMARK(BM_CacheLookupMissAndFill);
 
+void BM_CacheFindWay(benchmark::State& state) {
+  // The set-scan kernel in isolation, scalar reference vs the build's
+  // find_way (vector when REAP_SIMD is on), across way counts. Columns
+  // are padded/aligned exactly as SetAssocCache lays them out; half the
+  // lookups hit, half miss, planted across all ways.
+  const bool vector = state.range(0) != 0;
+  const std::size_t ways = static_cast<std::size_t>(state.range(1));
+  const std::size_t kSets = 512;
+  const std::size_t stride = sim::simd::padded_ways(ways);
+  sim::simd::AlignedVec<std::uint64_t> tags(kSets * stride);
+  common::Rng rng(7);
+  std::vector<std::uint64_t> keys(kSets);
+  for (std::size_t s = 0; s < kSets; ++s) {
+    for (std::size_t w = 0; w < ways; ++w)
+      tags[s * stride + w] = ((s * ways + w + 1) << 1) | 1;
+    // Even sets: probe a resident tag (hit); odd sets: an absent one.
+    const std::size_t w = rng.next() % ways;
+    keys[s] = (s % 2 == 0) ? tags[s * stride + w]
+                           : ((std::uint64_t{kSets * 16 + s} << 1) | 1);
+  }
+  std::size_t s = 0;
+  for (auto _ : state) {
+    const std::uint64_t* col = tags.data() + s * stride;
+    benchmark::DoNotOptimize(
+        vector ? sim::simd::find_way(col, ways, keys[s])
+               : sim::simd::find_way_scalar(col, ways, keys[s]));
+    s = (s + 1) & (kSets - 1);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetLabel(vector ? (sim::simd::kEnabled ? "vector" : "scalar-build")
+                        : "scalar");
+}
+BENCHMARK(BM_CacheFindWay)
+    ->ArgsProduct({{0, 1}, {2, 4, 8, 16}})
+    ->ArgNames({"simd", "ways"});
+
+void BM_BatchAddrDecode(benchmark::State& state) {
+  // The batch pre-pass run_vectorized adds: kBatchOps addresses ->
+  // (set, tagv) against the Table I L2 geometry. items = ops, so
+  // items_per_second shows the per-op cost the pre-decode amortizes.
+  auto profile = *trace::spec2006_profile("perlbench");
+  trace::WorkloadTraceSource src(profile);
+  std::vector<trace::MemOp> buf(sim::TraceCpu::kBatchOps);
+  const std::size_t n = src.next_batch({buf.data(), buf.size()});
+  std::vector<std::uint32_t> set(n);
+  std::vector<std::uint64_t> tagv(n);
+  sim::SetAssocCache l2(
+      {.name = "L2", .capacity_bytes = 1024 * 1024, .ways = 8,
+       .block_bytes = 64});
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    sim::simd::predecode(buf.data(), n, l2.offset_bits(), l2.index_bits(),
+                         set.data(), tagv.data());
+    benchmark::DoNotOptimize(set.data());
+    benchmark::DoNotOptimize(tagv.data());
+    ops += n;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+}
+BENCHMARK(BM_BatchAddrDecode);
+
 void BM_HierarchySimulation(benchmark::State& state) {
   // Steady-state instructions/second through the full hierarchy with the
   // REAP policy attached (the heaviest hook).

@@ -153,15 +153,26 @@ void check_config(const ExperimentConfig& cfg) {
 
 namespace {
 
-ExperimentResult run_static(const ExperimentConfig& cfg, ExperimentRig& rig) {
+// `vectorized` picks the drive loop: TraceCpu::run_vectorized (batch
+// pre-decode + prefetch + pre-decoded L2 lookups) or the plain batched
+// run. Both produce byte-identical results; the branch is per run, not
+// per op.
+ExperimentResult run_static(const ExperimentConfig& cfg, ExperimentRig& rig,
+                            bool vectorized = true) {
   return with_policy_impl(cfg.policy, rig.ctx, [&](auto& policy) {
     // Warmup: populate caches, then reset all accounting.
     if (cfg.warmup_instructions > 0) {
-      rig.cpu.run(cfg.warmup_instructions, policy);
+      if (vectorized)
+        rig.cpu.run_vectorized(cfg.warmup_instructions, policy);
+      else
+        rig.cpu.run(cfg.warmup_instructions, policy);
       rig.reset_accounting();
       policy.reset_events();
     }
-    rig.cpu.run(cfg.instructions, policy);
+    if (vectorized)
+      rig.cpu.run_vectorized(cfg.instructions, policy);
+    else
+      rig.cpu.run(cfg.instructions, policy);
     return collect(cfg, rig, policy);
   });
 }
@@ -172,6 +183,12 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   check_config(cfg);
   ExperimentRig rig(cfg);
   return run_static(cfg, rig);
+}
+
+ExperimentResult run_experiment_basic(const ExperimentConfig& cfg) {
+  check_config(cfg);
+  ExperimentRig rig(cfg);
+  return run_static(cfg, rig, /*vectorized=*/false);
 }
 
 ExperimentResult run_experiment_replay(const ExperimentConfig& cfg,

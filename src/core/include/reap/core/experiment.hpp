@@ -68,8 +68,19 @@ struct ExperimentResult {
 
 // Runs one experiment end to end. Dispatch is static: the simulator inner
 // loop (trace batch -> L1 -> L2 -> policy) is instantiated per PolicyKind
-// with no per-access virtual calls.
+// with no per-access virtual calls. The drive loop is the vectorized one
+// (TraceCpu::run_vectorized): batch address pre-decode, software prefetch
+// of upcoming set columns, SIMD set scans where the build enables them
+// (REAP_SIMD) -- all byte-identical to the unvectorized loop below.
 ExperimentResult run_experiment(const ExperimentConfig& cfg);
+
+// The same static-dispatch engine driven by the plain batched loop
+// (TraceCpu::run(n, policy)): no pre-decode, no prefetch, scalar per-way
+// walks. Kept as bench_e2e's E2E/static baseline -- the simd/static ratio
+// isolates this PR's vectorization win inside one binary -- and as a
+// golden-equivalence midpoint (pinned byte-identical to run_experiment by
+// tests/core/test_static_dispatch.cpp).
+ExperimentResult run_experiment_basic(const ExperimentConfig& cfg);
 
 // Same static-dispatch drive loop, but ops are pulled from `source`
 // instead of a freshly constructed WorkloadTraceSource(cfg.workload).

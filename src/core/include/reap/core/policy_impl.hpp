@@ -8,11 +8,13 @@
 // lives in PolicyImplBase, a CRTP base so the eviction path reaches the
 // derived check_failure without a vtable.
 //
-// Loops that only bump accumulation counters are written branchlessly
-// (counter += valid_bit) — the per-way valid/hit branches are
-// data-dependent and mispredict heavily on real set contents. Loops that
-// append ledger entries per way keep the branchy form: the ledger's
-// floating-point sum and histogram sequence must stay in exact way order.
+// Loops that only bump accumulation counters go through
+// CacheSetView::accumulate_valid — a whole-set vector kernel
+// (sim/simd.hpp) when the view spans the cache's padded columns, the
+// branchless scalar walk (counter += valid_bit) otherwise; both are
+// value-identical. Loops that append ledger entries per way keep the
+// branchy form: the ledger's floating-point sum and histogram sequence
+// must stay in exact way order.
 #pragma once
 
 #include "reap/common/assert.hpp"
@@ -81,8 +83,7 @@ class PolicyImplBase {
 
     // Every valid way's data is sensed; count the read on all of them,
     // then rewind the hit way, whose read is checked, not concealed.
-    for (std::size_t w = 0; w < set.size(); ++w)
-      set.rel(w).reads_since_check += set.valid_bit(w);
+    set.accumulate_valid();
 
     if (hit_way >= 0) {
       // The requested way goes through the single ECC decoder. Its failure
@@ -135,8 +136,7 @@ class ReapPolicyImpl final : public PolicyImplBase<ReapPolicyImpl> {
     // known at the next real read; the physical scrub is what
     // distinguishes this from the conventional counter (the formula, not
     // the bookkeeping, changes).
-    for (std::size_t w = 0; w < set.size(); ++w)
-      set.rel(w).reads_since_check += set.valid_bit(w);
+    set.accumulate_valid();
 
     if (hit_way >= 0) {
       // Every read since the last delivery was individually checked and

@@ -13,11 +13,22 @@ SetAssocCache::SetAssocCache(CacheConfig cfg, std::uint64_t seed)
   REAP_EXPECTS(cfg_.capacity_bytes % (cfg_.ways * cfg_.block_bytes) == 0);
   sets_ = cfg_.sets();
   REAP_EXPECTS(std::has_single_bit(sets_));
+  stride_ = simd::padded_ways(cfg_.ways);
   offset_bits_ = static_cast<unsigned>(std::countr_zero(cfg_.block_bytes));
   index_bits_ = static_cast<unsigned>(std::countr_zero(sets_));
-  tags_.resize(sets_ * cfg_.ways, 0);
-  rel_.resize(sets_ * cfg_.ways);
-  state_.resize(sets_ * cfg_.ways);
+  // Hot columns: 64 B-aligned, stride padded to the vector width, zeroed
+  // (zero = invalid tagv / LineRel{0,0}) -- see the layout note up top.
+  tags_ = simd::AlignedVec<std::uint64_t>(sets_ * stride_);
+  rel_ = simd::AlignedVec<LineRel>(sets_ * stride_);
+  lru_ = simd::AlignedVec<std::uint64_t>(sets_ * stride_);
+  // The lru column's padding lanes hold the never-wins sentinel so the
+  // vector victim scan can run whole padded sets. Set in every build --
+  // the layout is REAP_SIMD-independent by design.
+  for (std::size_t s = 0; s < sets_; ++s) {
+    for (std::size_t w = cfg_.ways; w < stride_; ++w)
+      lru_[s * stride_ + w] = simd::kLruPad;
+  }
+  state_.resize(sets_ * stride_);
   default_ones_ = static_cast<std::uint32_t>(cfg_.block_bytes * 8 / 2);
 }
 
@@ -25,56 +36,37 @@ SetAssocCache::LineInfo SetAssocCache::line_info(std::size_t set,
                                                  std::size_t way) const {
   REAP_EXPECTS(set < sets_);
   REAP_EXPECTS(way < cfg_.ways);
-  const std::size_t idx = set * cfg_.ways + way;
+  const std::size_t idx = set * stride_ + way;
   LineInfo info;
   info.valid = state_[idx].valid;
   info.dirty = state_[idx].dirty;
   info.tag = tags_[idx] >> 1;
   info.ones = rel_[idx].ones;
   info.reads_since_check = rel_[idx].reads_since_check;
-  info.lru_stamp = state_[idx].lru_stamp;
+  info.lru_stamp = lru_[idx];
   info.fill_stamp = state_[idx].fill_stamp;
   return info;
 }
 
-std::size_t SetAssocCache::victim_way(std::size_t set) {
-  const std::size_t base = set * cfg_.ways;
+// random / least_error_rate victim pick -- the cold tail of victim_way
+// (the lru/fifo scans live in the header with the hot paths).
+std::size_t SetAssocCache::victim_way_rare(std::size_t set) {
+  const std::size_t base = set * stride_;
   const LineState* st = &state_[base];
-  // lru/fifo need no separate invalid-ways pass: an invalid line's stamps
-  // are 0 and every valid line's are >= 1 (clock_ pre-increments), so the
-  // single min-stamp scan already prefers the first invalid way — the same
-  // victim the two-pass form picked.
-  switch (cfg_.replacement) {
-    case ReplacementKind::lru: {
-      std::size_t v = 0;
-      for (std::size_t w = 1; w < cfg_.ways; ++w) {
-        if (st[w].lru_stamp < st[v].lru_stamp) v = w;
-      }
-      return v;
-    }
-    case ReplacementKind::fifo: {
-      std::size_t v = 0;
-      for (std::size_t w = 1; w < cfg_.ways; ++w) {
-        if (st[w].fill_stamp < st[v].fill_stamp) v = w;
-      }
-      return v;
-    }
-    default:
-      break;
-  }
   // Invalid ways first.
   for (std::size_t w = 0; w < cfg_.ways; ++w) {
     if (!st[w].valid) return w;
   }
   if (cfg_.replacement == ReplacementKind::random_repl)
     return static_cast<std::size_t>(rng_.below(cfg_.ways));
-  // least_error_rate
+  // least_error_rate: most accumulated unchecked reads, LRU tie-break.
   const LineRel* rel = &rel_[base];
+  const std::uint64_t* lru = &lru_[base];
   std::size_t v = 0;
   for (std::size_t w = 1; w < cfg_.ways; ++w) {
     if (rel[w].reads_since_check > rel[v].reads_since_check ||
         (rel[w].reads_since_check == rel[v].reads_since_check &&
-         st[w].lru_stamp < st[v].lru_stamp)) {
+         lru[w] < lru[v])) {
       v = w;
     }
   }
@@ -85,10 +77,11 @@ bool SetAssocCache::invalidate(std::uint64_t addr) {
   const std::size_t set = set_of(addr);
   const int way = find_way(set, tagv_of(addr));
   if (way < 0) return false;
-  const std::size_t idx = set * cfg_.ways + static_cast<std::size_t>(way);
+  const std::size_t idx = set * stride_ + static_cast<std::size_t>(way);
   const bool was_dirty = state_[idx].dirty;
   tags_[idx] = 0;
   rel_[idx] = LineRel{};
+  lru_[idx] = 0;  // stamp 0 = prime victim, like any invalid line
   state_[idx] = LineState{};
   return was_dirty;
 }

@@ -11,8 +11,18 @@
 //             find_way scans (one 64B host cache line covers an 8-way set)
 //   rel_   -- LineRel {ones, reads_since_check}, the reliability metadata
 //             the policy loop walks on every lookup (8 bytes per line)
-//   state_ -- LineState {valid, dirty, lru/fill stamps}, touched only on
-//             hits (LRU update) and fills/evictions
+//   lru_   -- lru-stamp uint64 column: written on every hit (the LRU
+//             touch) and min-scanned on every fill (the victim pick)
+//   state_ -- LineState {valid, dirty, fill stamp}, touched only on
+//             fills/evictions
+//
+// The hot columns (tags_, rel_, lru_) are 64 B-aligned and the per-set
+// stride is padded to the vector width (sim/simd.hpp): an 8-way set's tag
+// column is exactly one host cache line and every whole-set scan --
+// find_way's tag compare, the policies' accumulation walk, the LRU victim
+// scan -- runs in full vectors over padding that can never win (zero for
+// tags/rel, simd::kLruPad for lru). The layout is identical in scalar
+// builds; only the kernels switch on REAP_SIMD.
 //
 // Dispatch is compile-time: the access paths are templates over a Hooks
 // type with the L2PolicyHooks shape, so a concrete policy inlines into the
@@ -27,6 +37,7 @@
 #include <vector>
 
 #include "reap/common/rng.hpp"
+#include "reap/sim/simd.hpp"
 #include "reap/trace/datavalue.hpp"
 
 namespace reap::sim {
@@ -40,22 +51,28 @@ struct LineRel {
                                         // check / rewrite (paper's N - 1)
 };
 
-// Cold per-line state: replacement bookkeeping and the dirty bit. `valid`
-// mirrors the tag column's valid bit (the cache is the sole writer of
-// both).
+// Cold per-line state: the dirty bit and the fifo stamp. `valid` mirrors
+// the tag column's valid bit (the cache is the sole writer of both). The
+// LRU stamp is NOT here -- it lives in its own hot column (lru_), because
+// the per-hit touch and the per-fill victim scan walk it constantly and a
+// set's stamps should sit on one host line, not be strided through this
+// struct.
 struct LineState {
   bool valid = false;
   bool dirty = false;
-  std::uint64_t lru_stamp = 0;
   std::uint64_t fill_stamp = 0;
 };
 
 // One set's SoA columns, as handed to the policy hooks: the tag|valid
-// column (read-only) and the reliability column (mutable).
+// column (read-only) and the reliability column (mutable). `padded` says
+// both columns are readable/writable up to simd::padded_ways(ways)
+// entries with zeroed padding -- true for views the cache builds over its
+// own columns, false for views tests construct over raw arrays.
 class CacheSetView {
  public:
-  CacheSetView(const std::uint64_t* tagv, LineRel* rel, std::size_t ways)
-      : tagv_(tagv), rel_(rel), ways_(ways) {}
+  CacheSetView(const std::uint64_t* tagv, LineRel* rel, std::size_t ways,
+               bool padded = false)
+      : tagv_(tagv), rel_(rel), ways_(ways), padded_(padded) {}
 
   std::size_t size() const { return ways_; }
   bool valid(std::size_t way) const { return (tagv_[way] & 1) != 0; }
@@ -66,10 +83,24 @@ class CacheSetView {
   }
   LineRel& rel(std::size_t way) const { return rel_[way]; }
 
+  // The policies' shared accumulation walk, whole set per vector:
+  // reads_since_check += valid_bit for every way. Value-identical to the
+  // per-way scalar loop (pinned by tests/sim/test_simd.cpp); the vector
+  // form needs the padded-column guarantee.
+  void accumulate_valid() const {
+    if (padded_) {
+      simd::accumulate_valid(tagv_, rel_, ways_);
+    } else {
+      for (std::size_t w = 0; w < ways_; ++w)
+        rel_[w].reads_since_check += valid_bit(w);
+    }
+  }
+
  private:
   const std::uint64_t* tagv_;
   LineRel* rel_;
   std::size_t ways_;
+  bool padded_;
 };
 
 // lru/fifo/random are the classic policies; least_error_rate follows the
@@ -141,10 +172,16 @@ struct VirtualHooks {
   }
 };
 
-// Ones-count source for filled/rewritten lines. A concrete type (not a
-// type-erased std::function) so the fill path is a predictable branch plus
-// a direct call: either a DataValueModel, a fixed count for tests, or the
-// cache's default (half the block bits).
+// Ones-count source for filled lines. A concrete type (not a type-erased
+// std::function) so the fill path is a predictable branch plus a direct
+// call: either a DataValueModel, a fixed count for tests, or the cache's
+// default (half the block bits).
+//
+// Contract: a provider is a pure function of the address -- the same line
+// address always yields the same count (what makes experiments
+// reproducible from a seed). The cache relies on this: a write hit keeps
+// the count installed at fill instead of re-deriving it, because the
+// re-derivation could only return the same value.
 class OnesProvider {
  public:
   OnesProvider() = default;
@@ -160,6 +197,12 @@ class OnesProvider {
   std::uint32_t ones_for(std::uint64_t addr, std::uint32_t fallback) const {
     if (model_) return model_->ones_for(addr);
     return has_fixed_ ? fixed_ : fallback;
+  }
+
+  // Software-prefetch whatever ones_for(addr, ...) would probe (the
+  // model's memo slot); a no-op for fixed/default providers.
+  void prefetch(std::uint64_t addr) const {
+    if (model_) model_->prefetch(addr);
   }
 
  private:
@@ -209,47 +252,70 @@ class SetAssocCache {
   };
 
   // Read lookup. Returns hit; does NOT fill on miss (caller decides).
-  template <class Hooks>
+  //
+  // The lookup paths are templated on a kernel flavor as well as the hooks
+  // type. kVector=true (the default) scans with the build's wide kernels;
+  // kVector=false keeps the pre-vectorization scalar walks. The two
+  // flavors are value-identical (pinned by tests/sim/test_simd.cpp); the
+  // scalar flavor exists so the plain batched drive loop -- bench_e2e's
+  // E2E/static baseline -- stays a faithful reconstruction of the
+  // pre-vectorization engine that the E2E/simd series is gated against.
+  template <bool kVector = true, class Hooks>
   bool read(std::uint64_t addr, Hooks& hooks) {
-    const std::size_t set = set_of(addr);
+    return read_pre<kVector>(set_of(addr), tagv_of(addr), hooks);
+  }
+
+  // Pre-decoded read lookup: `set`/`tagv` must equal set_of(addr)/
+  // tagv_of(addr) for the looked-up address (the batch pre-decode pass
+  // hoists that derivation out of the per-access path).
+  template <bool kVector = true, class Hooks>
+  bool read_pre(std::size_t set, std::uint64_t tagv, Hooks& hooks) {
     ++stats_.read_lookups;
-    const int way = find_way(set, tagv_of(addr));
-    hooks.on_read_lookup(view_of(set), way);
+    const int way = find_way<kVector>(set, tagv);
+    hooks.on_read_lookup(view_of<kVector>(set), way);
     if (way < 0) return false;
     ++stats_.read_hits;
-    touch(state_[set * cfg_.ways + static_cast<std::size_t>(way)]);
+    touch(set * stride_ + static_cast<std::size_t>(way));
     return true;
   }
 
-  // Write lookup. On a hit the line is rewritten in place (dirty, ones
-  // refreshed, accumulation cleared). Returns hit.
-  template <class Hooks>
+  // Write lookup. On a hit the line is rewritten in place (dirty,
+  // accumulation cleared). The installed ones count is kept: providers
+  // are address-deterministic (the OnesProvider contract), so re-deriving
+  // it for the same line is the same value -- the hot path skips the
+  // probe. Returns hit.
+  template <bool kVector = true, class Hooks>
   bool write(std::uint64_t addr, Hooks& hooks) {
-    const std::size_t set = set_of(addr);
+    return write_pre<kVector>(set_of(addr), tagv_of(addr), hooks);
+  }
+
+  // Pre-decoded write lookup; same contract as read_pre.
+  template <bool kVector = true, class Hooks>
+  bool write_pre(std::size_t set, std::uint64_t tagv, Hooks& hooks) {
     ++stats_.write_lookups;
-    const int way = find_way(set, tagv_of(addr));
-    hooks.on_write_lookup(view_of(set), way);
+    const int way = find_way<kVector>(set, tagv);
+    hooks.on_write_lookup(view_of<kVector>(set), way);
     if (way < 0) return false;
     ++stats_.write_hits;
-    const std::size_t idx = set * cfg_.ways + static_cast<std::size_t>(way);
+    const std::size_t idx = set * stride_ + static_cast<std::size_t>(way);
     state_[idx].dirty = true;
-    rel_[idx].ones = ones_.ones_for(addr, default_ones_);
     rel_[idx].reads_since_check = 0;  // a rewrite refreshes every cell
-    touch(state_[idx]);
+    touch(idx);
     return true;
   }
 
   // Installs addr's block, evicting if needed; returns the evicted victim.
   // Precondition (validated by tests, not re-scanned here — this is the
-  // hot miss path): addr's block is not already present.
-  template <class Hooks>
+  // hot miss path): addr's block is not already present. kVector flavors
+  // the LRU victim scan, same contract as the lookup paths.
+  template <bool kVector = true, class Hooks>
   Evicted fill(std::uint64_t addr, bool dirty, Hooks& hooks) {
     const std::size_t set = set_of(addr);
     const std::uint64_t tag = tag_of(addr);
 
     Evicted ev;
-    const std::size_t w = victim_way(set);
-    const std::size_t idx = set * cfg_.ways + w;
+    const std::size_t w = victim_way<kVector>(set);
+    const std::size_t idx = set * stride_ + w;
     LineState& st = state_[idx];
     if (st.valid) {
       hooks.on_evict(rel_[idx], st.dirty);
@@ -265,7 +331,7 @@ class SetAssocCache {
     rel_[idx].ones = ones_.ones_for(addr, default_ones_);
     rel_[idx].reads_since_check = 0;
     st.fill_stamp = ++clock_;
-    st.lru_stamp = clock_;
+    lru_[idx] = clock_;
     ++stats_.fills;
     hooks.on_fill(rel_[idx]);
     return ev;
@@ -311,42 +377,98 @@ class SetAssocCache {
   std::uint64_t tag_of(std::uint64_t addr) const {
     return addr >> (offset_bits_ + index_bits_);
   }
-  std::uint64_t line_addr(std::uint64_t tag, std::size_t set) const {
-    return (tag << (offset_bits_ + index_bits_)) |
-           (static_cast<std::uint64_t>(set) << offset_bits_);
-  }
-
- private:
   // Dense column entry: (tag << 1) | valid. Invalid entries are 0, which
   // never equals a valid key (those are odd), so the scan needs no
   // separate valid test.
   std::uint64_t tagv_of(std::uint64_t addr) const {
     return (tag_of(addr) << 1) | 1;
   }
+  std::uint64_t line_addr(std::uint64_t tag, std::size_t set) const {
+    return (tag << (offset_bits_ + index_bits_)) |
+           (static_cast<std::uint64_t>(set) << offset_bits_);
+  }
 
+  // Geometry for the batch pre-decode pass (simd::predecode must produce
+  // exactly set_of / tagv_of).
+  unsigned offset_bits() const { return offset_bits_; }
+  unsigned index_bits() const { return index_bits_; }
+
+  // Software-prefetch a set's hot metadata (tag + LineRel + lru columns)
+  // ahead of its lookup. A hint only: no stats, no state, no output
+  // effect.
+  void prefetch_set(std::size_t set) const {
+    const std::size_t base = set * stride_;
+    simd::prefetch(&tags_[base]);
+    simd::prefetch(&rel_[base]);
+    simd::prefetch(&lru_[base]);
+  }
+
+  // Software-prefetch the ones-memo slot that filling/rewriting addr's
+  // block would probe (the data-value model's table is far larger than
+  // the set columns, and a low-locality op stream misses it constantly).
+  // Hint only, like prefetch_set.
+  void prefetch_ones(std::uint64_t addr) const { ones_.prefetch(addr); }
+
+ private:
+  // The view's padded flag doubles as the accumulate_valid routing switch:
+  // scalar-flavor lookups hand the policies a view that accumulates with
+  // the scalar walk, vector-flavor lookups one that uses the wide kernel.
+  // (The columns themselves are padded either way.)
+  template <bool kVector = true>
   CacheSetView view_of(std::size_t set) {
-    const std::size_t base = set * cfg_.ways;
-    return {&tags_[base], &rel_[base], cfg_.ways};
+    const std::size_t base = set * stride_;
+    return {&tags_[base], &rel_[base], cfg_.ways, /*padded=*/kVector};
   }
 
+  template <bool kVector = true>
   int find_way(std::size_t set, std::uint64_t tagv) const {
-    const std::uint64_t* base = &tags_[set * cfg_.ways];
-    for (std::size_t w = 0; w < cfg_.ways; ++w) {
-      if (base[w] == tagv) return static_cast<int>(w);
-    }
-    return -1;
+    if constexpr (kVector)
+      return simd::find_way(&tags_[set * stride_], cfg_.ways, tagv);
+    else
+      return simd::find_way_scalar(&tags_[set * stride_], cfg_.ways, tagv);
   }
 
-  std::size_t victim_way(std::size_t set);
-  void touch(LineState& st) { st.lru_stamp = ++clock_; }
+  // Victim selection. LRU is the hot case -- a single min-stamp scan over
+  // the set's lru column -- and is the flavored one. lru/fifo need no
+  // separate invalid-ways pass: an invalid line's stamps are 0 and every
+  // valid line's are >= 1 (clock_ pre-increments), so the min-stamp scan
+  // already prefers the first invalid way — the same victim the two-pass
+  // form picked. random/LER fall through to the cold helper.
+  template <bool kVector = true>
+  std::size_t victim_way(std::size_t set) {
+    const std::size_t base = set * stride_;
+    switch (cfg_.replacement) {
+      case ReplacementKind::lru:
+        if constexpr (kVector)
+          return simd::victim_min(&lru_[base], cfg_.ways);
+        else
+          return simd::victim_min_scalar(&lru_[base], cfg_.ways);
+      case ReplacementKind::fifo: {
+        const LineState* st = &state_[base];
+        std::size_t v = 0;
+        for (std::size_t w = 1; w < cfg_.ways; ++w) {
+          if (st[w].fill_stamp < st[v].fill_stamp) v = w;
+        }
+        return v;
+      }
+      default:
+        break;
+    }
+    return victim_way_rare(set);
+  }
+
+  std::size_t victim_way_rare(std::size_t set);
+  void touch(std::size_t idx) { lru_[idx] = ++clock_; }
 
   CacheConfig cfg_;
   std::size_t sets_;
+  std::size_t stride_;  // simd::padded_ways(cfg_.ways) entries per set
   unsigned offset_bits_;
   unsigned index_bits_;
-  std::vector<std::uint64_t> tags_;  // dense (tag << 1) | valid column
-  std::vector<LineRel> rel_;         // hot reliability column
-  std::vector<LineState> state_;     // cold replacement/dirty column
+  simd::AlignedVec<std::uint64_t> tags_;  // dense (tag << 1) | valid column
+  simd::AlignedVec<LineRel> rel_;         // hot reliability column
+  simd::AlignedVec<std::uint64_t> lru_;   // hot lru-stamp column
+  std::vector<LineState> state_;          // cold valid/dirty/fifo column
   CacheStats stats_;
   L2PolicyHooks* hooks_ = nullptr;
   OnesProvider ones_;

@@ -36,6 +36,13 @@ class DataValueModel {
   // returned value. Not thread-safe: use one model per experiment.
   std::uint32_t ones_for(std::uint64_t line_addr) const;
 
+  // Software-prefetch the memo slot ones_for(line_addr) would probe; the
+  // vectorized drive loop issues this a few ops ahead of the access. Pure
+  // latency hint, no semantic effect.
+  void prefetch(std::uint64_t line_addr) const {
+    memo_.prefetch(line_addr >> 6);
+  }
+
   // A concrete payload whose popcount equals ones_for(line_addr); bit
   // positions are deterministic in the address too.
   common::BitVec payload_for(std::uint64_t line_addr) const;

@@ -156,6 +156,26 @@ TEST(Docs, ArchitectureCoversEveryLayer) {
        {"test_runner_determinism", "test_shard_resume", "test_dispatch"})
     EXPECT_NE(arch.find(pin), std::string::npos)
         << "docs/architecture.md does not reference " << pin;
+  // Invariant 7: the SIMD/scalar build split must be documented with the
+  // option that selects it and the pins that hold it.
+  for (const char* token :
+       {"REAP_SIMD", "sim/simd.hpp", "test_simd", "scalar-fallback"})
+    EXPECT_NE(arch.find(token), std::string::npos)
+        << "docs/architecture.md does not mention " << token;
+}
+
+// docs/performance.md must describe the vectorized hot loop in terms
+// that match the code: the kernel entry points, the build option, the
+// bench series CI gates, and the gate tool syntax.
+TEST(Docs, PerformanceCoversTheVectorizedHotLoop) {
+  const auto perf = read_file(kSourceDir + "/docs/performance.md");
+  for (const char* token :
+       {"sim/simd.hpp", "find_way", "victim_min", "accumulate_valid",
+        "predecode", "REAP_SIMD", "kPrefetchAhead", "E2E/simd",
+        "BM_CacheFindWay", "BM_BatchAddrDecode",
+        "--gate replay/static=1.3", "--gate simd/static=1.0"})
+    EXPECT_NE(perf.find(token), std::string::npos)
+        << "docs/performance.md does not mention " << token;
 }
 
 }  // namespace

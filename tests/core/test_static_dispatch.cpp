@@ -1,9 +1,13 @@
 // Golden-equivalence test for the devirtualized engine: the static-dispatch
 // path (run_experiment: batched trace pulls, policy inlined into the cache
-// access path) must produce results byte-identical to the runtime-dispatch
-// reference path (run_experiment_virtual: per-op virtual TraceSource::next,
-// virtual L2PolicyHooks) for every PolicyKind. Any divergence means the
-// refactor changed an observable result, not just its speed.
+// access path, vectorized drive loop) must produce results byte-identical
+// to the runtime-dispatch reference path (run_experiment_virtual: per-op
+// virtual TraceSource::next, virtual L2PolicyHooks) for every PolicyKind --
+// and to run_experiment_basic, the same engine on the plain batched loop
+// with no pre-decode/prefetch/SIMD. Any divergence means a refactor changed
+// an observable result, not just its speed. The suite runs unchanged under
+// REAP_SIMD=OFF (the CI scalar-fallback leg), so the chain virtual == basic
+// == vectorized is pinned on both kernel flavours.
 #include <gtest/gtest.h>
 
 #include "reap/core/experiment.hpp"
@@ -116,6 +120,36 @@ TEST(StaticDispatch, IdenticalWithoutWarmup) {
   auto cfg = small_cfg("mcf", PolicyKind::reap);
   cfg.warmup_instructions = 0;
   expect_identical(run_experiment(cfg), run_experiment_virtual(cfg));
+}
+
+// Vectorization equivalence: the vectorized drive loop (batch pre-decode,
+// prefetch, SIMD set scans where built) must be byte-identical to the
+// plain batched loop for every policy. This is the gate the perf work
+// stands behind: run_experiment may only be faster than
+// run_experiment_basic, never different.
+TEST(StaticDispatch, VectorizedIdenticalToBasicForEveryPolicy) {
+  for (const PolicyKind kind : all_policies()) {
+    SCOPED_TRACE(to_string(kind));
+    const auto cfg = small_cfg("perlbench", kind);
+    expect_identical(run_experiment(cfg), run_experiment_basic(cfg));
+  }
+}
+
+TEST(StaticDispatch, VectorizedIdenticalToBasicOnHotSetWorkload) {
+  // h264ref's hot sets maximize accumulate_valid traffic, the loop the
+  // vector kernel replaced.
+  for (const PolicyKind kind :
+       {PolicyKind::conventional_parallel, PolicyKind::reap}) {
+    SCOPED_TRACE(to_string(kind));
+    const auto cfg = small_cfg("h264ref", kind);
+    expect_identical(run_experiment(cfg), run_experiment_basic(cfg));
+  }
+}
+
+TEST(StaticDispatch, VectorizedIdenticalToBasicWithoutWarmup) {
+  auto cfg = small_cfg("mcf", PolicyKind::disruptive_restore);
+  cfg.warmup_instructions = 0;
+  expect_identical(run_experiment(cfg), run_experiment_basic(cfg));
 }
 
 // Replay equivalence: feeding the engine from a materialized arena

@@ -149,18 +149,27 @@ TEST(Cache, DirtyEvictionReported) {
   EXPECT_EQ(c.stats().dirty_evictions, 1u);
 }
 
-TEST(Cache, WriteHitDirtiesAndRefreshes) {
+TEST(Cache, WriteHitDirtiesClearsAccumulationAndKeepsOnes) {
   SetAssocCache c(small_cfg());
   c.set_ones_provider(OnesProvider::fixed(100));
   c.fill(mk_addr(1, 0), false);
   EXPECT_EQ(c.line_info(0, 0).ones, 100u);
   EXPECT_FALSE(c.line_info(0, 0).dirty);
 
+  // Providers are address-deterministic (the OnesProvider contract), so a
+  // write hit keeps the count installed at fill rather than re-deriving
+  // the same value -- even across a mid-run provider swap, which real
+  // experiments never do.
   c.set_ones_provider(OnesProvider::fixed(200));
   EXPECT_TRUE(c.write(mk_addr(1, 0)));
   EXPECT_TRUE(c.line_info(0, 0).dirty);
-  EXPECT_EQ(c.line_info(0, 0).ones, 200u);
+  EXPECT_EQ(c.line_info(0, 0).ones, 100u);
   EXPECT_EQ(c.line_info(0, 0).reads_since_check, 0u);
+
+  // The next fill of the line derives from the current provider.
+  c.invalidate(mk_addr(1, 0));
+  c.fill(mk_addr(1, 0), false);
+  EXPECT_EQ(c.line_info(0, 0).ones, 200u);
 }
 
 TEST(Cache, WriteMissDoesNotAllocate) {

@@ -93,5 +93,89 @@ TEST(TraceCpu, ResetCountersKeepsCacheState) {
   EXPECT_LT(cpu.cycles(), 10u);
 }
 
+// A pseudo-random but deterministic op mix that misses, hits, and writes
+// back across both L1s and the L2 -- enough traffic that a divergence in
+// the drive loops would show up in cycles or hierarchy stats.
+std::vector<trace::MemOp> mixed_ops(std::size_t n) {
+  std::vector<trace::MemOp> ops;
+  std::uint64_t x = 0x9E3779B97F4A7C15ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    const std::uint64_t addr = (x % 64) * 64;
+    if (i % 3 == 0)
+      ops.push_back({trace::OpType::inst_fetch, 0x400000u + (x % 512) * 4});
+    else if (i % 3 == 1)
+      ops.push_back({trace::OpType::load, addr});
+    else
+      ops.push_back({trace::OpType::store, addr + 0x8000});
+  }
+  return ops;
+}
+
+void expect_same_run(const TraceCpu& a, const MemoryHierarchy& ma,
+                     const TraceCpu& b, const MemoryHierarchy& mb) {
+  EXPECT_EQ(a.instructions(), b.instructions());
+  EXPECT_EQ(a.cycles(), b.cycles());
+  const HierarchyStats sa = ma.stats();
+  const HierarchyStats sb = mb.stats();
+  EXPECT_EQ(sa.l2.read_lookups, sb.l2.read_lookups);
+  EXPECT_EQ(sa.l2.read_hits, sb.l2.read_hits);
+  EXPECT_EQ(sa.l2.write_lookups, sb.l2.write_lookups);
+  EXPECT_EQ(sa.l2.fills, sb.l2.fills);
+  EXPECT_EQ(sa.l2.evictions, sb.l2.evictions);
+  EXPECT_EQ(sa.mem_reads, sb.mem_reads);
+  EXPECT_EQ(sa.mem_writes, sb.mem_writes);
+}
+
+TEST(TraceCpu, VectorizedLoopMatchesBatchedLoop) {
+  const auto ops = mixed_ops(20'000);
+  trace::VectorTraceSource src_a(ops), src_b(ops);
+  MemoryHierarchy mem_a(tiny_cfg()), mem_b(tiny_cfg());
+  TraceCpu cpu_a(src_a, mem_a), cpu_b(src_b, mem_b);
+  NullHooks hooks;
+  EXPECT_EQ(cpu_a.run(100'000, hooks), cpu_b.run_vectorized(100'000, hooks));
+  expect_same_run(cpu_a, mem_a, cpu_b, mem_b);
+}
+
+TEST(TraceCpu, VectorizedLoopHonoursInstructionBudget) {
+  const auto ops = mixed_ops(20'000);
+  trace::VectorTraceSource src_a(ops), src_b(ops);
+  MemoryHierarchy mem_a(tiny_cfg()), mem_b(tiny_cfg());
+  TraceCpu cpu_a(src_a, mem_a), cpu_b(src_b, mem_b);
+  NullHooks hooks;
+  EXPECT_EQ(cpu_a.run(1'000, hooks), cpu_b.run_vectorized(1'000, hooks));
+  expect_same_run(cpu_a, mem_a, cpu_b, mem_b);
+  // Resume both to trace end.
+  EXPECT_EQ(cpu_a.run(100'000, hooks), cpu_b.run_vectorized(100'000, hooks));
+  expect_same_run(cpu_a, mem_a, cpu_b, mem_b);
+}
+
+TEST(TraceCpu, BatchedStylesHandOffMidBatch) {
+  // The two batched styles share the batch buffer; switching styles with a
+  // partially consumed batch must lose no ops and change no result. (The
+  // vectorized loop re-decodes an inherited batch; the plain loop just
+  // ignores the decode arrays.)
+  const auto ops = mixed_ops(20'000);
+  trace::VectorTraceSource src_a(ops), src_b(ops);
+  MemoryHierarchy mem_a(tiny_cfg()), mem_b(tiny_cfg());
+  TraceCpu cpu_a(src_a, mem_a), cpu_b(src_b, mem_b);
+  NullHooks hooks;
+  std::uint64_t done_a = 0, done_b = 0;
+  // 100-instruction slices are far smaller than kBatchOps, so every switch
+  // happens mid-batch.
+  for (int slice = 0; ; ++slice) {
+    const std::uint64_t got_b = (slice % 2 == 0)
+                                    ? cpu_b.run(100, hooks)
+                                    : cpu_b.run_vectorized(100, hooks);
+    done_a += cpu_a.run(100, hooks);
+    done_b += got_b;
+    if (got_b == 0) break;
+  }
+  EXPECT_EQ(done_a, done_b);
+  expect_same_run(cpu_a, mem_a, cpu_b, mem_b);
+}
+
 }  // namespace
 }  // namespace reap::sim
