@@ -255,6 +255,8 @@ DispatchResult Dispatcher::run() {
     if (opts_.trace_cache_mb > 0)
       argv.push_back("--trace-cache-mb=" +
                      std::to_string(opts_.trace_cache_mb));
+    if (!opts_.trace_dir.empty())
+      argv.push_back("--trace-dir=" + opts_.trace_dir);
     std::vector<std::string> skip(s.quarantined.begin(), s.quarantined.end());
     std::sort(skip.begin(), skip.end());
     if (s.probing)

@@ -90,6 +90,13 @@ struct DispatchOptions {
   // docs/campaign.md on how trace grouping interacts with --shard).
   std::size_t trace_cache_mb = 0;
 
+  // --trace-dir for each worker (empty = off): workers mmap .reaptrace
+  // store files from this directory instead of generating. Unlike the
+  // per-process cache, the mapped pages are shared by every worker on the
+  // machine, so fleet-wide replay costs one materialization, once, on
+  // disk.
+  std::string trace_dir;
+
   // A shard's failure budget: after this many *consecutive* failed
   // attempts that journal no new row, the shard is given up on --
   // quarantine-probed when possible (see fail_fast), abandoned

@@ -19,6 +19,7 @@
 #include <cstring>
 #include <filesystem>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "reap/campaign/campaign.hpp"
@@ -29,6 +30,7 @@
 #include "reap/core/config_kv.hpp"
 #include "reap/trace/replay.hpp"
 #include "reap/trace/spec2006.hpp"
+#include "reap/trace/trace_store.hpp"
 
 using namespace reap;
 
@@ -144,6 +146,10 @@ int main(int argc, char** argv) {
 
   // Trace replay: 0 (default) = off, generate per point exactly as before.
   const std::uint64_t trace_cache_mb = args.get_u64("trace-cache-mb", 0);
+  // Trace store: keys that resolve to a .reaptrace file in this directory
+  // replay the mmapped file instead of generating (see docs/campaign.md,
+  // "Trace store").
+  const std::string trace_dir = args.get_string("trace-dir", "");
 
   if (args.has("dry-run")) {
     std::printf("campaign '%s': %zu points\n", spec->name.c_str(),
@@ -172,6 +178,19 @@ int main(int argc, char** argv) {
           "trace groups: %zu (largest ~%.1f MB; replay off — enable with "
           "--trace-cache-mb=N)\n",
           plan.groups, mb(plan.largest_bytes));
+    if (!trace_dir.empty()) {
+      std::unordered_set<std::string> keys, found;
+      for (const auto& pt : mine) {
+        if (!keys.insert(pt.trace_key).second) continue;
+        const auto path = std::filesystem::path(trace_dir) /
+                          trace::trace_store_filename(pt.trace_key);
+        if (std::filesystem::exists(path)) found.insert(pt.trace_key);
+      }
+      std::printf(
+          "trace store: %zu of %zu trace keys resolve to files in %s "
+          "(the rest generate)\n",
+          found.size(), keys.size(), trace_dir.c_str());
+    }
     for (const auto& pt : mine)
       std::printf("%4zu  %s\n", pt.index,
                   core::to_kv_string(pt.config).c_str());
@@ -249,6 +268,49 @@ int main(int argc, char** argv) {
     if (!completed.count(pt.key) && !skipped.count(pt.key))
       to_run.push_back(pt);
 
+  // Trace store resolution: map every distinct trace key of the rows about
+  // to run to its .reaptrace file, opening and *fully* validating each one
+  // (header and body CRC32C) before any output file is created — a corrupt
+  // or too-short store file refuses the run with a prompt exit 1 and a
+  // distinct reason, never wrong bytes discovered mid-run. A key with no
+  // file falls back to in-process generation.
+  std::unordered_map<std::string, trace::MaterializedTrace> mapped_traces;
+  if (!trace_dir.empty()) {
+    for (const auto& pt : to_run) {
+      if (mapped_traces.count(pt.trace_key)) continue;
+      const auto path = (std::filesystem::path(trace_dir) /
+                         trace::trace_store_filename(pt.trace_key))
+                            .string();
+      if (!std::filesystem::exists(path)) continue;
+      const auto mapped = trace::MappedTraceFile::open(path, &error);
+      if (!mapped) {
+        std::fprintf(stderr, "%s\n", error.c_str());
+        return 1;
+      }
+      if (mapped->info().trace_key != pt.trace_key) {
+        std::fprintf(stderr,
+                     "%s: trace_key mismatch (file records '%s', this run "
+                     "wants '%s')\n",
+                     path.c_str(), mapped->info().trace_key.c_str(),
+                     pt.trace_key.c_str());
+        return 1;
+      }
+      const std::uint64_t budget =
+          pt.config.warmup_instructions + pt.config.instructions;
+      if (mapped->info().instructions < budget) {
+        std::fprintf(stderr,
+                     "%s: trace covers %llu instructions, this run needs "
+                     "%llu (warmup + instructions)\n",
+                     path.c_str(),
+                     static_cast<unsigned long long>(
+                         mapped->info().instructions),
+                     static_cast<unsigned long long>(budget));
+        return 1;
+      }
+      mapped_traces.emplace(pt.trace_key, mapped->borrow(mapped));
+    }
+  }
+
   // Open sinks before running so an unwritable path fails fast instead of
   // after the whole grid has been simulated.
   campaign::MultiSink sinks;
@@ -322,17 +384,27 @@ int main(int argc, char** argv) {
   // Trace replay: group the schedule by trace identity and materialize
   // each paired trace once; every other point of the group replays the
   // byte-identical stream from the cache instead of regenerating it.
+  // Keys with a store file replay the mmapped arena instead: borrowed
+  // traces account zero bytes, so the cache retains them for free even at
+  // cap 0 (--trace-dir alone, no --trace-cache-mb).
   std::optional<campaign::TraceCache> trace_cache;
-  if (trace_cache_mb > 0) {
+  if (trace_cache_mb > 0 || !mapped_traces.empty()) {
     trace_cache.emplace(static_cast<std::size_t>(trace_cache_mb) << 20);
     opts.group_key = [](const campaign::CampaignPoint& pt) {
       return pt.trace_key;
     };
-    opts.run_point_fn = [&cache = *trace_cache](
-                            const campaign::CampaignPoint& pt) {
-      const std::uint64_t budget =
-          pt.config.warmup_instructions + pt.config.instructions;
+    opts.run_point_fn = [&cache = *trace_cache, &mapped_traces,
+                         trace_cache_mb](const campaign::CampaignPoint& pt) {
+      const auto it = mapped_traces.find(pt.trace_key);
+      if (it == mapped_traces.end() && trace_cache_mb == 0) {
+        // --trace-dir without a cache: keys with no store file generate
+        // per point, exactly the default path.
+        return core::run_experiment(pt.config);
+      }
       const auto trace = cache.acquire(pt.trace_key, [&] {
+        if (it != mapped_traces.end()) return it->second;  // shares the mmap
+        const std::uint64_t budget =
+            pt.config.warmup_instructions + pt.config.instructions;
         trace::WorkloadTraceSource gen(pt.config.workload);
         return trace::MaterializedTrace::materialize(gen, budget);
       });

@@ -91,6 +91,7 @@ int main(int argc, char** argv) {
   opts.worker_threads = std::size_t(args.get_u64("worker-threads", 1));
   opts.max_attempts = std::size_t(args.get_u64("max-attempts", 3));
   opts.trace_cache_mb = std::size_t(args.get_u64("trace-cache-mb", 0));
+  opts.trace_dir = args.get_string("trace-dir", "");
   opts.stall_timeout =
       std::chrono::milliseconds(args.get_u64("stall-timeout", 0) * 1000);
   opts.backoff_base =

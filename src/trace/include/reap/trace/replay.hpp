@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -40,12 +41,32 @@ class MaterializedTrace {
   static MaterializedTrace materialize(TraceSource& source,
                                        std::uint64_t instructions);
 
-  std::size_t size() const { return packed_.size(); }  // ops stored
+  // Wraps an externally owned packed-op arena — the mmapped body of a
+  // .reaptrace store file (trace_store.hpp) — without copying. `backing`
+  // keeps the arena alive (the mapping is dropped with the last borrower);
+  // bytes() is 0, so a byte-capped cache retains borrowed traces for free:
+  // the pages are the kernel's to reclaim, not the process's to account.
+  static MaterializedTrace borrow(std::span<const std::uint64_t> packed,
+                                  std::uint64_t instructions,
+                                  std::shared_ptr<const void> backing);
+
+  // Ops stored (owned arena or borrowed view).
+  std::size_t size() const {
+    return packed_.empty() ? ext_size_ : packed_.size();
+  }
   std::uint64_t instructions() const { return instructions_; }
 
   // Arena footprint, the number a byte-capped cache accounts. Includes the
-  // vector's allocation only; the object header is noise.
+  // vector's allocation only (0 for a borrowed arena); the object header
+  // is noise.
   std::size_t bytes() const { return packed_.capacity() * sizeof(std::uint64_t); }
+
+  // The packed 8 B/op words, whichever arena holds them — what a trace
+  // store writer serializes.
+  std::span<const std::uint64_t> packed() const {
+    return packed_.empty() ? std::span<const std::uint64_t>{ext_, ext_size_}
+                           : std::span<const std::uint64_t>{packed_};
+  }
 
   // Decodes ops [begin, begin + out.size()) into `out`; returns the count
   // written (clamped at the end of the arena, 0 when begin is past it).
@@ -61,7 +82,14 @@ class MaterializedTrace {
   }
 
  private:
+  // Exactly one arena is populated: `packed_` owns the materialized case;
+  // `ext_`/`ext_size_` view the borrowed case with `backing_` pinning the
+  // owner. Accessors branch on packed_.empty(), so the default copy/move
+  // semantics stay correct (an owned copy re-owns, a borrowed copy shares).
   std::vector<std::uint64_t> packed_;
+  const std::uint64_t* ext_ = nullptr;
+  std::size_t ext_size_ = 0;
+  std::shared_ptr<const void> backing_;
   std::uint64_t instructions_ = 0;
 };
 

@@ -30,8 +30,12 @@ class VectorTraceSource final : public TraceSource {
   std::size_t pos_ = 0;
 };
 
-// Reads the text format; returns false from next() at EOF or parse error
-// (parse errors are also reported via error()).
+// Reads the text format. next() returns false at both clean EOF and
+// parse error, so a caller that stops there and never looks further
+// cannot tell a complete trace from one truncated by a garbage tail:
+// check error() after the stream ends (empty = clean EOF). Once an error
+// is set it latches -- further next() calls return false without reading
+// on -- until reset() rewinds and clears it.
 class TextTraceReader final : public TraceSource {
  public:
   explicit TextTraceReader(std::string path);

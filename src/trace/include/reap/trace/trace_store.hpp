@@ -1,0 +1,141 @@
+// The .reaptrace on-disk trace store: a durable home for the
+// MaterializedTrace 8 B/op arena, so "new workload" means "drop a file in
+// a directory" instead of "write C++" and a fleet of campaign workers can
+// mmap one materialized trace read-only instead of regenerating it
+// per process.
+//
+// Format (little-endian, version 1):
+//
+//   [0,  8)    magic "REAPTRC\0"
+//   [8, 12)    u32 version (= 1)
+//   [12, 16)   u32 meta_bytes (M)
+//   [16, 24)   u64 op_count (N)
+//   [24, 32)   u64 instructions the trace covers (a replay budget of up
+//              to this many instructions never ends early; see
+//              MaterializedTrace::materialize on the +1-fetch rule)
+//   [32, 36)   u32 CRC32C of the body
+//   [36, 36+M) metadata: spec-style "key = value\n" lines; `trace_key`
+//              is mandatory. Padded with trailing newlines so the body
+//              offset is 8-byte aligned.
+//   [36+M, 40+M) u32 CRC32C of the header (bytes [0, 36+M))
+//   [40+M, 40+M+8N) body: N packed ops, (addr << 2) | type, byte-for-byte
+//              the MaterializedTrace arena
+//
+// The file size must equal the header + body exactly. Every field that
+// sizes or locates anything is covered by the header CRC and the body by
+// its own CRC, so any single damaged byte anywhere in the file is caught
+// at open (pinned by the corruption battery in
+// tests/trace/test_trace_store.cpp). Readers reject each failure mode
+// with a distinct error: "empty file", "truncated header", "bad magic",
+// "unsupported version", "header CRC mismatch", "misaligned body",
+// "malformed metadata", "missing trace_key", "truncated body",
+// "op count/file size mismatch", "body CRC mismatch".
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "reap/trace/record.hpp"
+#include "reap/trace/replay.hpp"
+
+namespace reap::trace {
+
+inline constexpr char kTraceStoreExt[] = ".reaptrace";
+inline constexpr std::uint32_t kTraceStoreVersion = 1;
+
+// Parsed header of a store file.
+struct TraceFileInfo {
+  std::uint32_t version = 0;
+  std::uint64_t op_count = 0;
+  std::uint64_t instructions = 0;
+  std::string trace_key;
+  // Every metadata line, trace_key included.
+  std::map<std::string, std::string> meta;
+};
+
+// The file name a trace_key maps to inside a store directory: '/' (the
+// key's axis separator) becomes '_', plus the .reaptrace extension --
+// "mcf/rr-/s0" -> "mcf_rr-_s0.reaptrace". The mapping need not be
+// injective in theory; readers verify the trace_key recorded *inside* the
+// file against the one they asked for, so a collision is a reported
+// error, never a silently wrong trace.
+std::string trace_store_filename(const std::string& trace_key);
+
+// Serializes a packed-op arena to `path` (written atomically: a temp file
+// in the same directory, fsynced, then renamed). `meta` rides along as
+// spec-style lines; `trace_key` must be non-empty. Returns false and sets
+// `error` on I/O failure or an op count whose body the format cannot
+// describe.
+bool write_trace_file(const std::string& path,
+                      std::span<const std::uint64_t> packed_ops,
+                      std::uint64_t instructions,
+                      const std::string& trace_key,
+                      const std::map<std::string, std::string>& meta = {},
+                      std::string* error = nullptr);
+
+// Convenience: write a materialized trace (its packed() arena verbatim).
+bool write_trace_file(const std::string& path, const MaterializedTrace& trace,
+                      const std::string& trace_key,
+                      const std::map<std::string, std::string>& meta = {},
+                      std::string* error = nullptr);
+
+// A read-only mmap of one store file, fully validated at open: header
+// checks in the order listed in the format comment above, then the body
+// CRC over the whole mapping. Immutable and thread-safe after open; one
+// mapping serves any number of concurrent FileTraceSources / borrowed
+// MaterializedTraces (shared_ptr keeps it alive).
+class MappedTraceFile {
+ public:
+  // Opens, maps, and verifies `path`. Returns null and sets `error`
+  // ("<path>: <reason>") on any validation failure.
+  static std::shared_ptr<const MappedTraceFile> open(
+      const std::string& path, std::string* error = nullptr);
+
+  ~MappedTraceFile();
+  MappedTraceFile(const MappedTraceFile&) = delete;
+  MappedTraceFile& operator=(const MappedTraceFile&) = delete;
+
+  const TraceFileInfo& info() const { return info_; }
+  const std::string& path() const { return path_; }
+
+  // The packed-op body, 8-byte aligned inside the mapping.
+  std::span<const std::uint64_t> body() const {
+    return {body_, info_.op_count};
+  }
+
+  // The body wrapped as a zero-owned-byte MaterializedTrace; `self` must
+  // be this object (it becomes the borrow's keep-alive).
+  MaterializedTrace borrow(std::shared_ptr<const MappedTraceFile> self) const;
+
+ private:
+  MappedTraceFile() = default;
+
+  std::string path_;
+  void* map_ = nullptr;
+  std::size_t map_bytes_ = 0;
+  const std::uint64_t* body_ = nullptr;
+  TraceFileInfo info_;
+};
+
+// Replays a store file. Holds its mapping alive; next_batch is the same
+// bounds-checked unpack loop as ReplayTraceSource, so the served stream
+// is byte-identical to replaying the arena the file was written from
+// (pinned by tests/trace/test_trace_store.cpp).
+class FileTraceSource final : public TraceSource {
+ public:
+  explicit FileTraceSource(std::shared_ptr<const MappedTraceFile> file)
+      : file_(std::move(file)) {}
+
+  bool next(MemOp& op) override;
+  std::size_t next_batch(std::span<MemOp> out) override;
+  void reset() override { pos_ = 0; }
+
+ private:
+  std::shared_ptr<const MappedTraceFile> file_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace reap::trace

@@ -39,11 +39,23 @@ MaterializedTrace MaterializedTrace::materialize(TraceSource& source,
   return t;
 }
 
+MaterializedTrace MaterializedTrace::borrow(
+    std::span<const std::uint64_t> packed, std::uint64_t instructions,
+    std::shared_ptr<const void> backing) {
+  MaterializedTrace t;
+  t.ext_ = packed.data();
+  t.ext_size_ = packed.size();
+  t.backing_ = std::move(backing);
+  t.instructions_ = instructions;
+  return t;
+}
+
 std::size_t MaterializedTrace::read(std::size_t begin,
                                     std::span<MemOp> out) const {
-  if (begin >= packed_.size()) return 0;
-  const std::size_t n = std::min(out.size(), packed_.size() - begin);
-  const std::uint64_t* src = packed_.data() + begin;
+  const auto ops = packed();
+  if (begin >= ops.size()) return 0;
+  const std::size_t n = std::min(out.size(), ops.size() - begin);
+  const std::uint64_t* src = ops.data() + begin;
   for (std::size_t i = 0; i < n; ++i) out[i] = unpack(src[i]);
   return n;
 }

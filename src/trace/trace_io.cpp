@@ -21,7 +21,11 @@ TextTraceReader::~TextTraceReader() {
 }
 
 bool TextTraceReader::next(MemOp& op) {
-  if (!file_) return false;
+  // A set error latches: EOF and a parse failure both surface as `return
+  // false`, so a caller that kept pulling past an error would otherwise
+  // resume mid-garbage and silently truncate the trace. Callers tell the
+  // two apart via error() (empty = clean EOF).
+  if (!file_ || !error_.empty()) return false;
   for (;;) {
     char kind = 0;
     const int rk = std::fscanf(file_, " %c", &kind);
@@ -49,7 +53,9 @@ bool TextTraceReader::next(MemOp& op) {
 }
 
 void TextTraceReader::reset() {
-  if (file_) std::rewind(file_);
+  if (!file_) return;  // keep the cannot-open error
+  std::rewind(file_);
+  error_.clear();
 }
 
 bool write_text_trace(const std::string& path, TraceSource& source,

@@ -84,6 +84,8 @@ TEST(Docs, CliReferenceMatchesHelpOutputPerTool) {
                      kReportUsage);
   expect_flags_match("reap_dispatch", section_of(cli_md, "reap_dispatch"),
                      kDispatchUsage);
+  expect_flags_match("reap_trace", section_of(cli_md, "reap_trace"),
+                     kTraceUsage);
 }
 
 TEST(Docs, ReadmeLinksTheDocSet) {

@@ -22,6 +22,7 @@
 #include "reap/campaign/trace_cache.hpp"
 #include "reap/core/experiment.hpp"
 #include "reap/trace/trace_io.hpp"
+#include "reap/trace/trace_store.hpp"
 
 namespace reap::campaign {
 namespace {
@@ -303,6 +304,36 @@ TEST(TraceCache, ConcurrentAcquiresMaterializeOnce) {
   for (int t = 1; t < kThreads; ++t) EXPECT_EQ(got[t].get(), got[0].get());
   EXPECT_EQ(cache.stats().misses.load(), 1u);
   EXPECT_EQ(cache.stats().hits.load(), kThreads - 1u);
+}
+
+TEST(TraceCache, BorrowedMappedTracesAreRetainedAtZeroCost) {
+  // --trace-dir's contract: a trace borrowed from an mmapped store file
+  // accounts zero bytes (the pages are the kernel's to reclaim), so even
+  // a cap-0 cache — --trace-dir without --trace-cache-mb — retains every
+  // mapped trace instead of treating it as an oversize bypass.
+  const auto path = temp_path("cache_borrow.reaptrace");
+  const auto owned = tiny_trace(4, 256);
+  std::string error;
+  ASSERT_TRUE(trace::write_trace_file(path, owned, "k", {}, &error)) << error;
+  auto mapped = trace::MappedTraceFile::open(path, &error);
+  ASSERT_NE(mapped, nullptr) << error;
+
+  TraceCache cache(0);
+  int builds = 0;
+  const auto borrow = [&] {
+    ++builds;
+    return mapped->borrow(mapped);
+  };
+  auto a = cache.acquire("k", borrow);
+  a.reset();
+  auto b = cache.acquire("k", borrow);
+  EXPECT_EQ(builds, 1);  // retained across a full release, cap 0
+  EXPECT_EQ(cache.stats().hits.load(), 1u);
+  EXPECT_EQ(cache.stats().uncached.load(), 0u);
+  EXPECT_EQ(cache.stats().bytes.load(), 0u);
+  EXPECT_EQ(b->bytes(), 0u);
+  EXPECT_EQ(b->size(), owned.size());
+  std::remove(path.c_str());
 }
 
 // --- Grouped scheduling ---------------------------------------------------

@@ -1,0 +1,231 @@
+// The trace store end to end, driven through the real binaries
+// (REAP_TRACE_BIN / REAP_CAMPAIGN_BIN, baked in by CMake): a campaign
+// replaying materialized .reaptrace files via --trace-dir must produce
+// CSV/JSONL byte-identical to in-memory generation — across the full
+// policy axis, on a multi-threaded runner, through the journal-merge
+// path, and through a dump -> import round trip. A corrupted store file
+// must refuse the run up front (exit 1, no output file), never produce
+// wrong bytes; a garbage text trace must refuse the import.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "campaign_test_util.hpp"
+#include "reap/campaign/dispatch.hpp"
+#include "reap/campaign/journal.hpp"
+#include "reap/campaign/report.hpp"
+#include "reap/campaign/result_sink.hpp"
+#include "reap/common/subprocess.hpp"
+
+namespace reap::campaign {
+namespace {
+
+using testutil::file_bytes;
+using testutil::temp_path;
+
+// 2 workloads x the full policy axis x 1 seed; small but real runs.
+std::vector<std::string> spec_flags() {
+  return {"--workloads=mcf,h264ref", "--policies=all", "--seeds=0",
+          "--instructions=20000",    "--warmup=2000"};
+}
+
+common::ExitStatus run(std::vector<std::string> argv,
+                       const std::string& log = "") {
+  auto child = common::Child::spawn(argv, log);
+  EXPECT_TRUE(child) << argv[0];
+  if (!child) return {};
+  return child->wait();
+}
+
+// Materializes the spec's traces into a fresh directory via reap_trace.
+std::string materialized_dir(const char* name) {
+  const auto dir = temp_path(name);
+  std::filesystem::remove_all(dir);
+  std::vector<std::string> argv = {REAP_TRACE_BIN, "--materialize",
+                                   "--out-dir=" + dir};
+  for (const auto& f : spec_flags()) argv.push_back(f);
+  EXPECT_TRUE(run(argv).success());
+  return dir;
+}
+
+// Runs reap_campaign over the spec, optionally replaying from `trace_dir`,
+// and returns the output paths.
+struct RunFiles {
+  std::string csv, jsonl;
+};
+RunFiles run_campaign(const char* tag, const std::string& trace_dir = "",
+                      const std::string& extra = "") {
+  RunFiles files{temp_path((std::string(tag) + ".csv").c_str()),
+                 temp_path((std::string(tag) + ".jsonl").c_str())};
+  std::vector<std::string> argv = {REAP_CAMPAIGN_BIN};
+  for (const auto& f : spec_flags()) argv.push_back(f);
+  argv.push_back("--csv=" + files.csv);
+  argv.push_back("--jsonl=" + files.jsonl);
+  argv.push_back("--baseline=none");
+  argv.push_back("--quiet");
+  if (!trace_dir.empty()) argv.push_back("--trace-dir=" + trace_dir);
+  if (!extra.empty()) argv.push_back(extra);
+  EXPECT_TRUE(run(argv).success());
+  return files;
+}
+
+TEST(TraceStoreCampaign, TraceDirRunIsByteIdenticalToGeneration) {
+  const auto ref = run_campaign("store_ref");
+  const auto dir = materialized_dir("store_traces");
+  const auto got = run_campaign("store_replay", dir);
+  EXPECT_FALSE(file_bytes(ref.csv).empty());
+  EXPECT_EQ(file_bytes(got.csv), file_bytes(ref.csv));
+  EXPECT_EQ(file_bytes(got.jsonl), file_bytes(ref.jsonl));
+}
+
+TEST(TraceStoreCampaign, FourThreadTraceDirRunStaysByteIdentical) {
+  const auto ref = run_campaign("store_mt_ref");
+  const auto dir = materialized_dir("store_mt_traces");
+  const auto got = run_campaign("store_mt_replay", dir, "--threads=4");
+  EXPECT_EQ(file_bytes(got.csv), file_bytes(ref.csv));
+  EXPECT_EQ(file_bytes(got.jsonl), file_bytes(ref.jsonl));
+}
+
+TEST(TraceStoreCampaign, ShardedTraceDirJournalsMergeByteIdentically) {
+  // Two --shard workers share one store directory; merging their journals
+  // must reproduce the un-sharded CSV byte for byte (the journal-merge
+  // path is how reap_dispatch assembles fleet output).
+  const auto ref = run_campaign("store_shard_ref");
+  const auto dir = materialized_dir("store_shard_traces");
+  std::vector<std::string> journals;
+  for (int s = 0; s < 2; ++s) {
+    const auto journal =
+        temp_path(("store_shard_j" + std::to_string(s)).c_str());
+    std::filesystem::remove(journal);
+    std::vector<std::string> argv = {REAP_CAMPAIGN_BIN};
+    for (const auto& f : spec_flags()) argv.push_back(f);
+    argv.push_back("--shard=" + std::to_string(s) + "/2");
+    argv.push_back("--journal=" + journal);
+    argv.push_back("--trace-dir=" + dir);
+    argv.push_back("--baseline=none");
+    argv.push_back("--quiet");
+    ASSERT_TRUE(run(argv).success());
+    journals.push_back(journal);
+  }
+  std::string error;
+  const auto merged = merge_dispatch_journals(journals, &error);
+  ASSERT_TRUE(merged) << error;
+  EXPECT_TRUE(covers_all_indices(*merged));
+  const auto csv = temp_path("store_shard_merged.csv");
+  {
+    CsvResultSink sink(csv);
+    ASSERT_TRUE(sink.ok());
+    for (const auto& row : merged->rows) sink.add_cells(row);
+  }
+  EXPECT_EQ(file_bytes(csv), file_bytes(ref.csv));
+}
+
+TEST(TraceStoreCampaign, DumpImportRoundTripStaysByteIdentical) {
+  // generator -> store file -> text dump -> import -> store file: the
+  // re-imported trace must drive the campaign to the same bytes, proving
+  // the text format and the importer lose nothing.
+  const auto ref = run_campaign("store_imp_ref");
+  const auto dir = materialized_dir("store_imp_traces");
+  const auto redir = temp_path("store_imp_reimported");
+  std::filesystem::remove_all(redir);
+  std::filesystem::create_directories(redir);
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const auto file = entry.path().string();
+    const auto text = file + ".txt";
+    // --dump prints ops in the text trace format; '#' headers are
+    // comments to the importer.
+    ASSERT_TRUE(run({REAP_TRACE_BIN, "--dump", file}, text).success());
+    // Recover the key from the original file name: the importer records
+    // whatever --trace-key says.
+    auto key = entry.path().stem().string();
+    for (auto& c : key)
+      if (c == '_') c = '/';
+    const auto out = redir + "/" + entry.path().filename().string();
+    ASSERT_TRUE(run({REAP_TRACE_BIN, "--import=" + text, "--out=" + out,
+                     "--trace-key=" + key})
+                    .success());
+  }
+  ASSERT_TRUE(run({REAP_TRACE_BIN, "--verify",
+                   redir + "/mcf_rr-_s0.reaptrace"})
+                  .success());
+  const auto got = run_campaign("store_imp_replay", redir);
+  EXPECT_EQ(file_bytes(got.csv), file_bytes(ref.csv));
+  EXPECT_EQ(file_bytes(got.jsonl), file_bytes(ref.jsonl));
+}
+
+TEST(TraceStoreCampaign, CorruptStoreFileRefusesTheRunUpFront) {
+  const auto dir = materialized_dir("store_bad_traces");
+  // Flip one body byte of one trace file.
+  const auto victim = dir + "/mcf_rr-_s0.reaptrace";
+  {
+    auto bytes = file_bytes(victim);
+    ASSERT_GT(bytes.size(), 17u);
+    bytes[bytes.size() - 17] =
+        static_cast<char>(bytes[bytes.size() - 17] ^ 0x08);
+    std::ofstream f(victim, std::ios::binary | std::ios::trunc);
+    f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  // reap_trace --verify names the damage...
+  const auto vlog = temp_path("store_bad_verify.log");
+  const auto vstatus = run({REAP_TRACE_BIN, "--verify", victim}, vlog);
+  EXPECT_TRUE(vstatus.exited);
+  EXPECT_EQ(vstatus.code, 1);
+  EXPECT_NE(file_bytes(vlog).find("body CRC mismatch"), std::string::npos);
+
+  // ...and the campaign refuses before any output exists: exit 1, the
+  // reason on stderr, and the CSV never created — wrong bytes are not an
+  // available outcome.
+  const auto csv = temp_path("store_bad.csv");
+  std::filesystem::remove(csv);
+  const auto clog = temp_path("store_bad_campaign.log");
+  std::vector<std::string> argv = {REAP_CAMPAIGN_BIN};
+  for (const auto& f : spec_flags()) argv.push_back(f);
+  argv.push_back("--csv=" + csv);
+  argv.push_back("--baseline=none");
+  argv.push_back("--quiet");
+  argv.push_back("--trace-dir=" + dir);
+  const auto status = run(argv, clog);
+  EXPECT_TRUE(status.exited);
+  EXPECT_EQ(status.code, 1);
+  EXPECT_NE(file_bytes(clog).find("body CRC mismatch"), std::string::npos);
+  EXPECT_FALSE(std::filesystem::exists(csv));
+}
+
+TEST(TraceStoreCampaign, ImporterRefusesAGarbageTail) {
+  const auto text = temp_path("store_garbage.txt");
+  {
+    std::ofstream f(text);
+    f << "I 400000\nL 10\nthis is not a trace line\nS 20\n";
+  }
+  const auto out = temp_path("store_garbage.reaptrace");
+  std::filesystem::remove(out);
+  const auto log = temp_path("store_garbage.log");
+  const auto status =
+      run({REAP_TRACE_BIN, "--import=" + text, "--out=" + out}, log);
+  EXPECT_TRUE(status.exited);
+  EXPECT_EQ(status.code, 1);
+  EXPECT_NE(file_bytes(log).find("import refused"), std::string::npos);
+  EXPECT_FALSE(std::filesystem::exists(out));  // nothing half-written
+}
+
+TEST(TraceStoreCampaign, MissingFilesFallBackToGeneration) {
+  // A store directory holding only one of the grid's traces: the run
+  // must still complete (the other keys generate) and stay byte-identical.
+  const auto ref = run_campaign("store_partial_ref");
+  const auto full = materialized_dir("store_partial_full");
+  const auto partial = temp_path("store_partial_dir");
+  std::filesystem::remove_all(partial);
+  std::filesystem::create_directories(partial);
+  std::filesystem::copy_file(full + "/mcf_rr-_s0.reaptrace",
+                             partial + "/mcf_rr-_s0.reaptrace");
+  const auto got = run_campaign("store_partial_replay", partial);
+  EXPECT_EQ(file_bytes(got.csv), file_bytes(ref.csv));
+  EXPECT_EQ(file_bytes(got.jsonl), file_bytes(ref.jsonl));
+}
+
+}  // namespace
+}  // namespace reap::campaign

@@ -95,6 +95,77 @@ TEST(TextTrace, MissingFileReportsError) {
   EXPECT_FALSE(rd.error().empty());
 }
 
+// next() returns false at both clean EOF and parse error; a caller that
+// never checks error() cannot tell a complete trace from one truncated by
+// a garbage tail. The cases below pin the contract: error() empty iff the
+// stream ended cleanly, and a set error latches until reset().
+
+TEST(TextTrace, CommentOnlyFileIsCleanEof) {
+  const std::string path = ::testing::TempDir() + "/reap_comments.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("# only\n# comments\n# here\n", f);
+  std::fclose(f);
+  TextTraceReader rd(path);
+  ASSERT_TRUE(rd.ok());
+  MemOp op;
+  EXPECT_FALSE(rd.next(op));
+  EXPECT_TRUE(rd.error().empty());  // EOF, not an error
+  std::remove(path.c_str());
+}
+
+TEST(TextTrace, TrailingGarbageSetsErrorAndLatches) {
+  const std::string path = ::testing::TempDir() + "/reap_garbage.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("I 400000\nL 10\nI zzz_not_hex\nS 20\n", f);
+  std::fclose(f);
+  TextTraceReader rd(path);
+  MemOp op;
+  ASSERT_TRUE(rd.next(op));
+  ASSERT_TRUE(rd.next(op));
+  EXPECT_FALSE(rd.next(op));  // the garbage line
+  EXPECT_NE(rd.error().find("parse error"), std::string::npos);
+  // Latched: the reader must not resume mid-garbage and serve "S 20" as
+  // if the trace were intact.
+  EXPECT_FALSE(rd.next(op));
+  EXPECT_FALSE(rd.next(op));
+  EXPECT_NE(rd.error().find("parse error"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(TextTrace, UnknownOpKindSetsError) {
+  const std::string path = ::testing::TempDir() + "/reap_unknown.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("I 400000\nQ 1234\n", f);
+  std::fclose(f);
+  TextTraceReader rd(path);
+  MemOp op;
+  ASSERT_TRUE(rd.next(op));
+  EXPECT_FALSE(rd.next(op));
+  EXPECT_NE(rd.error().find("unknown op kind"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(TextTrace, ResetClearsALatchedError) {
+  const std::string path = ::testing::TempDir() + "/reap_reset_err.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("I 400000\nnot a line\n", f);
+  std::fclose(f);
+  TextTraceReader rd(path);
+  MemOp op;
+  ASSERT_TRUE(rd.next(op));
+  EXPECT_FALSE(rd.next(op));
+  EXPECT_FALSE(rd.error().empty());
+  rd.reset();
+  EXPECT_TRUE(rd.error().empty());
+  ASSERT_TRUE(rd.next(op));  // reads from the top again
+  EXPECT_EQ(op.addr, 0x400000u);
+  std::remove(path.c_str());
+}
+
 TEST(BinaryTrace, RoundTrip) {
   const std::string path = ::testing::TempDir() + "/reap_trace.bin";
   VectorTraceSource src(sample_ops());
