@@ -23,15 +23,6 @@ using Clock = std::chrono::steady_clock;
 
 constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
 
-std::string join(const std::vector<std::string>& items, char sep) {
-  std::string out;
-  for (std::size_t i = 0; i < items.size(); ++i) {
-    if (i) out += sep;
-    out += items[i];
-  }
-  return out;
-}
-
 // Supervisor-side view of one shard.
 struct ShardState {
   std::size_t expected = 0;  // points in this shard
@@ -60,8 +51,9 @@ struct ShardState {
 
 // One busy worker slot.
 struct Slot {
-  common::Child child;
+  std::unique_ptr<WorkerHandle> worker;
   std::size_t shard = 0;
+  std::size_t transport = 0;  // index into the transports vector
   std::size_t attempt = 0;
   std::size_t rows_at_spawn = 0;
   // Watchdog heartbeat: the shard journal's tailer offset. A worker
@@ -69,6 +61,13 @@ struct Slot {
   std::uint64_t last_offset = 0;
   Clock::time_point last_change{};
   std::optional<Clock::time_point> term_at;  // SIGTERM sent, grace running
+};
+
+// Per-host (per-transport) failure accounting; see
+// DispatchOptions::host_max_failures.
+struct HostState {
+  std::size_t fails = 0;  // consecutive machine-level failures
+  bool dead = false;
 };
 
 }  // namespace
@@ -93,9 +92,17 @@ std::optional<DispatchPlan> plan_dispatch(const CampaignSpec& spec,
     return std::nullopt;
   };
   DispatchPlan plan;
-  plan.workers = opts.workers != 0
-                     ? opts.workers
-                     : std::max(1u, std::thread::hardware_concurrency());
+  if (!opts.transports.empty()) {
+    // The slot pool is whatever the transports bring; --workers is a
+    // local-pool knob and does not apply.
+    plan.workers = 0;
+    for (const auto& t : opts.transports) plan.workers += t->slots();
+    plan.workers = std::max<std::size_t>(plan.workers, 1);
+  } else {
+    plan.workers = opts.workers != 0
+                       ? opts.workers
+                       : std::max(1u, std::thread::hardware_concurrency());
+  }
   // More shards than points would leave empty shards whose workers have
   // nothing to do; clamp the shard count to the grid. The slot pool is
   // NOT clamped to the shard count: a spare slot is what lets a
@@ -148,7 +155,7 @@ DispatchResult Dispatcher::run() {
     return result;
   };
 
-  if (opts_.campaign_binary.empty())
+  if (opts_.campaign_binary.empty() && opts_.transports.empty())
     return fail("dispatch: no campaign binary configured");
   if (opts_.work_dir.empty()) return fail("dispatch: no work dir configured");
   if (opts_.max_attempts == 0)
@@ -177,6 +184,54 @@ DispatchResult Dispatcher::run() {
   if (ec)
     return fail("cannot create work dir " + opts_.work_dir + ": " +
                 ec.message());
+
+  // The slot pool: every transport's slots, concatenated. No transports
+  // configured means today's local pool, unchanged.
+  auto transports = opts_.transports;
+  if (transports.empty())
+    transports.push_back(
+        std::make_shared<LocalTransport>(opts_.campaign_binary, workers));
+  std::vector<HostState> hosts(transports.size());
+  std::vector<std::size_t> slot_owner;  // slot index -> transport index
+  for (std::size_t t = 0; t < transports.size(); ++t)
+    for (std::size_t k = 0; k < transports[t]->slots(); ++k)
+      slot_owner.push_back(t);
+
+  const auto lose_host = [&](std::size_t t, const std::string& reason) {
+    if (hosts[t].dead) return;
+    hosts[t].dead = true;
+    result.lost_hosts.push_back(transports[t]->host());
+    if (opts_.on_host_lost) opts_.on_host_lost(transports[t]->host(), reason);
+  };
+
+  // One machine-level failure against host `t`; enough of them in a row
+  // and the host is lost.
+  const auto host_fail = [&](std::size_t t, const std::string& reason) {
+    if (hosts[t].dead) return;
+    if (++hosts[t].fails >= opts_.host_max_failures) lose_host(t, reason);
+  };
+
+  // Pre-flight every transport once. An unreachable host is lost before
+  // it ever holds a shard (the run degrades to the survivors); a host
+  // running a *different build* is a hard error -- degrading around
+  // fleet skew would hide exactly the divergence it causes.
+  for (std::size_t t = 0; t < transports.size(); ++t) {
+    std::string note;
+    const auto hs = transports[t]->handshake(opts_.expected_worker_version,
+                                             opts_.trace_dir, &error, &note);
+    if (hs == HandshakeStatus::mismatch)
+      return fail(error, DispatchStatus::error);
+    if (hs == HandshakeStatus::unreachable) lose_host(t, error);
+    if (!note.empty() && opts_.on_host_note)
+      opts_.on_host_note(transports[t]->host(), note);
+  }
+  {
+    bool any_live = false;
+    for (const auto& h : hosts) any_live = any_live || !h.dead;
+    if (!any_live)
+      return fail("dispatch: no usable hosts (" + error + ")",
+                  DispatchStatus::error);
+  }
 
   std::vector<ShardState> shards(n_shards);
   for (std::size_t i = 0; i < n_shards; ++i) {
@@ -237,35 +292,40 @@ DispatchResult Dispatcher::run() {
     if (opts_.on_quarantine) opts_.on_quarantine(key, index, shard_i);
   };
 
-  // Worker command line: the resolved spec as flags (workers parse the
+  // Worker launch plan: the resolved spec as flags (workers parse the
   // identical spec; their journal spec-hash check enforces it), plus the
-  // shard assignment and durability flags. --resume makes first runs,
-  // crash restarts, and dispatcher re-runs the same code path.
+  // shard assignment and durability flags. The transport adds the
+  // journal/resume flags itself (local workers resume the local journal
+  // in place; remote ones start fresh and skip what is already durable).
   // Quarantined keys -- and, while probing, the suspects outside the
-  // probe target -- are excluded via --skip-rows.
-  const auto worker_argv = [&](std::size_t shard_i) {
+  // probe target -- are excluded via the plan's skip set.
+  const auto worker_plan = [&](std::size_t shard_i) {
     const auto& s = shards[shard_i];
-    std::vector<std::string> argv = {opts_.campaign_binary};
-    for (const auto& [k, v] : spec_kv_) argv.push_back("--" + k + "=" + v);
-    argv.push_back("--shard=" + std::to_string(shard_i) + "/" +
-                   std::to_string(n_shards));
-    argv.push_back("--journal=" + s.journal_path);
-    argv.push_back("--resume");
-    argv.push_back("--threads=" + std::to_string(opts_.worker_threads));
+    WorkerPlan plan;
+    plan.shard = shard_i;
+    for (const auto& [k, v] : spec_kv_)
+      plan.flags.push_back("--" + k + "=" + v);
+    plan.flags.push_back("--shard=" + std::to_string(shard_i) + "/" +
+                         std::to_string(n_shards));
+    plan.flags.push_back("--threads=" + std::to_string(opts_.worker_threads));
     if (opts_.trace_cache_mb > 0)
-      argv.push_back("--trace-cache-mb=" +
-                     std::to_string(opts_.trace_cache_mb));
+      plan.flags.push_back("--trace-cache-mb=" +
+                           std::to_string(opts_.trace_cache_mb));
     if (!opts_.trace_dir.empty())
-      argv.push_back("--trace-dir=" + opts_.trace_dir);
-    std::vector<std::string> skip(s.quarantined.begin(), s.quarantined.end());
-    std::sort(skip.begin(), skip.end());
+      plan.flags.push_back("--trace-dir=" + opts_.trace_dir);
+    plan.flags.push_back("--baseline=none");
+    plan.flags.push_back("--quiet");
+    plan.skip.assign(s.quarantined.begin(), s.quarantined.end());
+    std::sort(plan.skip.begin(), plan.skip.end());
     if (s.probing)
-      skip.insert(skip.end(), s.suspects.begin() + s.probe_target.size(),
-                  s.suspects.end());
-    if (!skip.empty()) argv.push_back("--skip-rows=" + join(skip, ','));
-    argv.push_back("--baseline=none");
-    argv.push_back("--quiet");
-    return argv;
+      plan.skip.insert(plan.skip.end(),
+                       s.suspects.begin() + s.probe_target.size(),
+                       s.suspects.end());
+    plan.done.assign(s.done_keys.begin(), s.done_keys.end());
+    std::sort(plan.done.begin(), plan.done.end());
+    plan.journal_path = s.journal_path;
+    plan.log_path = s.log_path;
+    return plan;
   };
 
   // Probe-round bookkeeping, run just before a probing shard launches:
@@ -319,10 +379,10 @@ DispatchResult Dispatcher::run() {
 
   std::deque<std::size_t> queue;
   for (std::size_t i = 0; i < n_shards; ++i) queue.push_back(i);
-  std::vector<std::optional<Slot>> slots(workers);
+  std::vector<std::optional<Slot>> slots(slot_owner.size());
 
   const auto finish = [&](bool ok, std::string msg, DispatchStatus st) {
-    slots.clear();  // ~Child kills and reaps anything still running
+    slots.clear();  // ~WorkerHandle kills and reaps anything still running
     result.shards.clear();
     for (std::size_t i = 0; i < n_shards; ++i) {
       const auto& s = shards[i];
@@ -362,23 +422,34 @@ DispatchResult Dispatcher::run() {
       }
       std::size_t slot_i = kNoSlot;
       for (std::size_t c = 0; c < slots.size(); ++c) {
-        if (slots[c]) continue;
+        if (slots[c] || hosts[slot_owner[c]].dead) continue;
         slot_i = c;
         if (c != s.last_slot) break;  // keep looking past the death slot
       }
-      if (slot_i == kNoSlot) break;  // every slot busy
+      if (slot_i == kNoSlot) break;  // every live slot busy
       queue.erase(queue.begin() + static_cast<long>(qi));
       prepare_probe(shard_i);
+      const std::size_t t = slot_owner[slot_i];
       bool transient = false;
-      auto child = common::Child::spawn(worker_argv(shard_i), s.log_path,
-                                        &error, &transient);
-      if (!child) {
+      auto worker =
+          transports[t]->launch(worker_plan(shard_i), &error, &transient);
+      if (!worker) {
         // A permanent spawn failure (missing binary, unwritable log)
         // would fail every shard identically: stop the dispatch with
         // the real reason. A transient one (fork/fd pressure, injected
-        // worker.spawn fault) is just a failed attempt.
+        // worker.spawn fault) is just a failed attempt -- and on a
+        // remote transport it is the *host's* failure, not the shard's:
+        // count it against the host budget and requeue without touching
+        // the shard's no-progress streak.
         if (!transient) return finish(false, error, DispatchStatus::error);
         s.attempts++;
+        if (!transports[t]->local()) {
+          host_fail(t, error);
+          result.restarts++;
+          s.eligible_at = now + backoff_delay(shard_i);
+          queue.push_back(shard_i);
+          continue;
+        }
         s.no_progress++;
         if (s.no_progress >= opts_.max_attempts) {
           abandon(shard_i,
@@ -394,12 +465,32 @@ DispatchResult Dispatcher::run() {
         continue;
       }
       if (opts_.on_spawn)
-        opts_.on_spawn(shard_i, s.attempts, slot_i, child->pid());
+        opts_.on_spawn(shard_i, s.attempts, slot_i, worker->pid());
       s.last_slot = slot_i;
-      slots[slot_i].emplace(Slot{std::move(*child), shard_i, s.attempts,
+      slots[slot_i].emplace(Slot{std::move(worker), shard_i, t, s.attempts,
                                  s.tailer->rows_seen(), s.tailer->offset(),
                                  now, std::nullopt});
     }
+
+    // Stranded check: every host lost and nothing running means the
+    // queued shards can never launch again.
+    {
+      bool any_live = false, any_busy = false;
+      for (const auto& h : hosts) any_live = any_live || !h.dead;
+      for (const auto& slot : slots) any_busy = any_busy || slot.has_value();
+      if (!any_live && !any_busy) {
+        for (std::size_t i = 0; i < n_shards; ++i)
+          if (!shards[i].completed && !shards[i].abandoned)
+            abandon(i, "shard " + std::to_string(i) +
+                           " stranded: every host was lost");
+        break;
+      }
+    }
+
+    // Move remote journal streams into the local journals before the
+    // tailers look: the stream is how those journals grow.
+    for (auto& slot : slots)
+      if (slot) slot->worker->pump();
 
     // Tail journals for live progress (and the done_keys bookkeeping the
     // quarantine bisect navigates by).
@@ -428,18 +519,19 @@ DispatchResult Dispatcher::run() {
           now - slot->last_change >= opts_.stall_timeout) {
         result.stalls++;
         if (opts_.on_stall) opts_.on_stall(slot->shard, slot->attempt);
-        slot->child.kill(SIGTERM);
+        slot->worker->kill(SIGTERM);
         slot->term_at = now;
       }
       if (slot->term_at && now - *slot->term_at >= opts_.kill_grace)
-        slot->child.kill(SIGKILL);
+        slot->worker->kill(SIGKILL);
     }
 
     // Reap finished workers.
     for (auto& slot : slots) {
       if (!slot) continue;
-      const auto status = slot->child.poll();
+      const auto status = slot->worker->poll();
       if (!status) continue;
+      slot->worker->drain();  // stream remainder -> local journal
       auto& s = shards[slot->shard];
       s.attempts++;
       for (const auto& k : s.tailer->poll())  // rows landed just before exit
@@ -462,14 +554,35 @@ DispatchResult Dispatcher::run() {
         s.completed = true;
         s.probing = false;
         --remaining;
+        hosts[slot->transport].fails = 0;  // the machine works
         slot.reset();
         continue;
       }
 
-      if (progressed)
+      // A machine-level failure (lost/stalled stream, ssh's exit 255) is
+      // the host's fault, not the shard's: count it against the host
+      // budget and requeue the shard -- its no-progress streak, probe
+      // state, and abandonment budget stay untouched, because nothing
+      // was learned about the *work*.
+      if (!transports[slot->transport]->local() &&
+          slot->worker->host_failure(*status)) {
+        host_fail(slot->transport,
+                  "worker " + status->describe() + " (connection lost)");
+        if (opts_.on_worker_exit)
+          opts_.on_worker_exit(slot->shard, slot->attempt, false, true);
+        result.restarts++;
+        s.eligible_at = now + backoff_delay(slot->shard);
+        queue.push_back(slot->shard);
+        slot.reset();
+        continue;
+      }
+
+      if (progressed) {
         s.no_progress = 0;
-      else
+        hosts[slot->transport].fails = 0;  // rows moved: the machine works
+      } else {
         s.no_progress++;
+      }
 
       bool give_up = false;
       std::string give_up_msg;
@@ -555,6 +668,8 @@ DispatchResult Dispatcher::run() {
     return finish(false, result.error, DispatchStatus::abandoned);
   if (!result.quarantined.empty())
     return finish(true, "", DispatchStatus::quarantined);
+  if (!result.lost_hosts.empty())
+    return finish(true, "", DispatchStatus::host_lost);
   return finish(true, "", DispatchStatus::ok);
 }
 

@@ -44,18 +44,29 @@
 //   - *graceful degradation*: an abandoned shard no longer aborts the
 //     dispatch; the other shards finish and the result reports the
 //     worst condition seen (see DispatchStatus / exit_codes.hpp).
+//
+// This PR abstracts *where* workers run behind WorkerTransport
+// (transport.hpp): the slot pool is the concatenation of every
+// transport's slots, remote workers stream their journal rows into the
+// local shard journals, and machine-level failures (lost connection,
+// stalled stream, unreachable host) are counted per *host* -- a host
+// that fails host_max_failures times in a row is lost (drained from the
+// pool, its shards redistributed to the survivors), and a run that
+// finished despite losing hosts reports DispatchStatus::host_lost.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "reap/campaign/report.hpp"
 #include "reap/campaign/spec.hpp"
+#include "reap/campaign/transport.hpp"
 
 namespace reap::campaign {
 
@@ -135,6 +146,34 @@ struct DispatchOptions {
   // a campaign shedding rows wholesale is broken, not poisoned.
   std::size_t max_quarantine = 4;
 
+  // Where workers run. Empty = one LocalTransport over `campaign_binary`
+  // with the planned worker count (today's behavior, byte-identical).
+  // Non-empty (what --hosts builds) = the slot pool is the concatenation
+  // of every transport's slots and `workers` is ignored.
+  std::vector<std::shared_ptr<WorkerTransport>> transports;
+
+  // A host's failure budget: this many *consecutive* machine-level
+  // failures (lost/stalled stream, unreachable, failed remote launch)
+  // and the host is declared lost -- its slots drain from the pool and
+  // its shards redistribute. A worker that completes or lands rows over
+  // an intact stream resets the count. Local transports are exempt:
+  // losing the dispatcher's own machine is not a recoverable event.
+  std::size_t host_max_failures = 3;
+
+  // When non-empty, every remote transport's handshake must see the
+  // worker binary answer --version with exactly this line; a mismatch
+  // aborts the dispatch up front (fleet skew corrupts merges).
+  std::string expected_worker_version;
+
+  // Host-level observability. on_host_lost fires once when a host is
+  // declared lost (handshake failure or exhausted failure budget);
+  // on_host_note carries per-host warnings worth one stderr line (e.g.
+  // a missing remote trace store).
+  std::function<void(const std::string& host, const std::string& reason)>
+      on_host_lost;
+  std::function<void(const std::string& host, const std::string& note)>
+      on_host_note;
+
   // Aggregated progress: (rows done across all shards, full grid size).
   // Called from the supervisor loop, monotone in `done`.
   std::function<void(std::size_t done, std::size_t total)> on_progress;
@@ -169,6 +208,7 @@ enum class DispatchStatus {
   spec_mismatch,  // work dir belongs to a different spec or shard split
   quarantined,    // complete except for explicitly quarantined points
   abandoned,      // at least one shard was given up on
+  host_lost,      // every row ran, but only by surviving lost host(s)
 };
 
 // One poisoned point: pinned by the quarantine bisect and recorded in
@@ -201,6 +241,7 @@ struct DispatchResult {
   std::size_t stalls = 0;          // watchdog interventions
   std::vector<ShardOutcome> shards;
   std::vector<QuarantinedPoint> quarantined;  // sidecar contents
+  std::vector<std::string> lost_hosts;        // hosts declared lost, in order
 
   // The shard journal paths, for the merge step.
   std::vector<std::string> journal_paths() const;

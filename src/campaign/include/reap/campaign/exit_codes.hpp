@@ -19,16 +19,19 @@ inline constexpr int kExitJournalIo = 3;
 inline constexpr int kExitInterrupted = 4;
 
 // reap_dispatch --------------------------------------------------------
-// Severity-ordered: a run reports the *worst* condition it saw, and
-// larger code = worse. 0 clean; 2 the work dir belongs to a different
-// spec or shard split (nothing launched); 3 complete except for
-// explicitly quarantined points (merged outputs written, quarantine
-// sidecar names every skipped row); 4 at least one shard was abandoned
-// (no merged outputs).
+// A run reports the *worst* condition it saw. 0 clean; 2 the work dir
+// belongs to a different spec or shard split (nothing launched); 3
+// complete except for explicitly quarantined points (merged outputs
+// written, quarantine sidecar names every skipped row); 4 at least one
+// shard was abandoned (no merged outputs); 5 every row ran and merged,
+// but only by surviving the loss of one or more hosts (numbers are
+// stable, so 5 sits outside the 0..4 severity ladder: it ranks between
+// 0 and 3 -- complete outputs, degraded fleet).
 inline constexpr int kDispatchOk = 0;
 inline constexpr int kDispatchError = 1;
 inline constexpr int kDispatchSpecMismatch = 2;
 inline constexpr int kDispatchQuarantined = 3;
 inline constexpr int kDispatchAbandoned = 4;
+inline constexpr int kDispatchHostLost = 5;
 
 }  // namespace reap::campaign

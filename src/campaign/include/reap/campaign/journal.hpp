@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <fstream>
+#include <functional>
 #include <optional>
 #include <string>
 #include <unordered_set>
@@ -89,6 +90,13 @@ class JournalWriter {
   bool ok() const;
   void add(const std::string& key, const std::vector<std::string>& cells);
 
+  // Mirrors every line this writer lands durably -- the header (replayed
+  // immediately when one was written by this writer) and then each row,
+  // without the trailing newline -- to `fn`. --journal-stdout feeds this
+  // into the CRC32C stream framing; a line that failed to append locally
+  // is never mirrored, so the stream can't claim rows the disk lost.
+  void set_mirror(std::function<void(const std::string&)> fn);
+
   // 0 while appends are landing; the errno (EIO, ENOSPC, ...) of the
   // first failed append otherwise. Once set, further add() calls are
   // no-ops: the journal ends cleanly at the last durable row and the
@@ -99,6 +107,8 @@ class JournalWriter {
  private:
   std::ofstream out_;
   std::vector<std::string> columns_;
+  std::string header_line_;  // set by the truncate ctor, for the mirror
+  std::function<void(const std::string&)> mirror_;
   int io_errno_ = 0;
 };
 

@@ -155,13 +155,16 @@ JournalWriter::JournalWriter(const std::string& path,
                              const JournalHeader& header)
     : out_(path, std::ios::trunc), columns_(header.columns) {
   if (!out_) return;
-  out_ << "{\"format\":\"" << common::json_escape(header.format)
-       << "\",\"name\":\"" << common::json_escape(header.name)
-       << "\",\"spec_hash\":\"" << common::fmt_hex64(header.spec_hash)
-       << "\",\"points\":" << header.points
-       << ",\"shard_index\":" << header.shard_index
-       << ",\"shard_count\":" << header.shard_count << ",\"columns\":\""
-       << common::json_escape(join(header.columns, ',')) << "\"}\n";
+  header_line_ =
+      "{\"format\":\"" + common::json_escape(header.format) +
+      "\",\"name\":\"" + common::json_escape(header.name) +
+      "\",\"spec_hash\":\"" + common::fmt_hex64(header.spec_hash) +
+      "\",\"points\":" + std::to_string(header.points) +
+      ",\"shard_index\":" + std::to_string(header.shard_index) +
+      ",\"shard_count\":" + std::to_string(header.shard_count) +
+      ",\"columns\":\"" + common::json_escape(join(header.columns, ',')) +
+      "\"}";
+  out_ << header_line_ << '\n';
   out_.flush();
 }
 
@@ -169,6 +172,14 @@ JournalWriter::JournalWriter(const std::string& path)
     : out_(path, std::ios::app), columns_(result_header()) {}
 
 bool JournalWriter::ok() const { return static_cast<bool>(out_); }
+
+void JournalWriter::set_mirror(std::function<void(const std::string&)> fn) {
+  mirror_ = std::move(fn);
+  // The receiver rebuilds the journal from the stream, so it needs the
+  // header first, exactly as a reader of the file would see it.
+  if (mirror_ && !header_line_.empty() && static_cast<bool>(out_))
+    mirror_(header_line_);
+}
 
 void JournalWriter::add(const std::string& key,
                         const std::vector<std::string>& cells) {
@@ -202,6 +213,8 @@ void JournalWriter::add(const std::string& key,
   if (const auto f = common::fault::hit("journal.fsync", key))
     io_errno_ = f->kind == common::fault::Kind::enospc ? ENOSPC : EIO;
   if (!out_ && io_errno_ == 0) io_errno_ = errno != 0 ? errno : EIO;
+  if (io_errno_ == 0 && mirror_)
+    mirror_(line.substr(0, line.size() - 1));  // without the '\n'
 }
 
 std::optional<Journal> read_journal(const std::string& path,

@@ -25,8 +25,10 @@
 #include "reap/campaign/campaign.hpp"
 #include "reap/campaign/cli_usage.hpp"
 #include "reap/campaign/exit_codes.hpp"
+#include "reap/campaign/version.hpp"
 #include "reap/common/cli.hpp"
 #include "reap/common/fault.hpp"
+#include "reap/common/frame.hpp"
 #include "reap/core/config_kv.hpp"
 #include "reap/trace/replay.hpp"
 #include "reap/trace/spec2006.hpp"
@@ -68,6 +70,10 @@ void print_row(const campaign::CampaignPoint& pt,
 int main(int argc, char** argv) {
   common::CliArgs args(argc, argv);
   if (args.has("help")) return usage(argv[0]);
+  if (args.has("version")) {
+    std::puts(campaign::build_info_line("reap_campaign").c_str());
+    return 0;
+  }
 
   // Fault injection (chaos testing): sites armed from the REAP_FAULT
   // environment (inherited by dispatched workers) and/or --inject-fault.
@@ -205,6 +211,18 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--resume requires --journal=PATH\n");
     return 1;
   }
+  // --journal-stdout: mirror the journal over stdout as CRC32C-framed
+  // records for a dispatcher tailing this worker across a connection.
+  const bool journal_stdout = args.has("journal-stdout");
+  if (journal_stdout && journal_path.empty()) {
+    std::fprintf(stderr, "--journal-stdout requires --journal=PATH\n");
+    return 1;
+  }
+  // A dispatcher that dies (or drops the connection) closes our stdout;
+  // the default SIGPIPE would kill this worker too, losing the local
+  // journal's value as the backup copy. Ignore it -- writes fail
+  // silently, the disk journal stays authoritative on this side.
+  if (journal_stdout) std::signal(SIGPIPE, SIG_IGN);
   std::vector<campaign::JournalRow> prior;
   bool append_journal = false;
   if (resume && std::filesystem::exists(journal_path)) {
@@ -351,6 +369,12 @@ int main(int argc, char** argv) {
                    journal_path.c_str());
       return 1;
     }
+    if (journal_stdout)
+      journal->set_mirror([](const std::string& line) {
+        const auto framed = common::frame_line(line);
+        std::fwrite(framed.data(), 1, framed.size(), stdout);
+        std::fflush(stdout);
+      });
   }
 
   // Streaming pipeline: rows are journaled (and buffered for the merge)

@@ -24,6 +24,8 @@
 #include "reap/campaign/progress.hpp"
 #include "reap/campaign/result_sink.hpp"
 #include "reap/campaign/trace_cache.hpp"
+#include "reap/campaign/transport.hpp"
+#include "reap/campaign/version.hpp"
 #include "reap/common/cli.hpp"
 #include "reap/common/fault.hpp"
 #include "reap/common/strings.hpp"
@@ -50,6 +52,10 @@ std::string default_campaign_binary(const char* argv0) {
 int main(int argc, char** argv) {
   common::CliArgs args(argc, argv);
   if (args.has("help")) return usage(argv[0]);
+  if (args.has("version")) {
+    std::puts(campaign::build_info_line("reap_dispatch").c_str());
+    return 0;
+  }
 
   // Fault injection (chaos testing). --inject-fault arms sites in *this*
   // process (worker.spawn, tailer.read); REAP_FAULT is inherited by the
@@ -98,6 +104,40 @@ int main(int argc, char** argv) {
       std::chrono::milliseconds(args.get_u64("backoff-ms", 100));
   opts.fail_fast = args.has("fail-fast");
   opts.max_quarantine = std::size_t(args.get_u64("max-quarantine", 4));
+
+  // --hosts: multi-host dispatch. The file's transports replace the
+  // default local pool; the handshake refuses hosts whose reap_campaign
+  // answers --version with a different build line (fleet skew).
+  if (args.has("hosts")) {
+    const auto hosts_path = args.get_string("hosts", "");
+    const auto hosts = campaign::parse_hosts_file(hosts_path, &error);
+    if (!hosts) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    for (auto h : *hosts) {
+      if (h.name == "local") {
+        opts.transports.push_back(std::make_shared<campaign::LocalTransport>(
+            h.remote_binary.empty() ? opts.campaign_binary : h.remote_binary,
+            h.slots));
+        continue;
+      }
+      if (h.remote_binary.empty()) h.remote_binary = opts.campaign_binary;
+      if (h.remote_dir.empty())
+        h.remote_dir = opts.work_dir + "/remote-" + h.name;
+      opts.transports.push_back(
+          std::make_shared<campaign::SshTransport>(std::move(h)));
+    }
+    opts.expected_worker_version =
+        campaign::build_info_line("reap_campaign");
+  }
+  opts.on_host_lost = [](const std::string& host, const std::string& why) {
+    std::fprintf(stderr, "\nlost host: %s (%s); redistributing its shards\n",
+                 host.c_str(), why.c_str());
+  };
+  opts.on_host_note = [](const std::string&, const std::string& note) {
+    std::fprintf(stderr, "note: %s\n", note.c_str());
+  };
 
   // Consume every real flag before --dry-run can exit, so the unused-flag
   // typo warning never fires on flags the full run would honor.
@@ -220,6 +260,9 @@ int main(int argc, char** argv) {
   if (!run.quarantined.empty())
     std::printf(" (%zu point%s quarantined)", run.quarantined.size(),
                 run.quarantined.size() == 1 ? "" : "s");
+  if (!run.lost_hosts.empty())
+    std::printf(" (%zu host%s lost)", run.lost_hosts.size(),
+                run.lost_hosts.size() == 1 ? "" : "s");
   std::printf("\n");
   for (const auto& q : run.quarantined)
     std::fprintf(stderr, "quarantined: %s (index %llu, shard %zu): %s\n",
@@ -330,5 +373,9 @@ int main(int argc, char** argv) {
     for (const auto& path : *written)
       std::fprintf(stderr, "wrote %s\n", path.c_str());
   }
+  // Every row ran and merged, but the fleet shrank along the way: the
+  // outputs above are complete, and the exit code says hosts were lost.
+  if (run.status == campaign::DispatchStatus::host_lost)
+    return campaign::kDispatchHostLost;
   return campaign::kDispatchOk;
 }

@@ -13,6 +13,7 @@
 
 #include "reap/campaign/cli_usage.hpp"
 #include "reap/campaign/report.hpp"
+#include "reap/campaign/version.hpp"
 #include "reap/campaign/result_sink.hpp"
 #include "reap/common/cli.hpp"
 
@@ -29,6 +30,10 @@ int usage(const char* argv0) {
 
 int main(int argc, char** argv) {
   common::CliArgs args(argc, argv);
+  if (args.has("version")) {
+    std::puts(campaign::build_info_line("reap_report").c_str());
+    return 0;
+  }
   if (args.has("help") || args.positional().empty()) return usage(argv[0]);
 
   std::string error;

@@ -20,6 +20,7 @@
 
 #include "reap/campaign/cli_usage.hpp"
 #include "reap/campaign/spec.hpp"
+#include "reap/campaign/version.hpp"
 #include "reap/common/cli.hpp"
 #include "reap/trace/replay.hpp"
 #include "reap/trace/trace_io.hpp"
@@ -230,6 +231,10 @@ int dump(const std::vector<std::string>& files, std::uint64_t max_ops) {
 int main(int argc, char** argv) {
   common::CliArgs args(argc, argv);
   if (args.has("help")) return usage(argv[0]);
+  if (args.has("version")) {
+    std::puts(campaign::build_info_line("reap_trace").c_str());
+    return 0;
+  }
 
   const bool mode_materialize = args.has("materialize");
   const bool mode_import = args.has("import");

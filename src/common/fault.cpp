@@ -53,6 +53,9 @@ std::optional<Kind> kind_from(const std::string& name) {
   if (name == "enospc") return Kind::enospc;
   if (name == "torn-write") return Kind::torn_write;
   if (name == "slow") return Kind::slow;
+  if (name == "drop") return Kind::drop;
+  if (name == "stall") return Kind::stall;
+  if (name == "garble") return Kind::garble;
   return std::nullopt;
 }
 
@@ -66,6 +69,9 @@ const char* to_string(Kind kind) {
     case Kind::enospc: return "enospc";
     case Kind::torn_write: return "torn-write";
     case Kind::slow: return "slow";
+    case Kind::drop: return "drop";
+    case Kind::stall: return "stall";
+    case Kind::garble: return "garble";
   }
   return "?";
 }
@@ -77,6 +83,10 @@ const std::vector<std::string>& known_sites() {
       "worker.spawn",   // dispatcher launching a reap_campaign worker
       "runner.point",   // one grid point about to run (context: row key)
       "tailer.read",    // supervisor tailing a live worker journal
+      "transport.connect",  // dispatcher reaching a worker host (context:
+                            // host name) -- handshake or launch
+      "transport.stream",   // the journal stream from a remote worker
+                            // (context: host name)
   };
   return sites;
 }
@@ -110,6 +120,9 @@ std::optional<Hit> hit_slow(const char* site, std::string_view context) {
         case Kind::eio:
         case Kind::enospc:
         case Kind::torn_write:
+        case Kind::drop:
+        case Kind::stall:
+        case Kind::garble:
           break;
       }
       fired = {f.kind, f.param};

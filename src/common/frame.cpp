@@ -1,0 +1,74 @@
+#include "reap/common/frame.hpp"
+
+#include "reap/common/crc32c.hpp"
+
+namespace reap::common {
+namespace {
+
+constexpr std::size_t kPrefixLen = sizeof(kFramePrefix) - 1;  // "REAPF1 "
+constexpr std::size_t kHexLen = 8;
+// Prefix + checksum + the space separating checksum from payload.
+constexpr std::size_t kHeaderLen = kPrefixLen + kHexLen + 1;
+
+}  // namespace
+
+std::string frame_line(std::string_view payload) {
+  std::string out;
+  out.reserve(kHeaderLen + payload.size() + 1);
+  out += kFramePrefix;
+  out += fmt_hex32(crc32c(payload));
+  out += ' ';
+  out += payload;
+  out += '\n';
+  return out;
+}
+
+void FrameParser::feed(std::string_view bytes) {
+  buf_.append(bytes);
+  std::size_t pos = 0;
+  for (;;) {
+    const auto nl = buf_.find('\n', pos);
+    if (nl == std::string::npos) break;
+    classify(buf_.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  buf_.erase(0, pos);
+}
+
+void FrameParser::classify(const std::string& line) {
+  if (line.compare(0, kPrefixLen, kFramePrefix) != 0) {
+    if (!line.empty()) noise_.push_back(line);
+    return;
+  }
+  // A line claiming to be a frame must verify or it is damage -- a short
+  // header, a bad hex field, and a checksum mismatch are all `corrupt`,
+  // never noise and never a delivered payload.
+  std::uint32_t stored = 0;
+  if (line.size() < kHeaderLen || line[kHeaderLen - 1] != ' ' ||
+      !parse_hex32(line.substr(kPrefixLen, kHexLen), stored)) {
+    ++corrupt_;
+    return;
+  }
+  const std::string_view payload =
+      std::string_view(line).substr(kHeaderLen);
+  if (crc32c(payload) != stored) {
+    ++corrupt_;
+    return;
+  }
+  ++ok_;
+  payloads_.emplace_back(payload);
+}
+
+std::vector<std::string> FrameParser::take_payloads() {
+  std::vector<std::string> out;
+  out.swap(payloads_);
+  return out;
+}
+
+std::vector<std::string> FrameParser::take_noise() {
+  std::vector<std::string> out;
+  out.swap(noise_);
+  return out;
+}
+
+}  // namespace reap::common

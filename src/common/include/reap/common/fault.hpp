@@ -16,6 +16,7 @@
 //
 //   site   one of known_sites() (unknown sites are a hard error)
 //   kind   crash | hang | eio | enospc | torn-write | slow
+//          | drop | stall | garble
 //   N      fire on the Nth matching execution of the site (default 1,
 //          one-shot); '*' fires on every matching execution
 //   PARAM  kind parameter: milliseconds for `slow`, bytes written before
@@ -32,8 +33,10 @@
 // Process-level kinds (crash, hang, slow) act inside hit(): crash _exits
 // with kCrashExit, hang sleeps forever (only SIGKILL ends it, exactly
 // like a real hang), slow sleeps PARAM ms and then lets the call proceed.
-// I/O kinds (eio, enospc, torn-write) are returned to the call site,
-// which alone knows how to realize them.
+// I/O kinds (eio, enospc, torn-write) and transport kinds (drop, stall,
+// garble -- a connection lost, a stream frozen open, bytes corrupted in
+// flight) are returned to the call site, which alone knows how to
+// realize them.
 #pragma once
 
 #include <atomic>
@@ -45,7 +48,8 @@
 
 namespace reap::common::fault {
 
-enum class Kind { crash, hang, eio, enospc, torn_write, slow };
+enum class Kind { crash, hang, eio, enospc, torn_write, slow, drop, stall,
+                  garble };
 
 const char* to_string(Kind kind);
 

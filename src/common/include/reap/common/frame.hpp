@@ -1,0 +1,63 @@
+// CRC32C line framing for journal streams crossing a lossy transport.
+//
+// A remote reap_campaign worker journals to its own disk and mirrors
+// every journal line over stdout to the dispatcher (--journal-stdout).
+// The pipe runs through ssh, so the dispatcher must tell an intact row
+// from a connection that died mid-line, a corrupted chunk, and ordinary
+// worker chatter sharing the stream. Each mirrored line is therefore
+// wrapped in a one-line frame:
+//
+//   REAPF1 <hex8> <payload>\n
+//
+// where <hex8> is the lowercase 8-digit hex CRC32C of the payload (the
+// journal line without its newline). The receiver accepts a payload only
+// when the checksum verifies; a malformed or corrupted frame is counted
+// and dropped (never delivered as wrong bytes), a line without the
+// REAPF1 prefix passes through as noise (worker stdout chatter, routed
+// to the worker log), and an unterminated tail stays buffered -- the
+// signature of a connection cut mid-frame, so "rows up to the last
+// intact frame" is exactly what the receiver keeps.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace reap::common {
+
+inline constexpr char kFramePrefix[] = "REAPF1 ";
+
+// Wraps one payload line (must not contain '\n') in a frame, newline
+// included -- ready to write to the stream.
+std::string frame_line(std::string_view payload);
+
+// Incremental receiver: feed() bytes as they arrive, in any chunking;
+// complete lines are classified and queued until taken.
+class FrameParser {
+ public:
+  void feed(std::string_view bytes);
+
+  // Intact frame payloads decoded since the last take, in stream order.
+  std::vector<std::string> take_payloads();
+
+  // Complete non-frame lines (stream noise), verbatim, in order.
+  std::vector<std::string> take_noise();
+
+  std::size_t frames_ok() const { return ok_; }
+  // Frames whose checksum failed or whose header was malformed.
+  std::size_t frames_corrupt() const { return corrupt_; }
+  // Bytes of the unterminated trailing line still buffered.
+  std::size_t buffered() const { return buf_.size(); }
+
+ private:
+  void classify(const std::string& line);
+
+  std::string buf_;
+  std::vector<std::string> payloads_;
+  std::vector<std::string> noise_;
+  std::size_t ok_ = 0;
+  std::size_t corrupt_ = 0;
+};
+
+}  // namespace reap::common

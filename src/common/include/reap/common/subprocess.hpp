@@ -41,6 +41,16 @@ class Child {
                                     std::string* error = nullptr,
                                     bool* transient = nullptr);
 
+  // Like spawn(), but the child's stdout is connected to a pipe whose
+  // non-blocking read end is returned in `*stdout_fd` (caller closes it);
+  // only stderr goes to `log_path`. This is how a supervisor streams
+  // framed journal rows from a remote worker while its chatter still
+  // lands in the log. On failure `*stdout_fd` is -1.
+  static std::optional<Child> spawn_piped(
+      const std::vector<std::string>& argv, int* stdout_fd,
+      const std::string& log_path = "", std::string* error = nullptr,
+      bool* transient = nullptr);
+
   Child(Child&& other) noexcept;
   Child& operator=(Child&& other) noexcept;
   Child(const Child&) = delete;

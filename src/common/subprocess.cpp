@@ -37,10 +37,17 @@ std::string ExitStatus::describe() const {
   return "unknown status";
 }
 
-std::optional<Child> Child::spawn(const std::vector<std::string>& argv,
-                                  const std::string& log_path,
-                                  std::string* error, bool* transient) {
+namespace {
+
+// Shared body of spawn()/spawn_piped(): returns the child's pid, or
+// nullopt on failure. When `stdout_fd` is non-null the child's stdout
+// goes to a pipe (non-blocking read end returned through it) and only
+// stderr goes to the log; otherwise both go to the log.
+std::optional<long> spawn_impl(const std::vector<std::string>& argv,
+                               const std::string& log_path, int* stdout_fd,
+                               std::string* error, bool* transient) {
   if (transient) *transient = false;
+  if (stdout_fd) *stdout_fd = -1;
   if (argv.empty()) {
     fail(error, "spawn: empty argv");
     return std::nullopt;
@@ -64,6 +71,14 @@ std::optional<Child> Child::spawn(const std::vector<std::string>& argv,
     }
   }
 
+  int out_pipe[2] = {-1, -1};
+  if (stdout_fd && ::pipe(out_pipe) != 0) {
+    if (log_fd >= 0) ::close(log_fd);
+    if (transient) *transient = true;  // fd exhaustion clears itself
+    fail(error, std::string("spawn: pipe: ") + std::strerror(errno));
+    return std::nullopt;
+  }
+
   // Report an exec failure (e.g. missing binary) back through a
   // close-on-exec pipe: a successful exec closes it silently, a failed
   // one writes errno before _exit.
@@ -72,6 +87,8 @@ std::optional<Child> Child::spawn(const std::vector<std::string>& argv,
       ::fcntl(exec_pipe[1], F_SETFD, FD_CLOEXEC) != 0) {
     if (exec_pipe[0] >= 0) ::close(exec_pipe[0]);
     if (exec_pipe[1] >= 0) ::close(exec_pipe[1]);
+    if (out_pipe[0] >= 0) ::close(out_pipe[0]);
+    if (out_pipe[1] >= 0) ::close(out_pipe[1]);
     if (log_fd >= 0) ::close(log_fd);
     if (transient) *transient = true;  // fd exhaustion clears itself
     fail(error, std::string("spawn: pipe: ") + std::strerror(errno));
@@ -89,6 +106,8 @@ std::optional<Child> Child::spawn(const std::vector<std::string>& argv,
   if (pid < 0) {
     ::close(exec_pipe[0]);
     ::close(exec_pipe[1]);
+    if (out_pipe[0] >= 0) ::close(out_pipe[0]);
+    if (out_pipe[1] >= 0) ::close(out_pipe[1]);
     if (log_fd >= 0) ::close(log_fd);
     if (transient) *transient = true;  // EAGAIN/ENOMEM: retry may succeed
     fail(error, std::string("spawn: fork: ") + std::strerror(errno));
@@ -97,7 +116,15 @@ std::optional<Child> Child::spawn(const std::vector<std::string>& argv,
 
   if (pid == 0) {  // child
     ::close(exec_pipe[0]);
-    if (log_fd >= 0) {
+    if (out_pipe[1] >= 0) {
+      ::close(out_pipe[0]);
+      ::dup2(out_pipe[1], STDOUT_FILENO);
+      ::close(out_pipe[1]);
+      if (log_fd >= 0) {
+        ::dup2(log_fd, STDERR_FILENO);
+        ::close(log_fd);
+      }
+    } else if (log_fd >= 0) {
       ::dup2(log_fd, STDOUT_FILENO);
       ::dup2(log_fd, STDERR_FILENO);
       ::close(log_fd);
@@ -111,18 +138,43 @@ std::optional<Child> Child::spawn(const std::vector<std::string>& argv,
 
   // parent
   ::close(exec_pipe[1]);
+  if (out_pipe[1] >= 0) ::close(out_pipe[1]);
   if (log_fd >= 0) ::close(log_fd);
   int exec_errno = 0;
   const auto n = ::read(exec_pipe[0], &exec_errno, sizeof(exec_errno));
   ::close(exec_pipe[0]);
   if (n == sizeof(exec_errno)) {
+    if (out_pipe[0] >= 0) ::close(out_pipe[0]);
     int wstatus = 0;
     ::waitpid(pid, &wstatus, 0);
     fail(error, "spawn: cannot exec " + argv[0] + ": " +
                     std::strerror(exec_errno));
     return std::nullopt;
   }
-  return Child(pid);
+  if (stdout_fd) {
+    ::fcntl(out_pipe[0], F_SETFL, O_NONBLOCK);
+    *stdout_fd = out_pipe[0];
+  }
+  return static_cast<long>(pid);
+}
+
+}  // namespace
+
+std::optional<Child> Child::spawn(const std::vector<std::string>& argv,
+                                  const std::string& log_path,
+                                  std::string* error, bool* transient) {
+  const auto pid = spawn_impl(argv, log_path, nullptr, error, transient);
+  if (!pid) return std::nullopt;
+  return Child(*pid);
+}
+
+std::optional<Child> Child::spawn_piped(const std::vector<std::string>& argv,
+                                        int* stdout_fd,
+                                        const std::string& log_path,
+                                        std::string* error, bool* transient) {
+  const auto pid = spawn_impl(argv, log_path, stdout_fd, error, transient);
+  if (!pid) return std::nullopt;
+  return Child(*pid);
 }
 
 Child::Child(Child&& other) noexcept

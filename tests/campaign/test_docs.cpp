@@ -109,7 +109,9 @@ TEST(Docs, RobustnessContractMatchesTheCode) {
   for (const auto kind :
        {common::fault::Kind::crash, common::fault::Kind::hang,
         common::fault::Kind::eio, common::fault::Kind::enospc,
-        common::fault::Kind::torn_write, common::fault::Kind::slow})
+        common::fault::Kind::torn_write, common::fault::Kind::slow,
+        common::fault::Kind::drop, common::fault::Kind::stall,
+        common::fault::Kind::garble})
     EXPECT_NE(doc.find("`" + std::string(common::fault::to_string(kind)) +
                        "`"),
               std::string::npos)
@@ -118,7 +120,9 @@ TEST(Docs, RobustnessContractMatchesTheCode) {
   // The arming channel, the sidecar, and the journal format tag.
   for (const char* token : {"REAP_FAULT", "quarantine.jsonl",
                             "reap-journal-v2", "--inject-fault",
-                            "--stall-timeout", "--skip-rows"})
+                            "--stall-timeout", "--skip-rows", "--hosts",
+                            "--journal-stdout", "REAPF1",
+                            "fake_ssh.sh"})
     EXPECT_NE(doc.find(token), std::string::npos)
         << "docs/robustness.md does not mention " << token;
   EXPECT_NE(doc.find("CRC32C"), std::string::npos);
@@ -133,6 +137,7 @@ TEST(Docs, RobustnessContractMatchesTheCode) {
       {"kDispatchSpecMismatch", kDispatchSpecMismatch},
       {"kDispatchQuarantined", kDispatchQuarantined},
       {"kDispatchAbandoned", kDispatchAbandoned},
+      {"kDispatchHostLost", kDispatchHostLost},
   };
   for (const auto& [name, value] : codes) {
     const auto row = "| " + std::to_string(value) + " | `" + name + "` |";

@@ -43,7 +43,8 @@ TEST_F(FaultTest, ArmRejectsBadGrammar) {
 TEST_F(FaultTest, KnownSitesListTheCompiledInSet) {
   const auto& sites = known_sites();
   for (const char* site : {"journal.write", "journal.fsync", "worker.spawn",
-                           "runner.point", "tailer.read"}) {
+                           "runner.point", "tailer.read", "transport.connect",
+                           "transport.stream"}) {
     EXPECT_NE(std::find(sites.begin(), sites.end(), site), sites.end())
         << site;
   }
@@ -155,6 +156,26 @@ TEST_F(FaultTest, KindNamesRoundTripThroughToString) {
   EXPECT_STREQ(to_string(Kind::enospc), "enospc");
   EXPECT_STREQ(to_string(Kind::torn_write), "torn-write");
   EXPECT_STREQ(to_string(Kind::slow), "slow");
+  EXPECT_STREQ(to_string(Kind::drop), "drop");
+  EXPECT_STREQ(to_string(Kind::stall), "stall");
+  EXPECT_STREQ(to_string(Kind::garble), "garble");
+}
+
+// The transport kinds are returned to the call site like the I/O kinds:
+// hit() itself must not act on them.
+TEST_F(FaultTest, TransportKindsAreReturnedNotActedOn) {
+  ASSERT_TRUE(arm(
+      "transport.stream:drop:1:key=hosta,"
+      "transport.stream:stall:1:key=hostb,transport.connect:garble"));
+  const auto drop = hit("transport.stream", "hosta");
+  ASSERT_TRUE(drop.has_value());
+  EXPECT_EQ(drop->kind, Kind::drop);
+  const auto stall = hit("transport.stream", "hostb");
+  ASSERT_TRUE(stall.has_value());
+  EXPECT_EQ(stall->kind, Kind::stall);
+  const auto garble = hit("transport.connect", "hostc");
+  ASSERT_TRUE(garble.has_value());
+  EXPECT_EQ(garble->kind, Kind::garble);
 }
 
 // crash acts inside hit(): the process _exits with kCrashExit. Run it in

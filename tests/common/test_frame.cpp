@@ -1,0 +1,112 @@
+// REAPF1 stream framing: a frame round-trips byte-exactly however the
+// stream is chopped; a corrupt frame (truncated header, bad hex, CRC
+// mismatch from any single bit flip) is counted and never delivered; a
+// non-frame line passes through as noise; an unterminated tail stays
+// buffered until its newline arrives.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "reap/common/frame.hpp"
+
+namespace reap::common {
+namespace {
+
+TEST(Frame, RoundTripsSinglePayload) {
+  const std::string payload = "{\"row\":1,\"key\":\"mcf/reap/s0\"}";
+  FrameParser p;
+  p.feed(frame_line(payload));
+  const auto got = p.take_payloads();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], payload);
+  EXPECT_EQ(p.frames_ok(), 1u);
+  EXPECT_EQ(p.frames_corrupt(), 0u);
+  EXPECT_TRUE(p.take_noise().empty());
+}
+
+TEST(Frame, PayloadSurvivesArbitrarySplits) {
+  const std::vector<std::string> payloads = {
+      "{\"format\":\"reap-journal-v2\"}", "row one", "",
+      std::string(300, 'x')};
+  std::string stream;
+  for (const auto& pl : payloads) stream += frame_line(pl);
+
+  // Feed the identical stream one byte at a time, then in ragged chunks;
+  // both must deliver the same payloads in order.
+  for (const std::size_t chunk : {std::size_t(1), std::size_t(7)}) {
+    FrameParser p;
+    for (std::size_t i = 0; i < stream.size(); i += chunk)
+      p.feed(std::string_view(stream).substr(i, chunk));
+    EXPECT_EQ(p.take_payloads(), payloads) << "chunk=" << chunk;
+    EXPECT_EQ(p.frames_ok(), payloads.size());
+    EXPECT_EQ(p.frames_corrupt(), 0u);
+    EXPECT_EQ(p.buffered(), 0u);
+  }
+}
+
+TEST(Frame, UnterminatedTailStaysBuffered) {
+  const auto line = frame_line("pending row");
+  FrameParser p;
+  p.feed(std::string_view(line).substr(0, line.size() - 1));  // no '\n'
+  EXPECT_TRUE(p.take_payloads().empty());
+  EXPECT_NE(p.buffered(), 0u);
+  p.feed("\n");
+  const auto got = p.take_payloads();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], "pending row");
+  EXPECT_EQ(p.buffered(), 0u);
+}
+
+TEST(Frame, TruncatedFrameIsCorruptNotDelivered) {
+  const auto line = frame_line("a complete row");
+  // A terminated line that lost its tail mid-payload: the CRC no longer
+  // matches. Also try cutting into the header itself.
+  for (const std::size_t keep : {line.size() - 5, std::size_t(10),
+                                 std::size_t(7)}) {
+    FrameParser p;
+    p.feed(line.substr(0, keep) + "\n");
+    EXPECT_TRUE(p.take_payloads().empty()) << "keep=" << keep;
+    EXPECT_EQ(p.frames_corrupt(), 1u) << "keep=" << keep;
+    EXPECT_TRUE(p.take_noise().empty()) << "keep=" << keep;
+  }
+}
+
+TEST(Frame, NoSingleBitFlipDeliversAWrongPayload) {
+  const std::string payload = "{\"row\":42,\"cycles\":12345}";
+  const auto line = frame_line(payload);
+  // Flip each bit of every byte except the trailing newline. The safety
+  // property is "never a *wrong* payload": a flip in the prefix demotes
+  // the line to noise, a flip touching payload or CRC value is caught by
+  // the CRC, and the one benign case -- a case flip inside a hex digit,
+  // which parses to the same CRC -- still delivers the original bytes.
+  for (std::size_t i = 0; i + 1 < line.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto bad = line;
+      bad[i] = static_cast<char>(bad[i] ^ (1 << bit));
+      FrameParser p;
+      p.feed(bad);
+      for (const auto& got : p.take_payloads())
+        EXPECT_EQ(got, payload) << "byte " << i << " bit " << bit
+                                << " delivered a corrupted payload";
+    }
+  }
+}
+
+TEST(Frame, NoiseLinesPassThroughAroundFrames) {
+  FrameParser p;
+  p.feed("campaign 'x': 8 points on 1 threads\n");
+  p.feed(frame_line("real row"));
+  p.feed("some stray stderr-ish line\n");
+  const auto payloads = p.take_payloads();
+  ASSERT_EQ(payloads.size(), 1u);
+  EXPECT_EQ(payloads[0], "real row");
+  const auto noise = p.take_noise();
+  ASSERT_EQ(noise.size(), 2u);
+  EXPECT_EQ(noise[0], "campaign 'x': 8 points on 1 threads");
+  EXPECT_EQ(noise[1], "some stray stderr-ish line");
+  EXPECT_EQ(p.frames_corrupt(), 0u);
+}
+
+}  // namespace
+}  // namespace reap::common
